@@ -1,0 +1,124 @@
+// Experiment X11: ablation of the analyzer's ingredients over the
+// corpus plus a generated workload. Each series disables one switch of
+// Algorithm 1 / the FD detector and reports how many redundant
+// DISTINCTs are still detected (counter `yes` out of `queries`).
+//
+// Ingredients:
+//  - full:            everything on (extended line 10);
+//  - verbatim_line10: the published algorithm (C = T ⇒ NO);
+//  - no_type2:        transitive column-equality closure off;
+//  - no_type1:        constant/host-variable binding off;
+//  - no_unique:       UNIQUE candidate keys ignored (primary keys only);
+//  - with_checks:     CHECK-constraint binding ON (off by default);
+//  - fd_detector:     the FD-propagation detector for comparison.
+//
+// Expected shape: each ingredient contributes detections; Type 2 closure
+// matters most on join queries, Type 1 on host-variable lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/uniqueness.h"
+#include "bench_util.h"
+#include "workload/query_corpus.h"
+#include "workload/random_query.h"
+
+namespace uniqopt {
+namespace bench {
+namespace {
+
+std::vector<PlanPtr> WorkloadPlans(const Database& db) {
+  static std::map<const Database*, std::vector<PlanPtr>>* cache =
+      new std::map<const Database*, std::vector<PlanPtr>>();
+  auto it = cache->find(&db);
+  if (it != cache->end()) return it->second;
+  std::vector<PlanPtr> plans;
+  for (const CorpusQuery& q : DistinctQueryCorpus()) {
+    plans.push_back(MustBind(db, q.sql));
+  }
+  Binder binder(&db.catalog());
+  RandomQueryGenerator gen(RandomQueryOptions{.seed = 31337});
+  for (int i = 0; i < 150; ++i) {
+    auto bound = binder.BindSql(gen.NextQuery());
+    if (bound.ok()) plans.push_back(bound->plan);
+  }
+  cache->emplace(&db, plans);
+  return plans;
+}
+
+void RunAblation(benchmark::State& state, const Algorithm1Options& opts) {
+  const Database& db = GetSupplierDb(50, 10);
+  std::vector<PlanPtr> plans = WorkloadPlans(db);
+  size_t yes = 0;
+  for (auto _ : state) {
+    yes = 0;
+    for (const PlanPtr& plan : plans) {
+      auto verdict = AnalyzeDistinctAlgorithm1(plan, opts);
+      if (verdict.ok() && verdict->distinct_unnecessary) ++yes;
+    }
+    benchmark::DoNotOptimize(yes);
+  }
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.counters["yes"] = static_cast<double>(yes);
+}
+
+void BM_Full(benchmark::State& state) {
+  RunAblation(state, Algorithm1Options{});
+}
+BENCHMARK(BM_Full);
+
+void BM_VerbatimLine10(benchmark::State& state) {
+  Algorithm1Options opts;
+  opts.verbatim_line10 = true;
+  RunAblation(state, opts);
+}
+BENCHMARK(BM_VerbatimLine10);
+
+void BM_NoType2Closure(benchmark::State& state) {
+  Algorithm1Options opts;
+  opts.use_column_equivalence = false;
+  RunAblation(state, opts);
+}
+BENCHMARK(BM_NoType2Closure);
+
+void BM_NoType1Binding(benchmark::State& state) {
+  Algorithm1Options opts;
+  opts.bind_constants = false;
+  RunAblation(state, opts);
+}
+BENCHMARK(BM_NoType1Binding);
+
+void BM_NoUniqueKeys(benchmark::State& state) {
+  Algorithm1Options opts;
+  opts.use_unique_keys = false;
+  RunAblation(state, opts);
+}
+BENCHMARK(BM_NoUniqueKeys);
+
+void BM_WithCheckBinding(benchmark::State& state) {
+  Algorithm1Options opts;
+  opts.use_check_constraints = true;
+  RunAblation(state, opts);
+}
+BENCHMARK(BM_WithCheckBinding);
+
+void BM_FdDetector(benchmark::State& state) {
+  const Database& db = GetSupplierDb(50, 10);
+  std::vector<PlanPtr> plans = WorkloadPlans(db);
+  size_t yes = 0;
+  for (auto _ : state) {
+    yes = 0;
+    for (const PlanPtr& plan : plans) {
+      if (AnalyzeDistinctFd(plan).distinct_unnecessary) ++yes;
+    }
+    benchmark::DoNotOptimize(yes);
+  }
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.counters["yes"] = static_cast<double>(yes);
+}
+BENCHMARK(BM_FdDetector);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uniqopt
+
+BENCHMARK_MAIN();

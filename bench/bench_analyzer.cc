@@ -1,0 +1,124 @@
+// Experiment X3/X10 (§4, §5.1): cost and coverage of the uniqueness
+// analyzers.
+//
+//  - BM_Algorithm1 / BM_FdPropagation: per-query analysis latency over
+//    the paper-example corpus — the paper's point is that the sufficient
+//    test is cheap (polynomial) versus the NP-complete exact condition;
+//    both detectors should stay in the microsecond range.
+//  - BM_CorpusApplicability: detection rates on the corpus (counters
+//    `alg1_yes`, `fd_yes`, `ground_truth`), reproducing the claim that
+//    Algorithm 1 "handles a large subclass of queries".
+//  - BM_GeneratedApplicability: detection rate over a CASE-tool-style
+//    generated workload (X10).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/uniqueness.h"
+#include "bench_util.h"
+#include "workload/query_corpus.h"
+#include "workload/random_query.h"
+
+namespace uniqopt {
+namespace bench {
+namespace {
+
+std::vector<PlanPtr> BindCorpus(const Database& db) {
+  std::vector<PlanPtr> plans;
+  for (const CorpusQuery& q : DistinctQueryCorpus()) {
+    plans.push_back(MustBind(db, q.sql));
+  }
+  return plans;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const Database& db = GetSupplierDb(100, 10);
+  std::vector<PlanPtr> plans = BindCorpus(db);
+  Algorithm1Options opts;
+  opts.verbatim_line10 = true;
+  size_t yes = 0;
+  for (auto _ : state) {
+    yes = 0;
+    for (const PlanPtr& plan : plans) {
+      auto verdict = AnalyzeDistinctAlgorithm1(plan, opts);
+      if (verdict.ok() && verdict->distinct_unnecessary) ++yes;
+    }
+    benchmark::DoNotOptimize(yes);
+  }
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.counters["yes"] = static_cast<double>(yes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_Algorithm1);
+
+void BM_FdPropagation(benchmark::State& state) {
+  const Database& db = GetSupplierDb(100, 10);
+  std::vector<PlanPtr> plans = BindCorpus(db);
+  size_t yes = 0;
+  for (auto _ : state) {
+    yes = 0;
+    for (const PlanPtr& plan : plans) {
+      if (AnalyzeDistinctFd(plan).distinct_unnecessary) ++yes;
+    }
+    benchmark::DoNotOptimize(yes);
+  }
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.counters["yes"] = static_cast<double>(yes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_FdPropagation);
+
+void BM_CorpusApplicability(benchmark::State& state) {
+  const Database& db = GetSupplierDb(100, 10);
+  const auto& corpus = DistinctQueryCorpus();
+  std::vector<PlanPtr> plans = BindCorpus(db);
+  size_t alg1_yes = 0;
+  size_t fd_yes = 0;
+  size_t truth = 0;
+  for (auto _ : state) {
+    alg1_yes = fd_yes = truth = 0;
+    Algorithm1Options verbatim;
+    verbatim.verbatim_line10 = true;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (corpus[i].distinct_redundant) ++truth;
+      auto a1 = AnalyzeDistinctAlgorithm1(plans[i], verbatim);
+      if (a1.ok() && a1->distinct_unnecessary) ++alg1_yes;
+      if (AnalyzeDistinctFd(plans[i]).distinct_unnecessary) ++fd_yes;
+    }
+  }
+  state.counters["ground_truth"] = static_cast<double>(truth);
+  state.counters["alg1_yes"] = static_cast<double>(alg1_yes);
+  state.counters["fd_yes"] = static_cast<double>(fd_yes);
+}
+BENCHMARK(BM_CorpusApplicability);
+
+void BM_GeneratedApplicability(benchmark::State& state) {
+  const Database& db = GetSupplierDb(100, 10);
+  RandomQueryGenerator gen(
+      RandomQueryOptions{.seed = static_cast<uint64_t>(state.range(0))});
+  Binder binder(&db.catalog());
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < 200; ++i) {
+    auto bound = binder.BindSql(gen.NextQuery());
+    if (bound.ok()) plans.push_back(bound->plan);
+  }
+  size_t fd_yes = 0;
+  for (auto _ : state) {
+    fd_yes = 0;
+    for (const PlanPtr& plan : plans) {
+      if (AnalyzeDistinctFd(plan).distinct_unnecessary) ++fd_yes;
+    }
+  }
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.counters["fd_yes"] = static_cast<double>(fd_yes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_GeneratedApplicability)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uniqopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment X8 (§6.1, Example 10): join vs nested DL/I strategies in
+// the IMS gateway.
+//
+// Series:
+//  - Join_KeyQualified / Nested_KeyQualified: the paper's lines 21–29 vs
+//    30–35; counters `parts_calls` reproduce the headline claim — the
+//    nested program issues HALF the DL/I calls against PARTS (the join
+//    program's second GNP always returns 'GE').
+//  - Join_OemQualified / Nested_OemQualified: non-sequence-field
+//    qualification; `visited` shows the nested program halting its twin
+//    scan at the first match.
+//
+// Expected shape: parts_calls ratio ≈ 2.0 for key-qualified probes at
+// every scale; wall-clock tracks segment visits.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ims/gateway.h"
+
+namespace uniqopt {
+namespace bench {
+namespace {
+
+const ims::ImsDatabase& GetIms(size_t suppliers, size_t parts) {
+  using Key = std::pair<size_t, size_t>;
+  static std::map<Key, std::unique_ptr<ims::ImsDatabase>>* cache =
+      new std::map<Key, std::unique_ptr<ims::ImsDatabase>>();
+  Key key{suppliers, parts};
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+  auto built = ims::BuildSupplierIms(GetSupplierDb(suppliers, parts));
+  UNIQOPT_DCHECK_MSG(built.ok(), built.status().ToString().c_str());
+  const ims::ImsDatabase& ref = **built;
+  cache->emplace(key, std::move(*built));
+  return ref;
+}
+
+void Report(benchmark::State& state, const ims::GatewayResult& result) {
+  state.counters["rows"] = static_cast<double>(result.rows.size());
+  state.counters["parts_calls"] =
+      static_cast<double>(result.stats.calls_by_segment.at("PARTS"));
+  state.counters["total_calls"] =
+      static_cast<double>(result.stats.TotalCalls());
+  state.counters["visited"] =
+      static_cast<double>(result.stats.segments_visited);
+}
+
+void BM_Join_KeyQualified(benchmark::State& state) {
+  const auto& ims_db = GetIms(static_cast<size_t>(state.range(0)), 20);
+  ims::GatewayResult result;
+  for (auto _ : state) {
+    result = ims::JoinStrategySuppliersForPart(ims_db, 11);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_Join_KeyQualified)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_Nested_KeyQualified(benchmark::State& state) {
+  const auto& ims_db = GetIms(static_cast<size_t>(state.range(0)), 20);
+  ims::GatewayResult result;
+  for (auto _ : state) {
+    result = ims::NestedStrategySuppliersForPart(ims_db, 11);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_Nested_KeyQualified)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_Join_OemQualified(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  const auto& ims_db = GetIms(suppliers, 20);
+  // An OEM value sitting mid-chain under a mid-keyspace supplier.
+  int64_t oem = static_cast<int64_t>((suppliers / 2) * 20 + 10);
+  ims::GatewayResult result;
+  for (auto _ : state) {
+    result = ims::JoinStrategySuppliersForOem(ims_db, oem);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_Join_OemQualified)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_Nested_OemQualified(benchmark::State& state) {
+  size_t suppliers = static_cast<size_t>(state.range(0));
+  const auto& ims_db = GetIms(suppliers, 20);
+  int64_t oem = static_cast<int64_t>((suppliers / 2) * 20 + 10);
+  ims::GatewayResult result;
+  for (auto _ : state) {
+    result = ims::NestedStrategySuppliersForOem(ims_db, oem);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_Nested_OemQualified)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uniqopt
+
+BENCHMARK_MAIN();

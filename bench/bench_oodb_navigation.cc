@@ -1,0 +1,80 @@
+// Experiment X9 (§6.2, Example 11): child-driven vs parent-driven
+// navigation in the object database, swept over the selectivity of the
+// parent (SNO range) predicate.
+//
+// The benchmark argument is the range width as a percent of the supplier
+// population. Counters expose the navigation work (pointer derefs,
+// object retrievals, header peeks); `io_cost` is the weighted summary.
+//
+// Expected shape (paper: "depending on the objects' selectivity"):
+// parent-driven wins at low selectivity (it never faults a discarded
+// parent), child-driven wins when the range keeps most suppliers; the
+// crossover sits in between.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "oodb/navigator.h"
+
+namespace uniqopt {
+namespace bench {
+namespace {
+
+constexpr size_t kSuppliers = 2000;
+constexpr size_t kPartsPerSupplier = 10;
+constexpr int64_t kPartNo = 6;
+
+const oodb::ObjectStore& GetStore() {
+  static const oodb::ObjectStore* store = [] {
+    auto built = oodb::BuildSupplierObjectStore(
+        GetSupplierDb(kSuppliers, kPartsPerSupplier));
+    UNIQOPT_DCHECK_MSG(built.ok(), built.status().ToString().c_str());
+    return built->release();
+  }();
+  return *store;
+}
+
+void Report(benchmark::State& state, const oodb::StrategyResult& result) {
+  state.counters["rows"] = static_cast<double>(result.rows.size());
+  state.counters["derefs"] =
+      static_cast<double>(result.stats.pointer_derefs);
+  state.counters["retrieved"] =
+      static_cast<double>(result.stats.objects_retrieved);
+  state.counters["peeks"] = static_cast<double>(result.stats.header_peeks);
+  state.counters["io_cost"] = result.stats.EstimatedIoCost();
+}
+
+int64_t RangeHi(int64_t percent) {
+  int64_t hi = static_cast<int64_t>(kSuppliers) * percent / 100;
+  return hi < 1 ? 1 : hi;
+}
+
+void BM_ChildDriven(benchmark::State& state) {
+  const auto& store = GetStore();
+  int64_t hi = RangeHi(state.range(0));
+  oodb::StrategyResult result;
+  for (auto _ : state) {
+    result = oodb::ChildDrivenSuppliersForPart(store, kPartNo, 1, hi);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_ChildDriven)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ParentDriven(benchmark::State& state) {
+  const auto& store = GetStore();
+  int64_t hi = RangeHi(state.range(0));
+  oodb::StrategyResult result;
+  for (auto _ : state) {
+    result = oodb::ParentDrivenSuppliersForPart(store, kPartNo, 1, hi);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  Report(state, result);
+}
+BENCHMARK(BM_ParentDriven)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uniqopt
+
+BENCHMARK_MAIN();

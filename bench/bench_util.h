@@ -1,0 +1,81 @@
+#ifndef UNIQOPT_BENCH_BENCH_UTIL_H_
+#define UNIQOPT_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/logging.h"
+#include "exec/planner.h"
+#include "plan/binder.h"
+#include "rewrite/rewriter.h"
+#include "storage/table.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace bench {
+
+/// Returns a (cached) supplier database with `num_suppliers` suppliers ×
+/// `parts_per_supplier` parts. Benchmarks share instances across
+/// iterations; generation is deterministic.
+inline const Database& GetSupplierDb(size_t num_suppliers,
+                                     size_t parts_per_supplier,
+                                     double null_fraction = 0.0) {
+  using Key = std::tuple<size_t, size_t, int>;
+  static std::map<Key, std::unique_ptr<Database>>* cache =
+      new std::map<Key, std::unique_ptr<Database>>();
+  Key key{num_suppliers, parts_per_supplier,
+          static_cast<int>(null_fraction * 1000)};
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  auto db = std::make_unique<Database>();
+  SupplierSchemaOptions schema;
+  schema.max_sno = static_cast<int64_t>(num_suppliers) + 1;
+  Status st = CreateSupplierSchema(db.get(), schema);
+  UNIQOPT_DCHECK_MSG(st.ok(), st.ToString().c_str());
+  SupplierDataOptions data;
+  data.num_suppliers = num_suppliers;
+  data.parts_per_supplier = parts_per_supplier;
+  data.num_agents = num_suppliers / 2;
+  data.null_fraction = null_fraction;
+  st = PopulateSupplierDatabase(db.get(), data);
+  UNIQOPT_DCHECK_MSG(st.ok(), st.ToString().c_str());
+  const Database& ref = *db;
+  cache->emplace(key, std::move(db));
+  return ref;
+}
+
+/// Binds `sql` against `db`, aborting on failure (benchmark setup).
+inline PlanPtr MustBind(const Database& db, const std::string& sql) {
+  Binder binder(&db.catalog());
+  auto bound = binder.BindSql(sql);
+  UNIQOPT_DCHECK_MSG(bound.ok(), bound.status().ToString().c_str());
+  return bound->plan;
+}
+
+/// Rewrites with the given options, aborting on failure.
+inline PlanPtr MustRewrite(const PlanPtr& plan,
+                           const RewriteOptions& options = {}) {
+  auto r = RewritePlan(plan, options);
+  UNIQOPT_DCHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r->plan;
+}
+
+/// Executes, aborting on failure; returns row count and accumulates
+/// stats.
+inline size_t MustExecute(const PlanPtr& plan, const Database& db,
+                          const PhysicalOptions& physical = {},
+                          ExecStats* stats = nullptr) {
+  ExecContext ctx;
+  auto rows = ExecutePlan(plan, db, &ctx, physical);
+  UNIQOPT_DCHECK_MSG(rows.ok(), rows.status().ToString().c_str());
+  if (stats != nullptr) *stats = ctx.stats;
+  return rows->size();
+}
+
+}  // namespace bench
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_BENCH_BENCH_UTIL_H_

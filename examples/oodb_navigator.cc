@@ -1,0 +1,101 @@
+// Object-database navigation (§6.2, Example 11): child→parent OIDs make
+// the child-driven plan retrieve every parent just to test the range
+// predicate; the join→subquery rewrite enables the parent-driven plan,
+// which wins whenever the parent predicate is selective. This example
+// sweeps the range selectivity and prints the crossover.
+//
+//   $ oodb_navigator [num_suppliers] [parts_per_supplier]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "oodb/navigator.h"
+#include "oodb/oo_translator.h"
+#include "plan/binder.h"
+#include "rewrite/rewriter.h"
+#include "workload/supplier_schema.h"
+
+namespace {
+
+int Run(size_t num_suppliers, size_t parts_per_supplier) {
+  using namespace uniqopt;
+
+  Database db;
+  SupplierSchemaOptions schema;
+  schema.max_sno = static_cast<int64_t>(num_suppliers) + 1;
+  if (!CreateSupplierSchema(&db, schema).ok()) return 1;
+  SupplierDataOptions data;
+  data.num_suppliers = num_suppliers;
+  data.parts_per_supplier = parts_per_supplier;
+  if (!PopulateSupplierDatabase(&db, data).ok()) return 1;
+
+  auto store = oodb::BuildSupplierObjectStore(db);
+  if (!store.ok()) {
+    std::fprintf(stderr, "oodb load: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "object store loaded: %zu objects (Figure 3 model: child->parent "
+      "OIDs)\n\n",
+      (*store)->num_objects());
+  // Compile both strategies from SQL: the join plan is child-driven;
+  // the Theorem 2 rewrite's EXISTS plan is parent-driven.
+  const char* sql =
+      "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO BETWEEN :LO AND :HI AND S.SNO = P.SNO AND "
+      "P.PNO = :PARTNO";
+  std::printf("query:\n  %s\n\n", sql);
+  Binder binder(&db.catalog());
+  auto bound = binder.BindSql(sql);
+  if (!bound.ok()) return 1;
+  RewriteOptions nav_policy;
+  nav_policy.join_to_subquery = true;
+  nav_policy.subquery_to_join = false;
+  nav_policy.subquery_to_distinct_join = false;
+  nav_policy.join_elimination = false;
+  auto rewritten = RewritePlan(bound->plan, nav_policy);
+  if (!rewritten.ok()) return 1;
+  auto child_prog = oodb::TranslateOoPlan(*(*store), bound->plan);
+  auto parent_prog = oodb::TranslateOoPlan(*(*store), rewritten->plan);
+  if (child_prog.ok() && parent_prog.ok()) {
+    std::printf("join plan compiles to:    %s\n",
+                child_prog->ToString().c_str());
+    std::printf("rewritten plan compiles to: %s\n\n",
+                parent_prog->ToString().c_str());
+  }
+
+  int64_t part_no = static_cast<int64_t>(parts_per_supplier / 2 + 1);
+  std::printf("%-12s %6s | %-44s cost | %-44s cost | winner\n", "range",
+              "rows", "child-driven (lines 36-42)",
+              "parent-driven (lines 43-48)");
+  for (double selectivity : {0.02, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    int64_t hi = static_cast<int64_t>(num_suppliers * selectivity);
+    if (hi < 1) hi = 1;
+    auto child = oodb::ChildDrivenSuppliersForPart(**store, part_no, 1, hi);
+    auto parent = oodb::ParentDrivenSuppliersForPart(**store, part_no, 1, hi);
+    char range[32];
+    std::snprintf(range, sizeof(range), "[1, %lld]",
+                  static_cast<long long>(hi));
+    double child_cost = child.stats.EstimatedIoCost();
+    double parent_cost = parent.stats.EstimatedIoCost();
+    std::printf("%-12s %6zu | %-44s %6.0f | %-44s %6.0f | %s\n", range,
+                child.rows.size(), child.stats.ToString().c_str(),
+                child_cost, parent.stats.ToString().c_str(), parent_cost,
+                parent_cost < child_cost ? "parent-driven" : "child-driven");
+  }
+  std::printf(
+      "\nreading: with a selective range the child-driven plan still "
+      "dereferences\nevery matching part's parent; the parent-driven plan "
+      "(the Theorem 2\nrewrite) touches only suppliers inside the "
+      "range.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t suppliers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  size_t parts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+  return Run(suppliers, parts);
+}

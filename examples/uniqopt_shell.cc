@@ -1,0 +1,111 @@
+// Interactive shell over the uniqopt facade: type SQL against the
+// supplier database (or your own CREATE TABLE ... ), see the rewrite
+// audit trail (EXPLAIN) and the results.
+//
+//   $ uniqopt_shell
+//   uniqopt> EXPLAIN SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P
+//            WHERE S.SNO = P.SNO;
+//   uniqopt> SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM AGENTS;
+//   uniqopt> \q
+//
+// Commands: `EXPLAIN <query>` shows plans without executing;
+// `CREATE TABLE ...` extends the catalog; `\q` quits. Host variables are
+// not supported interactively (use the library API).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "uniqopt/uniqopt.h"
+
+namespace {
+
+using namespace uniqopt;
+
+void PrintResult(const PreparedQuery& prepared,
+                 const std::vector<Row>& rows, const ExecStats& stats) {
+  const Schema& schema = prepared.optimized_plan->schema();
+  std::string header;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) header += " | ";
+    header += schema.column(i).QualifiedName();
+  }
+  std::printf("%s\n", header.c_str());
+  std::printf("%s\n", std::string(header.size(), '-').c_str());
+  size_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= 25) {
+      std::printf("... (%zu more rows)\n", rows.size() - 25);
+      break;
+    }
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += " | ";
+      line += row[i].ToString();
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("(%zu rows)  [%s]\n", rows.size(), stats.ToString().c_str());
+}
+
+int Run() {
+  Database db;
+  if (!MakeTestSupplierDatabase(&db).ok()) return 1;
+  Optimizer optimizer(&db);
+  std::printf(
+      "uniqopt shell — supplier database loaded "
+      "(SUPPLIER/PARTS/AGENTS).\n"
+      "Prefix a query with EXPLAIN to see the rewrite trail; \\q "
+      "quits.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("uniqopt> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(StripAsciiWhitespace(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\q" || EqualsIgnoreCase(trimmed, "quit")) break;
+
+    bool explain_only = false;
+    std::string upper = ToUpperAscii(trimmed);
+    if (upper.rfind("EXPLAIN ", 0) == 0) {
+      explain_only = true;
+      trimmed = trimmed.substr(8);
+    }
+    if (upper.rfind("CREATE ", 0) == 0) {
+      Status st = db.ExecuteDdl(trimmed);
+      std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+
+    auto prepared = optimizer.Prepare(trimmed);
+    if (!prepared.ok()) {
+      std::printf("error: %s\n", prepared.status().ToString().c_str());
+      continue;
+    }
+    if (!prepared->host_vars.empty()) {
+      std::printf(
+          "error: interactive mode cannot bind host variables (:%s)\n",
+          prepared->host_vars[0].name.c_str());
+      continue;
+    }
+    if (explain_only) {
+      std::printf("%s", prepared->Explain().c_str());
+      continue;
+    }
+    ExecStats stats;
+    auto rows = optimizer.Execute(*prepared, {}, {}, &stats);
+    if (!rows.ok()) {
+      std::printf("error: %s\n", rows.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*prepared, *rows, stats);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,160 @@
+#include "analysis/algorithm1.h"
+
+#include "expr/equality.h"
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+std::string Algorithm1Result::TraceToString() const {
+  std::string out;
+  for (const std::string& line : trace) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
+                                const AttributeSet& initially_bound,
+                                const AnalysisOptions& options,
+                                std::vector<std::string>* trace,
+                                bool* any_equality_kept) {
+  // Lines 6–9: keep only conjuncts that are single atomic Type 1 / Type 2
+  // equalities. A conjunct that is a disjunction ("X = 5 OR X = 10") or a
+  // non-equality atom is deleted; deletion weakens C, so the final test
+  // remains sufficient.
+  std::vector<EqualityAtom> kept;
+  for (const ExprPtr& conj : conjuncts) {
+    std::vector<ExprPtr> disjuncts = FlattenOr(conj);
+    if (disjuncts.size() > 1) {
+      if (trace != nullptr) {
+        trace->push_back("  delete disjunctive conjunct: " + conj->ToString());
+      }
+      continue;
+    }
+    if (conj->IsTrueLiteral()) continue;
+    EqualityAtom atom = ClassifyAtom(conj);
+    if (atom.type == AtomType::kOther) {
+      if (trace != nullptr) {
+        trace->push_back("  delete non-equality conjunct: " +
+                         conj->ToString());
+      }
+      continue;
+    }
+    if (atom.type == AtomType::kType1ColumnConstant &&
+        !options.bind_constants) {
+      continue;
+    }
+    if (atom.type == AtomType::kType2ColumnColumn &&
+        !options.use_column_equivalence) {
+      continue;
+    }
+    if (trace != nullptr) {
+      trace->push_back(
+          std::string("  keep ") +
+          (atom.type == AtomType::kType1ColumnConstant ? "Type 1" : "Type 2") +
+          " conjunct: " + conj->ToString());
+    }
+    kept.push_back(atom);
+  }
+  if (any_equality_kept != nullptr) *any_equality_kept = !kept.empty();
+
+  // Line 13–14: V starts as the projection attributes plus every column
+  // equated to a constant or host variable.
+  AttributeSet bound = initially_bound;
+  for (const EqualityAtom& atom : kept) {
+    if (atom.type == AtomType::kType1ColumnConstant) bound.Add(atom.column);
+  }
+  // Lines 15–16: transitive closure of V over Type 2 conditions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const EqualityAtom& atom : kept) {
+      if (atom.type != AtomType::kType2ColumnColumn) continue;
+      if (bound.Contains(atom.column) && !bound.Contains(atom.other_column)) {
+        bound.Add(atom.other_column);
+        changed = true;
+      } else if (bound.Contains(atom.other_column) &&
+                 !bound.Contains(atom.column)) {
+        bound.Add(atom.column);
+        changed = true;
+      }
+    }
+  }
+  return bound;
+}
+
+Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
+                                       const Algorithm1Options& options) {
+  Algorithm1Result result;
+  // Line 5: C := C_R ∧ C_S ∧ C_{R,S} ∧ T, in CNF. Top-level conjuncts of
+  // each Select predicate are CNF-normalized individually so that e.g.
+  // `a = b AND (x = 1 OR y = 2)` keeps its useful first conjunct.
+  std::vector<ExprPtr> conjuncts;
+  for (const ExprPtr& pred : shape.predicates) {
+    Result<ExprPtr> cnf = ToCnf(pred, options.normalize_budget);
+    if (!cnf.ok()) {
+      // Predicate too complex to normalize: give up conservatively.
+      result.yes = false;
+      result.trace.push_back("CNF budget exceeded; answer NO");
+      return result;
+    }
+    for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
+  }
+  result.trace.push_back("C has " + std::to_string(conjuncts.size()) +
+                         " conjunct(s)");
+
+  // Projection attribute positions (over the product schema).
+  AttributeSet projection =
+      AttributeSet::FromVector(shape.project->columns());
+  result.trace.push_back("V initialized to projection attributes " +
+                         projection.ToString());
+
+  bool any_kept = false;
+  AttributeSet bound = BoundColumnClosure(conjuncts, projection, options,
+                                          &result.trace, &any_kept);
+  if (!any_kept && options.verbatim_line10) {
+    // Line 10 of the published algorithm: C reduced to T ⇒ NO.
+    result.yes = false;
+    result.bound_columns = bound;
+    result.trace.push_back("C = T after deletions; verbatim line 10: NO");
+    return result;
+  }
+  result.bound_columns = bound;
+  result.trace.push_back("closure V = " + bound.ToString());
+
+  // Line 17: Key(R) ⊕ Key(S) ⊆ V — generalized: every FROM table must
+  // have at least one candidate key fully inside V.
+  for (const SpecShape::BaseTable& bt : shape.tables) {
+    const TableDef& table = bt.get->table();
+    if (!table.HasAnyKey()) {
+      result.yes = false;
+      result.trace.push_back("table " + table.name() +
+                             " has no declared key: NO");
+      return result;
+    }
+    bool covered = false;
+    for (const KeyConstraint& key : table.keys()) {
+      if (key.kind == KeyKind::kUnique && !options.use_unique_keys) continue;
+      AttributeSet key_set =
+          AttributeSet::FromVector(key.columns).Shifted(bt.offset);
+      if (key_set.IsSubsetOf(bound)) {
+        result.trace.push_back("key " + key.name + " of " + table.name() +
+                               " covered by V");
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      result.yes = false;
+      result.trace.push_back("no candidate key of " + table.name() +
+                             " (" + bt.get->alias() + ") is covered: NO");
+      return result;
+    }
+  }
+  result.yes = true;
+  result.trace.push_back("all table keys covered: YES");
+  return result;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,62 @@
+#ifndef UNIQOPT_ANALYSIS_ALGORITHM1_H_
+#define UNIQOPT_ANALYSIS_ALGORITHM1_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/properties.h"
+#include "analysis/shape.h"
+#include "common/result.h"
+#include "fd/attribute_set.h"
+
+namespace uniqopt {
+
+/// Options for the paper's Algorithm 1 (§4) on top of the shared
+/// analysis switches.
+struct Algorithm1Options : AnalysisOptions {
+  /// Reproduce the published algorithm exactly, including line 10's
+  /// `if C = T then return NO`. When false (default), a predicate that
+  /// reduces to TRUE proceeds with V = A, so purely-projective queries
+  /// such as `SELECT DISTINCT * FROM R` are recognized (a sound
+  /// strengthening the paper's theorem clearly admits).
+  bool verbatim_line10 = false;
+};
+
+/// Outcome of Algorithm 1, with the step-by-step trace the paper walks
+/// through in Example 5.
+struct Algorithm1Result {
+  bool yes = false;  ///< YES: duplicate elimination is unnecessary.
+  /// Human-readable trace (one line per algorithm step).
+  std::vector<std::string> trace;
+  /// The final bound-column set V of the (single) conjunctive component.
+  AttributeSet bound_columns;
+
+  std::string TraceToString() const;
+};
+
+/// The bound-column closure at the heart of Algorithm 1 and of the
+/// Theorem 2 test: starting from `initially_bound`, add every column
+/// equated to a constant or host variable (Type 1), then close
+/// transitively over column=column equalities (Type 2). Conjuncts that
+/// are not atomic Type 1/2 equalities are deleted first (lines 6–9),
+/// which only weakens the tested condition — sound.
+///
+/// `conjuncts` are the top-level conjuncts of the predicate (each may
+/// still be a disjunction, which gets deleted). Returns the closed set V
+/// and appends trace lines.
+AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
+                                const AttributeSet& initially_bound,
+                                const AnalysisOptions& options,
+                                std::vector<std::string>* trace,
+                                bool* any_equality_kept);
+
+/// Runs Algorithm 1 on a decomposed query specification: returns YES iff
+/// for every FROM table some candidate key is contained in the closure
+/// of the projection attributes. Implements lines 1–20 of the paper,
+/// generalized to n tables (the paper's stated extension).
+Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
+                                       const Algorithm1Options& options = {});
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_ANALYSIS_ALGORITHM1_H_

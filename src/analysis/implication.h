@@ -1,0 +1,87 @@
+#ifndef UNIQOPT_ANALYSIS_IMPLICATION_H_
+#define UNIQOPT_ANALYSIS_IMPLICATION_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "expr/expr.h"
+
+namespace uniqopt {
+
+/// §7 of the paper proposes "query transformations based on
+/// true-interpreted predicates": reasoning from CHECK table constraints
+/// about query conjuncts. This module implements the implication engine
+/// behind the `RemoveImpliedPredicate` / `DetectEmptyResult` rewrites.
+///
+/// Semantics reminder (Table 2 of the paper): CHECKs are
+/// true-interpreted — a row satisfies `CHECK(P)` when P is TRUE *or
+/// UNKNOWN*. Hence a CHECK constrains only the non-NULL values of a
+/// column; implication of a WHERE conjunct (false-interpreted) is sound
+/// only when NULL cannot slip through — either the column is declared
+/// NOT NULL or the conjunct itself rejects NULLs anyway (contradiction
+/// testing needs no such guard: FALSE and UNKNOWN both reject).
+
+/// The set of non-NULL values a column may take, as implied by CHECK
+/// constraints: an interval, optionally refined to a finite value list
+/// (from `col IN (...)`-style disjunctions).
+struct ValueDomain {
+  std::optional<Value> min;
+  bool min_inclusive = true;
+  std::optional<Value> max;
+  bool max_inclusive = true;
+  /// When set, the domain is exactly this finite list (already
+  /// intersected with the interval).
+  std::optional<std::vector<Value>> values;
+
+  bool Unconstrained() const {
+    return !min.has_value() && !max.has_value() && !values.has_value();
+  }
+};
+
+/// Per-column domains of one table, extracted from its CHECK
+/// constraints. Only top-level conjuncts of each CHECK contribute:
+/// atoms `col op const` refine the interval; disjunctions whose
+/// disjuncts are all `col = const` on one column yield finite sets.
+class ColumnDomains {
+ public:
+  /// Builds domains for `table` from its CHECK constraints.
+  static ColumnDomains FromTable(const TableDef& table);
+
+  /// Domain of column `ordinal` (unconstrained default when no CHECK
+  /// mentions it).
+  const ValueDomain& domain(size_t ordinal) const;
+
+ private:
+  std::map<size_t, ValueDomain> domains_;
+};
+
+/// Verdict of testing a WHERE atom against the CHECK-derived domain.
+enum class AtomVerdict {
+  /// The atom is TRUE for every non-NULL value in the domain. Sound to
+  /// drop only when the column cannot be NULL.
+  kImpliedForNonNull,
+  /// The atom is FALSE for every non-NULL value in the domain (and
+  /// UNKNOWN for NULL): no row can pass — the conjunction is empty.
+  kContradicted,
+  kUnknown,
+};
+
+/// Tests `col op constant` against `domain`.
+AtomVerdict TestAtomAgainstDomain(const ValueDomain& domain, CompareOp op,
+                                  const Value& constant);
+
+/// Pattern-match `expr` as `col op const` (either operand order;
+/// operator mirrored as needed). Returns true on match.
+bool MatchColumnConstant(const ExprPtr& expr, size_t* column, CompareOp* op,
+                         Value* constant);
+
+/// Pattern-match `expr` as a disjunction `col = c1 OR col = c2 OR ...`
+/// over one column. On match fills the values.
+bool MatchColumnInList(const ExprPtr& expr, size_t* column,
+                       std::vector<Value>* values);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_ANALYSIS_IMPLICATION_H_

@@ -1,0 +1,76 @@
+#include "analysis/shape.h"
+
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+namespace {
+
+/// Recursively collects the Get leaves of a product tree. Selects and
+/// Exists nodes above products are absorbed; their predicates are
+/// rebased to the final product schema positions (children of a product
+/// have contiguous column ranges, so a left-subtree predicate is already
+/// correctly based and a right-subtree predicate needs shifting — which
+/// the plan builder guarantees by construction of column indexes).
+Status Collect(const PlanPtr& node, size_t offset, SpecShape* shape) {
+  switch (node->kind()) {
+    case PlanKind::kGet: {
+      SpecShape::BaseTable bt;
+      bt.get = As<GetNode>(node);
+      bt.offset = offset;
+      shape->tables.push_back(bt);
+      return Status::OK();
+    }
+    case PlanKind::kSelect: {
+      const SelectNode& sel = *As<SelectNode>(node);
+      for (const ExprPtr& conj : FlattenAnd(sel.predicate())) {
+        shape->predicates.push_back(offset == 0 ? conj
+                                                : ShiftColumns(conj, offset));
+      }
+      return Collect(sel.input(), offset, shape);
+    }
+    case PlanKind::kExists: {
+      const ExistsNode& ex = *As<ExistsNode>(node);
+      if (offset != 0) {
+        // Semi-joins below a product would need correlation rebasing;
+        // the binder never produces this shape.
+        return Status::Unsupported(
+            "existential filter nested under a product");
+      }
+      shape->exists_filters.push_back(&ex);
+      return Collect(ex.outer(), offset, shape);
+    }
+    case PlanKind::kProduct: {
+      const ProductNode& prod = *As<ProductNode>(node);
+      UNIQOPT_RETURN_NOT_OK(Collect(prod.left(), offset, shape));
+      return Collect(prod.right(),
+                     offset + prod.left()->schema().num_columns(), shape);
+    }
+    default:
+      return Status::Unsupported(
+          "plan is not a select-project-product specification");
+  }
+}
+
+}  // namespace
+
+Result<SpecShape> ExtractSpecShape(const PlanPtr& plan) {
+  const ProjectNode* project = As<ProjectNode>(plan);
+  if (project == nullptr) {
+    return Status::Unsupported("plan does not end in a projection");
+  }
+  SpecShape shape;
+  shape.project = project;
+  shape.width = project->input()->schema().num_columns();
+  UNIQOPT_RETURN_NOT_OK(Collect(project->input(), 0, &shape));
+  return shape;
+}
+
+Result<SpecShape> ExtractProductShape(const PlanPtr& plan) {
+  SpecShape shape;
+  shape.width = plan->schema().num_columns();
+  UNIQOPT_RETURN_NOT_OK(Collect(plan, 0, &shape));
+  return shape;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,47 @@
+#ifndef UNIQOPT_ANALYSIS_SHAPE_H_
+#define UNIQOPT_ANALYSIS_SHAPE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace uniqopt {
+
+/// Structural view of a bound query specification in the paper's normal
+/// form π_d[A](σ[C](R1 × ... × Rn)), possibly interleaved with
+/// existential semi-joins (which Algorithm 1 soundly ignores: dropping a
+/// conjunct of C only weakens the tested condition).
+struct SpecShape {
+  /// The projection on top.
+  const ProjectNode* project = nullptr;
+  /// All Select conjuncts below the projection, bound against the full
+  /// product schema.
+  std::vector<ExprPtr> predicates;
+  /// Existential subquery filters encountered on the way down.
+  std::vector<const ExistsNode*> exists_filters;
+
+  struct BaseTable {
+    const GetNode* get = nullptr;
+    /// First column of this table within the product schema.
+    size_t offset = 0;
+  };
+  /// FROM tables left to right.
+  std::vector<BaseTable> tables;
+  /// Total width of the product schema.
+  size_t width = 0;
+};
+
+/// Decomposes `plan` (a bound spec) into SpecShape. Fails with
+/// kUnsupported when the plan is not projection/selection/semijoin over a
+/// product of base tables (e.g. a set operation).
+Result<SpecShape> ExtractSpecShape(const PlanPtr& plan);
+
+/// Decomposes a FROM-product subtree (Selects and Exists filters allowed
+/// above/between products) into tables + predicates. Used for subquery
+/// (Theorem 2) analysis where there is no projection on top.
+Result<SpecShape> ExtractProductShape(const PlanPtr& plan);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_ANALYSIS_SHAPE_H_

@@ -1,0 +1,87 @@
+#include "analysis/subquery.h"
+
+#include "analysis/algorithm1.h"
+#include "analysis/shape.h"
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
+    const ExistsNode& node, const AnalysisOptions& options) {
+  SubqueryVerdict verdict;
+  if (node.negated()) {
+    return Status::InvalidArgument(
+        "Theorem 2 applies to positive existential subqueries");
+  }
+  size_t outer_width = node.outer()->schema().num_columns();
+
+  // Decompose the inner plan into base tables and inner-local predicates.
+  UNIQOPT_ASSIGN_OR_RETURN(SpecShape inner_shape,
+                           ExtractProductShape(node.sub()));
+
+  // Assemble the full C_S ∧ C_{R,S}: inner-local predicates shifted into
+  // the combined (outer ⊕ inner) frame, plus the correlation predicate.
+  std::vector<ExprPtr> conjuncts;
+  for (const ExprPtr& pred : inner_shape.predicates) {
+    Result<ExprPtr> cnf =
+        ToCnf(ShiftColumns(pred, outer_width), options.normalize_budget);
+    if (!cnf.ok()) {
+      verdict.at_most_one_match = false;
+      verdict.trace.push_back("CNF budget exceeded; condition not proven");
+      return verdict;
+    }
+    for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
+  }
+  {
+    Result<ExprPtr> cnf = ToCnf(node.correlation(), options.normalize_budget);
+    if (!cnf.ok()) {
+      verdict.at_most_one_match = false;
+      verdict.trace.push_back("CNF budget exceeded; condition not proven");
+      return verdict;
+    }
+    for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
+  }
+
+  // Outer columns are constants for each candidate outer row.
+  AttributeSet initially_bound = AttributeSet::AllUpTo(outer_width);
+  verdict.trace.push_back("outer columns bound: " +
+                          initially_bound.ToString());
+  AttributeSet bound = BoundColumnClosure(conjuncts, initially_bound, options,
+                                          &verdict.trace, nullptr);
+  verdict.trace.push_back("closure V = " + bound.ToString());
+
+  // Every inner base table must have a covered candidate key.
+  for (const SpecShape::BaseTable& bt : inner_shape.tables) {
+    const TableDef& table = bt.get->table();
+    if (!table.HasAnyKey()) {
+      verdict.at_most_one_match = false;
+      verdict.trace.push_back("inner table " + table.name() +
+                              " has no declared key");
+      return verdict;
+    }
+    bool covered = false;
+    for (const KeyConstraint& key : table.keys()) {
+      if (key.kind == KeyKind::kUnique && !options.use_unique_keys) continue;
+      AttributeSet key_set = AttributeSet::FromVector(key.columns)
+                                 .Shifted(outer_width + bt.offset);
+      if (key_set.IsSubsetOf(bound)) {
+        verdict.trace.push_back("key " + key.name + " of inner table " +
+                                table.name() + " covered");
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      verdict.at_most_one_match = false;
+      verdict.trace.push_back("no key of inner table " + table.name() +
+                              " is bound: more than one match possible");
+      return verdict;
+    }
+  }
+  verdict.at_most_one_match = true;
+  verdict.trace.push_back(
+      "every inner key bound: at most one inner row matches");
+  return verdict;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,90 @@
+#include "analysis/uniqueness.h"
+
+namespace uniqopt {
+
+Result<UniquenessVerdict> AnalyzeDistinctAlgorithm1(
+    const PlanPtr& plan, const Algorithm1Options& options) {
+  UniquenessVerdict verdict;
+  verdict.detector = DetectorKind::kAlgorithm1;
+  const ProjectNode* project = As<ProjectNode>(plan);
+  if (project == nullptr) {
+    return Status::Unsupported("plan does not end in a projection");
+  }
+  verdict.has_distinct = project->mode() == DuplicateMode::kDist;
+  UNIQOPT_ASSIGN_OR_RETURN(SpecShape shape, ExtractSpecShape(plan));
+  UNIQOPT_ASSIGN_OR_RETURN(Algorithm1Result result,
+                           RunAlgorithm1(shape, options));
+  verdict.distinct_unnecessary = result.yes;
+  verdict.trace = std::move(result.trace);
+  return verdict;
+}
+
+UniquenessVerdict AnalyzeDistinctFd(const PlanPtr& plan,
+                                    const AnalysisOptions& options) {
+  UniquenessVerdict verdict;
+  verdict.detector = DetectorKind::kFdPropagation;
+  const ProjectNode* project = As<ProjectNode>(plan);
+  PlanPtr all_mode = plan;
+  if (project != nullptr) {
+    verdict.has_distinct = project->mode() == DuplicateMode::kDist;
+    if (verdict.has_distinct) {
+      // Ask whether the *ALL-mode* projection is already duplicate-free;
+      // analyzing the Dist node itself would trivially report a key.
+      all_mode = ProjectNode::Make(project->input(), DuplicateMode::kAll,
+                                   project->columns());
+    }
+    // For ALL-mode projections the question "would a DISTINCT here be
+    // redundant" is still well-defined (and what Algorithm 1 answers);
+    // fall through and compute it.
+    DerivedProperties props = DeriveProperties(all_mode, options);
+    verdict.distinct_unnecessary = props.IsDuplicateFree();
+    verdict.trace.push_back("derived properties: " + props.ToString());
+    verdict.trace.push_back(verdict.distinct_unnecessary
+                                ? "derived key exists: duplicates impossible"
+                                : "no derived key: duplicates possible");
+    return verdict;
+  } else if (const SetOpNode* setop = As<SetOpNode>(plan);
+             setop != nullptr && setop->mode() == DuplicateMode::kDist) {
+    verdict.has_distinct = true;
+    // Corollary 2 direction: ∩_Dist ≡ ∩_All when either operand is
+    // duplicate-free (and likewise the result of −_All over a
+    // duplicate-free left operand has no duplicates).
+    all_mode = nullptr;
+    DerivedProperties left = DeriveProperties(setop->left(), options);
+    DerivedProperties right = DeriveProperties(setop->right(), options);
+    bool dup_free = setop->op() == SetOpAlgebra::kIntersect
+                        ? (left.IsDuplicateFree() || right.IsDuplicateFree())
+                        : left.IsDuplicateFree();
+    verdict.distinct_unnecessary = dup_free;
+    verdict.trace.push_back(
+        std::string("set operation operands duplicate-free: left=") +
+        (left.IsDuplicateFree() ? "yes" : "no") + " right=" +
+        (right.IsDuplicateFree() ? "yes" : "no"));
+    return verdict;
+  }
+  // Other shapes (bare set-op in ALL mode, Exists, ...): analyze the
+  // plan's own output directly.
+  DerivedProperties props = DeriveProperties(all_mode, options);
+  verdict.distinct_unnecessary = props.IsDuplicateFree();
+  verdict.trace.push_back("derived properties: " + props.ToString());
+  verdict.trace.push_back(verdict.distinct_unnecessary
+                              ? "derived key exists: duplicates impossible"
+                              : "no derived key: duplicates possible");
+  return verdict;
+}
+
+UniquenessVerdict AnalyzeDistinct(const PlanPtr& plan,
+                                  const Algorithm1Options& options) {
+  Result<UniquenessVerdict> a1 = AnalyzeDistinctAlgorithm1(plan, options);
+  if (a1.ok() && (a1->distinct_unnecessary || !a1->has_distinct)) {
+    return *a1;
+  }
+  UniquenessVerdict fd = AnalyzeDistinctFd(plan, options);
+  if (a1.ok() && !fd.distinct_unnecessary) {
+    // Keep the (more readable) Algorithm 1 trace for NO verdicts.
+    return *a1;
+  }
+  return fd;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,46 @@
+#ifndef UNIQOPT_CATALOG_CATALOG_H_
+#define UNIQOPT_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "common/result.h"
+
+namespace uniqopt {
+
+/// Registry of base-table definitions. Names are case-insensitive and
+/// canonicalized to upper case, mirroring SQL identifier folding.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table definition; fails on name collision.
+  Status AddTable(TableDef def);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Removes a table; fails if absent.
+  Status DropTable(const std::string& name);
+
+  /// All table names in registration order.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableDef> tables_;  // keyed by upper-cased name
+  std::vector<std::string> order_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_CATALOG_CATALOG_H_

@@ -1,0 +1,17 @@
+#ifndef UNIQOPT_COMMON_HASH_H_
+#define UNIQOPT_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uniqopt {
+
+/// Combines a hash value into a running seed (boost::hash_combine flavor,
+/// 64-bit). Used for hashing rows under SQL's null-equality semantics.
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + UINT64_C(0x9e3779b97f4a7c15) + (*seed << 12) + (*seed >> 4);
+}
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_COMMON_HASH_H_

@@ -1,0 +1,31 @@
+#ifndef UNIQOPT_COMMON_LOGGING_H_
+#define UNIQOPT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uniqopt {
+
+/// Internal-invariant check. Unlike assert(), stays on in release builds:
+/// the analyzer must never silently return a wrong uniqueness verdict.
+#define UNIQOPT_DCHECK(condition)                                        \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "UNIQOPT_DCHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define UNIQOPT_DCHECK_MSG(condition, msg)                               \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "UNIQOPT_DCHECK failed at %s:%d: %s (%s)\n",  \
+                   __FILE__, __LINE__, #condition, msg);                 \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_COMMON_LOGGING_H_

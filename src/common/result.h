@@ -1,0 +1,81 @@
+#ifndef UNIQOPT_COMMON_RESULT_H_
+#define UNIQOPT_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace uniqopt {
+
+/// A value-or-error holder, modeled after arrow::Result. A `Result<T>`
+/// either holds a `T` or a non-OK `Status`. Accessing the value of an
+/// errored result aborts (library bug), so callers must check `ok()` or
+/// use the UNIQOPT_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // Constructing a Result from an OK status is a programming error:
+      // there is no value to return.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define UNIQOPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define UNIQOPT_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define UNIQOPT_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  UNIQOPT_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define UNIQOPT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  UNIQOPT_ASSIGN_OR_RETURN_IMPL(             \
+      UNIQOPT_ASSIGN_OR_RETURN_CONCAT(_uniqopt_result_, __LINE__), lhs, rexpr)
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_COMMON_RESULT_H_

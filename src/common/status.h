@@ -1,0 +1,104 @@
+#ifndef UNIQOPT_COMMON_STATUS_H_
+#define UNIQOPT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace uniqopt {
+
+/// Error categories used across the library. Mirrors the coarse error
+/// taxonomy of production database engines: a `Status` travels up through
+/// parser, binder, analyzer, and executor layers without exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something structurally wrong.
+  kParseError,        ///< SQL text could not be lexed/parsed.
+  kBindError,         ///< Name resolution or type checking failed.
+  kNotFound,          ///< Catalog object or attribute missing.
+  kAlreadyExists,     ///< Catalog object name collision.
+  kConstraintViolation,  ///< Insert violated a key or CHECK constraint.
+  kTypeMismatch,      ///< Runtime value of unexpected type.
+  kUnsupported,       ///< Valid SQL outside the implemented subset.
+  kLimitExceeded,     ///< Normalization or search blew a size budget.
+  kInternal,          ///< Invariant breach; indicates a library bug.
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a message otherwise. Follows the Arrow/RocksDB
+/// convention: no exceptions anywhere in the library.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define UNIQOPT_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::uniqopt::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef UNIQOPT_COMMON_STRING_UTIL_H_
+#define UNIQOPT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uniqopt {
+
+/// ASCII-only case folding; SQL identifiers and keywords in this library
+/// are case-insensitive and canonicalized to upper case.
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `a` and `b` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,69 @@
+#ifndef UNIQOPT_EXEC_OPERATOR_H_
+#define UNIQOPT_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace uniqopt {
+
+/// Work counters accumulated across one execution. The §5/§6 claims are
+/// about work avoided (sort comparisons, inner scans, pointer chases), so
+/// operators account for it explicitly.
+struct ExecStats {
+  size_t rows_scanned = 0;      ///< base-table rows read
+  size_t rows_sorted = 0;       ///< rows fed into a sort
+  size_t sort_comparisons = 0;  ///< comparisons performed by sorts
+  size_t hash_probes = 0;       ///< hash table probes
+  size_t hash_build_rows = 0;   ///< rows inserted into hash tables
+  size_t inner_loop_rows = 0;   ///< inner rows visited by nested loops
+  size_t rows_output = 0;       ///< rows returned by the root operator
+
+  void Reset() { *this = ExecStats(); }
+  std::string ToString() const;
+};
+
+/// Per-execution context: host variable values (the paper's `h`) and the
+/// stats sink.
+struct ExecContext {
+  std::vector<Value> params;
+  ExecStats stats;
+};
+
+/// Volcano-style iterator. Usage: Open → Next until false → Close.
+/// Operators own their children.
+class Operator {
+ public:
+  explicit Operator(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Produces the next row into `*row`; returns false at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
+  virtual void Close() = 0;
+
+  /// Operator name for EXPLAIN-style output.
+  virtual std::string name() const = 0;
+
+ private:
+  Schema schema_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains `op` into a vector (Open/Next/Close), counting output rows.
+Result<std::vector<Row>> ExecuteToVector(Operator* op, ExecContext* ctx);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXEC_OPERATOR_H_

@@ -1,0 +1,495 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace uniqopt {
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "rows_scanned=" + std::to_string(rows_scanned);
+  out += " rows_sorted=" + std::to_string(rows_sorted);
+  out += " sort_comparisons=" + std::to_string(sort_comparisons);
+  out += " hash_probes=" + std::to_string(hash_probes);
+  out += " hash_build_rows=" + std::to_string(hash_build_rows);
+  out += " inner_loop_rows=" + std::to_string(inner_loop_rows);
+  out += " rows_output=" + std::to_string(rows_output);
+  return out;
+}
+
+Result<std::vector<Row>> ExecuteToVector(Operator* op, ExecContext* ctx) {
+  UNIQOPT_RETURN_NOT_OK(op->Open(ctx));
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
+    if (!more) break;
+    out.push_back(row);
+  }
+  op->Close();
+  ctx->stats.rows_output += out.size();
+  return out;
+}
+
+namespace {
+
+/// Drains a child operator into a vector.
+Result<std::vector<Row>> Drain(Operator* op, ExecContext* ctx) {
+  UNIQOPT_RETURN_NOT_OK(op->Open(ctx));
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
+    if (!more) break;
+    rows.push_back(row);
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TableScan
+Status TableScanOp::Open(ExecContext*) {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(ExecContext* ctx, Row* row) {
+  if (pos_ >= table_->rows().size()) return false;
+  *row = table_->rows()[pos_++];
+  ++ctx->stats.rows_scanned;
+  return true;
+}
+
+void TableScanOp::Close() {}
+
+// ------------------------------------------------------------------- Filter
+Status FilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> FilterOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, row));
+    if (!more) return false;
+    if (predicate_->EvaluatePredicate(*row, ctx->params) == Tribool::kTrue) {
+      return true;
+    }
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+// ------------------------------------------------------------------ Project
+Status ProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> ProjectOp::Next(ExecContext* ctx, Row* row) {
+  Row input;
+  UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &input));
+  if (!more) return false;
+  *row = input.Project(columns_);
+  return true;
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+// ------------------------------------------------------------- SortDistinct
+Status SortDistinctOp::Open(ExecContext* ctx) {
+  UNIQOPT_ASSIGN_OR_RETURN(rows_, Drain(child_.get(), ctx));
+  ctx->stats.rows_sorted += rows_.size();
+  size_t* comparisons = &ctx->stats.sort_comparisons;
+  std::sort(rows_.begin(), rows_.end(), [comparisons](const Row& a,
+                                                      const Row& b) {
+    ++*comparisons;
+    return a.Compare(b) < 0;
+  });
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortDistinctOp::Next(ExecContext*, Row* row) {
+  while (pos_ < rows_.size()) {
+    // Row::Compare treats NULLs as equal, matching `=!`.
+    if (pos_ == 0 || rows_[pos_].Compare(rows_[pos_ - 1]) != 0) {
+      *row = rows_[pos_++];
+      return true;
+    }
+    ++pos_;
+  }
+  return false;
+}
+
+void SortDistinctOp::Close() { rows_.clear(); }
+
+// ------------------------------------------------------------- HashDistinct
+Status HashDistinctOp::Open(ExecContext* ctx) {
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<bool> HashDistinctOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, row));
+    if (!more) return false;
+    ++ctx->stats.hash_probes;
+    if (seen_.insert(*row).second) return true;
+  }
+}
+
+void HashDistinctOp::Close() {
+  seen_.clear();
+  child_->Close();
+}
+
+// ------------------------------------------------------ NestedLoopProduct
+Status NestedLoopProductOp::Open(ExecContext* ctx) {
+  UNIQOPT_ASSIGN_OR_RETURN(right_rows_, Drain(right_.get(), ctx));
+  UNIQOPT_RETURN_NOT_OK(left_->Open(ctx));
+  have_left_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopProductOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    if (!have_left_ || right_pos_ >= right_rows_.size()) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &left_row_));
+      if (!more) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    if (right_pos_ < right_rows_.size()) {
+      ++ctx->stats.inner_loop_rows;
+      *row = Row::Concat(left_row_, right_rows_[right_pos_++]);
+      return true;
+    }
+  }
+}
+
+void NestedLoopProductOp::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+// ----------------------------------------------------------------- HashJoin
+Status HashJoinOp::Open(ExecContext* ctx) {
+  build_.clear();
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows, Drain(right_.get(), ctx));
+  for (Row& r : rows) {
+    Row key = r.Project(right_keys_);
+    bool has_null = false;
+    for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+    if (has_null) continue;  // NULL join keys never match under 3VL `=`.
+    ++ctx->stats.hash_build_rows;
+    build_.emplace(std::move(key), std::move(r));
+  }
+  UNIQOPT_RETURN_NOT_OK(left_->Open(ctx));
+  have_left_ = false;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    if (!have_left_) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &left_row_));
+      if (!more) return false;
+      Row key = left_row_.Project(left_keys_);
+      bool has_null = false;
+      for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+      ++ctx->stats.hash_probes;
+      matches_ = has_null ? std::make_pair(build_.end(), build_.end())
+                          : build_.equal_range(key);
+      have_left_ = true;
+    }
+    while (matches_.first != matches_.second) {
+      Row candidate = Row::Concat(left_row_, matches_.first->second);
+      ++matches_.first;
+      if (residual_ == nullptr ||
+          residual_->EvaluatePredicate(candidate, ctx->params) ==
+              Tribool::kTrue) {
+        *row = std::move(candidate);
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  build_.clear();
+}
+
+// ------------------------------------------------------ NestedLoopSemiJoin
+Status NestedLoopSemiJoinOp::Open(ExecContext* ctx) {
+  UNIQOPT_ASSIGN_OR_RETURN(inner_rows_, Drain(inner_.get(), ctx));
+  return outer_->Open(ctx);
+}
+
+Result<bool> NestedLoopSemiJoinOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, outer_->Next(ctx, row));
+    if (!more) return false;
+    bool found = false;
+    for (const Row& inner : inner_rows_) {
+      ++ctx->stats.inner_loop_rows;
+      Row combined = Row::Concat(*row, inner);
+      if (correlation_->EvaluatePredicate(combined, ctx->params) ==
+          Tribool::kTrue) {
+        found = true;
+        break;  // EXISTS needs only one witness.
+      }
+    }
+    if (found != negated_) return true;
+  }
+}
+
+void NestedLoopSemiJoinOp::Close() {
+  outer_->Close();
+  inner_rows_.clear();
+}
+
+// ---------------------------------------------------------- HashSemiJoin
+Status HashSemiJoinOp::Open(ExecContext* ctx) {
+  build_.clear();
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows, Drain(inner_.get(), ctx));
+  for (Row& r : rows) {
+    Row key = r.Project(inner_keys_);
+    bool has_null = false;
+    for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+    if (has_null) continue;
+    ++ctx->stats.hash_build_rows;
+    build_.emplace(std::move(key), std::move(r));
+  }
+  return outer_->Open(ctx);
+}
+
+Result<bool> HashSemiJoinOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, outer_->Next(ctx, row));
+    if (!more) return false;
+    Row key = row->Project(outer_keys_);
+    bool has_null = false;
+    for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+    bool found = false;
+    if (!has_null) {
+      ++ctx->stats.hash_probes;
+      auto [it, end] = build_.equal_range(key);
+      for (; it != end; ++it) {
+        if (residual_ == nullptr) {
+          found = true;
+          break;
+        }
+        Row combined = Row::Concat(*row, it->second);
+        if (residual_->EvaluatePredicate(combined, ctx->params) ==
+            Tribool::kTrue) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found != negated_) return true;
+  }
+}
+
+void HashSemiJoinOp::Close() {
+  outer_->Close();
+  build_.clear();
+}
+
+// -------------------------------------------------------------------- SetOp
+Status SetOpOp::Open(ExecContext* ctx) {
+  right_counts_.clear();
+  emitted_.clear();
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows, Drain(right_.get(), ctx));
+  for (Row& r : rows) {
+    ++ctx->stats.hash_build_rows;
+    ++right_counts_[std::move(r)];
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> SetOpOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, row));
+    if (!more) return false;
+    ++ctx->stats.hash_probes;
+    auto it = right_counts_.find(*row);
+    size_t right_count = it == right_counts_.end() ? 0 : it->second;
+    if (op_ == SetOpAlgebra::kIntersect) {
+      if (mode_ == DuplicateMode::kDist) {
+        // r0 ∈ result iff it occurs in both; emit once.
+        if (right_count > 0 && emitted_.insert(*row).second) return true;
+      } else {
+        // INTERSECT ALL: min(j, k) occurrences.
+        if (right_count > 0) {
+          --it->second;
+          return true;
+        }
+      }
+    } else {  // EXCEPT
+      if (mode_ == DuplicateMode::kDist) {
+        if (right_count == 0 && emitted_.insert(*row).second) return true;
+      } else {
+        // EXCEPT ALL: max(j − k, 0) occurrences.
+        if (right_count > 0) {
+          --it->second;
+        } else {
+          return true;
+        }
+      }
+    }
+  }
+}
+
+void SetOpOp::Close() {
+  left_->Close();
+  right_counts_.clear();
+  emitted_.clear();
+}
+
+// ------------------------------------------------------- HashAggregate
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  output_.clear();
+  pos_ = 0;
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows, Drain(child_.get(), ctx));
+
+  // Group rows; keep insertion order for deterministic output.
+  std::unordered_map<Row, size_t, RowHash, RowNullSafeEqual> group_index;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> states;
+  for (const Row& row : rows) {
+    Row key = row.Project(group_columns_);
+    ++ctx->stats.hash_probes;
+    auto [it, inserted] = group_index.emplace(std::move(key),
+                                              group_keys.size());
+    if (inserted) {
+      group_keys.push_back(row.Project(group_columns_));
+      states.emplace_back(aggregates_.size());
+    }
+    std::vector<AggState>& group = states[it->second];
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateItem& agg = aggregates_[a];
+      AggState& st = group[a];
+      if (agg.func == AggFunc::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      const Value& v = row[agg.arg_column];
+      if (v.is_null()) continue;  // SQL: aggregates ignore NULLs
+      ++st.count;
+      st.any = true;
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (v.type() == TypeId::kInteger) {
+            st.sum_int += v.AsInteger();
+          }
+          st.sum_double += v.AsNumeric();
+          break;
+        case AggFunc::kMin:
+          if (st.count == 1 || v.Compare(st.min) < 0) st.min = v;
+          break;
+        case AggFunc::kMax:
+          if (st.count == 1 || v.Compare(st.max) > 0) st.max = v;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // A scalar aggregate always yields one group.
+  if (group_columns_.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(aggregates_.size());
+  }
+  // Materialize output rows.
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row out = group_keys[g];
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateItem& agg = aggregates_[a];
+      const AggState& st = states[g][a];
+      TypeId arg_type = agg.func == AggFunc::kCountStar
+                            ? TypeId::kInteger
+                            : child_->schema().column(agg.arg_column).type;
+      switch (agg.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          out.Append(Value::Integer(st.count));
+          break;
+        case AggFunc::kSum:
+          if (!st.any) {
+            out.Append(Value::Null(arg_type));
+          } else if (arg_type == TypeId::kInteger) {
+            out.Append(Value::Integer(st.sum_int));
+          } else {
+            out.Append(Value::Double(st.sum_double));
+          }
+          break;
+        case AggFunc::kAvg:
+          out.Append(st.any ? Value::Double(st.sum_double /
+                                            static_cast<double>(st.count))
+                            : Value::Null(TypeId::kDouble));
+          break;
+        case AggFunc::kMin:
+          out.Append(st.any ? st.min : Value::Null(arg_type));
+          break;
+        case AggFunc::kMax:
+          out.Append(st.any ? st.max : Value::Null(arg_type));
+          break;
+      }
+    }
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(ExecContext*, Row* row) {
+  if (pos_ >= output_.size()) return false;
+  *row = output_[pos_++];
+  return true;
+}
+
+void HashAggregateOp::Close() { output_.clear(); }
+
+// ------------------------------------------------------ SortMergeIntersect
+Status SortMergeIntersectOp::Open(ExecContext* ctx) {
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> left, Drain(left_.get(), ctx));
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> right, Drain(right_.get(), ctx));
+  ctx->stats.rows_sorted += left.size() + right.size();
+  size_t* comparisons = &ctx->stats.sort_comparisons;
+  auto by_compare = [comparisons](const Row& a, const Row& b) {
+    ++*comparisons;
+    return a.Compare(b) < 0;
+  };
+  std::sort(left.begin(), left.end(), by_compare);
+  std::sort(right.begin(), right.end(), by_compare);
+  out_.clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() && j < right.size()) {
+    ++*comparisons;
+    int c = left[i].Compare(right[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      // Emit one copy per distinct value (DISTINCT semantics).
+      out_.push_back(left[i]);
+      const Row& v = out_.back();
+      while (i < left.size() && left[i].Compare(v) == 0) ++i;
+      while (j < right.size() && right[j].Compare(v) == 0) ++j;
+    }
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortMergeIntersectOp::Next(ExecContext*, Row* row) {
+  if (pos_ >= out_.size()) return false;
+  *row = out_[pos_++];
+  return true;
+}
+
+void SortMergeIntersectOp::Close() { out_.clear(); }
+
+}  // namespace uniqopt

@@ -1,0 +1,319 @@
+#ifndef UNIQOPT_EXEC_OPERATORS_H_
+#define UNIQOPT_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// Full scan of an in-memory base table.
+class TableScanOp final : public Operator {
+ public:
+  TableScanOp(const Table* table, Schema schema)
+      : Operator(std::move(schema)), table_(table) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "TableScan"; }
+
+ private:
+  const Table* table_;
+  size_t pos_ = 0;
+};
+
+/// Produces no rows. Lowered from selections whose predicate is the
+/// FALSE literal (e.g. after the DetectEmptyResult rewrite) so the
+/// input is never opened or scanned.
+class EmptySourceOp final : public Operator {
+ public:
+  explicit EmptySourceOp(Schema schema) : Operator(std::move(schema)) {}
+
+  Status Open(ExecContext*) override { return Status::OK(); }
+  Result<bool> Next(ExecContext*, Row*) override { return false; }
+  void Close() override {}
+  std::string name() const override { return "EmptySource"; }
+};
+
+/// σ[C]: passes rows whose predicate evaluates to TRUE.
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : Operator(child->schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "Filter"; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// π_All onto a column list (no duplicate elimination).
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<size_t> columns)
+      : Operator(child->schema().Project(columns)),
+        child_(std::move(child)),
+        columns_(std::move(columns)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> columns_;
+};
+
+/// Duplicate elimination by sort: materializes, sorts (counting
+/// comparisons — this is the cost the paper's §5.1 optimization avoids),
+/// then emits one row per `=!`-equal group.
+class SortDistinctOp final : public Operator {
+ public:
+  explicit SortDistinctOp(OperatorPtr child)
+      : Operator(child->schema()), child_(std::move(child)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "SortDistinct"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Duplicate elimination by hashing under `=!`.
+class HashDistinctOp final : public Operator {
+ public:
+  explicit HashDistinctOp(OperatorPtr child)
+      : Operator(child->schema()), child_(std::move(child)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "HashDistinct"; }
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowNullSafeEqual> seen_;
+};
+
+/// Extended Cartesian product; materializes the right input.
+class NestedLoopProductOp final : public Operator {
+ public:
+  NestedLoopProductOp(OperatorPtr left, OperatorPtr right)
+      : Operator(Schema::Concat(left->schema(), right->schema())),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "NestedLoopProduct"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Hash equi-join (inner). Build side is the right input; rows with a
+/// NULL key never match (3VL `=`). A residual predicate is applied to
+/// each candidate pair.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+             ExprPtr residual)
+      : Operator(Schema::Concat(left->schema(), right->schema())),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "HashJoin"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  ExprPtr residual_;
+  std::unordered_multimap<Row, Row, RowHash, RowNullSafeEqual> build_;
+  Row left_row_;
+  bool have_left_ = false;
+  std::pair<decltype(build_)::const_iterator,
+            decltype(build_)::const_iterator>
+      matches_;
+};
+
+/// Nested-loop semi (EXISTS) or anti (NOT EXISTS) join: emits each outer
+/// row once iff some / no inner row satisfies the correlation predicate
+/// (evaluated over outer ⊕ inner). The naive strategy the paper's §5.2
+/// rewrites avoid.
+class NestedLoopSemiJoinOp final : public Operator {
+ public:
+  NestedLoopSemiJoinOp(OperatorPtr outer, OperatorPtr inner,
+                       ExprPtr correlation, bool negated)
+      : Operator(outer->schema()),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        correlation_(std::move(correlation)),
+        negated_(negated) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override {
+    return negated_ ? "NestedLoopAntiJoin" : "NestedLoopSemiJoin";
+  }
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  ExprPtr correlation_;
+  bool negated_;
+  std::vector<Row> inner_rows_;
+};
+
+/// Hash semi/anti join on extracted equi-keys with residual predicate.
+class HashSemiJoinOp final : public Operator {
+ public:
+  HashSemiJoinOp(OperatorPtr outer, OperatorPtr inner,
+                 std::vector<size_t> outer_keys,
+                 std::vector<size_t> inner_keys, ExprPtr residual,
+                 bool negated)
+      : Operator(outer->schema()),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        outer_keys_(std::move(outer_keys)),
+        inner_keys_(std::move(inner_keys)),
+        residual_(std::move(residual)),
+        negated_(negated) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override {
+    return negated_ ? "HashAntiJoin" : "HashSemiJoin";
+  }
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  std::vector<size_t> outer_keys_;
+  std::vector<size_t> inner_keys_;
+  ExprPtr residual_;
+  bool negated_;
+  std::unordered_multimap<Row, Row, RowHash, RowNullSafeEqual> build_;
+};
+
+/// INTERSECT [ALL] / EXCEPT [ALL] with the paper's `=!` tuple
+/// equivalence (NULL columns match NULL columns). Hash-based.
+class SetOpOp final : public Operator {
+ public:
+  SetOpOp(SetOpAlgebra op, DuplicateMode mode, OperatorPtr left,
+          OperatorPtr right)
+      : Operator(left->schema()),
+        op_(op),
+        mode_(mode),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "SetOp"; }
+
+ private:
+  SetOpAlgebra op_;
+  DuplicateMode mode_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::unordered_map<Row, size_t, RowHash, RowNullSafeEqual> right_counts_;
+  std::unordered_set<Row, RowHash, RowNullSafeEqual> emitted_;
+};
+
+/// Hash aggregation for the GROUP BY extension: groups rows under `=!`
+/// (NULL group keys compare equal, like DISTINCT) and folds aggregate
+/// states per group. A scalar aggregate (no group columns) over empty
+/// input produces one row (COUNT = 0, other aggregates NULL).
+class HashAggregateOp final : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, Schema schema,
+                  std::vector<size_t> group_columns,
+                  std::vector<AggregateItem> aggregates)
+      : Operator(std::move(schema)),
+        child_(std::move(child)),
+        group_columns_(std::move(group_columns)),
+        aggregates_(std::move(aggregates)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "HashAggregate"; }
+
+ private:
+  struct AggState {
+    int64_t count = 0;        // non-NULL inputs (or rows for COUNT(*))
+    int64_t sum_int = 0;
+    double sum_double = 0;
+    Value min;
+    Value max;
+    bool any = false;         // saw a non-NULL input
+  };
+
+  OperatorPtr child_;
+  std::vector<size_t> group_columns_;
+  std::vector<AggregateItem> aggregates_;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+/// Sort-merge INTERSECT (DISTINCT): the strategy the paper describes as
+/// the typical Intersect implementation ("evaluate, sort, merge"),
+/// provided as the baseline for experiment X6.
+class SortMergeIntersectOp final : public Operator {
+ public:
+  SortMergeIntersectOp(OperatorPtr left, OperatorPtr right)
+      : Operator(left->schema()),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override { return "SortMergeIntersect"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Row> out_;
+  size_t pos_ = 0;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXEC_OPERATORS_H_

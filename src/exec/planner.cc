@@ -1,0 +1,249 @@
+#include "exec/planner.h"
+
+#include <memory>
+
+#include "exec/operators.h"
+#include "expr/equality.h"
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+namespace {
+
+/// Classification of a conjunct relative to a left|right column split.
+enum class Side { kLeft, kRight, kBoth, kNone };
+
+Side ClassifySide(const ExprPtr& conjunct, size_t left_width) {
+  std::vector<size_t> cols;
+  conjunct->CollectColumns(&cols);
+  if (cols.empty()) return Side::kNone;
+  bool any_left = false;
+  bool any_right = false;
+  for (size_t c : cols) {
+    if (c < left_width) {
+      any_left = true;
+    } else {
+      any_right = true;
+    }
+  }
+  if (any_left && any_right) return Side::kBoth;
+  return any_left ? Side::kLeft : Side::kRight;
+}
+
+/// An equi-join conjunct col_l = col_r crossing the split, if any.
+bool ExtractEquiPair(const ExprPtr& conjunct, size_t left_width,
+                     size_t* left_col, size_t* right_col) {
+  EqualityAtom atom = ClassifyAtom(conjunct);
+  if (atom.type != AtomType::kType2ColumnColumn) return false;
+  size_t a = atom.column;
+  size_t b = atom.other_column;
+  if (a < left_width && b >= left_width) {
+    *left_col = a;
+    *right_col = b - left_width;
+    return true;
+  }
+  if (b < left_width && a >= left_width) {
+    *left_col = b;
+    *right_col = a - left_width;
+    return true;
+  }
+  return false;
+}
+
+class Lowering {
+ public:
+  Lowering(const Database& db, const PhysicalOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<OperatorPtr> Lower(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case PlanKind::kGet:
+        return LowerGet(*As<GetNode>(plan));
+      case PlanKind::kSelect:
+        return LowerSelect(*As<SelectNode>(plan));
+      case PlanKind::kProject:
+        return LowerProject(*As<ProjectNode>(plan));
+      case PlanKind::kProduct: {
+        const ProductNode& node = *As<ProductNode>(plan);
+        UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr l, Lower(node.left()));
+        UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr r, Lower(node.right()));
+        return OperatorPtr(
+            new NestedLoopProductOp(std::move(l), std::move(r)));
+      }
+      case PlanKind::kExists:
+        return LowerExists(*As<ExistsNode>(plan));
+      case PlanKind::kSetOp:
+        return LowerSetOp(*As<SetOpNode>(plan));
+      case PlanKind::kAggregate: {
+        const AggregateNode& node = *As<AggregateNode>(plan);
+        UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr child, Lower(node.input()));
+        return OperatorPtr(new HashAggregateOp(std::move(child),
+                                               node.schema(),
+                                               node.group_columns(),
+                                               node.aggregates()));
+      }
+    }
+    return Status::Internal("unhandled plan kind in lowering");
+  }
+
+ private:
+  Result<OperatorPtr> LowerGet(const GetNode& node) {
+    UNIQOPT_ASSIGN_OR_RETURN(const Table* table,
+                             db_.GetTable(node.table().name()));
+    return OperatorPtr(new TableScanOp(table, node.schema()));
+  }
+
+  Result<OperatorPtr> LowerProject(const ProjectNode& node) {
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr child, Lower(node.input()));
+    OperatorPtr project(
+        new ProjectOp(std::move(child), node.columns()));
+    if (node.mode() == DuplicateMode::kAll) return project;
+    if (options_.distinct == PhysicalOptions::DistinctStrategy::kSort) {
+      return OperatorPtr(new SortDistinctOp(std::move(project)));
+    }
+    return OperatorPtr(new HashDistinctOp(std::move(project)));
+  }
+
+  /// Select over a Product becomes a join: single-side conjuncts are
+  /// pushed below (when enabled), crossing equi-conjuncts become hash
+  /// join keys (when enabled), the rest stays as a residual/filter.
+  Result<OperatorPtr> LowerSelect(const SelectNode& node) {
+    // A constant-FALSE selection produces nothing; skip the input.
+    if (node.predicate()->IsFalseLiteral()) {
+      return OperatorPtr(new EmptySourceOp(node.schema()));
+    }
+    const ProductNode* product = As<ProductNode>(node.input());
+    if (product == nullptr) {
+      UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr child, Lower(node.input()));
+      return OperatorPtr(new FilterOp(std::move(child), node.predicate()));
+    }
+    size_t left_width = product->left()->schema().num_columns();
+    std::vector<ExprPtr> left_only;
+    std::vector<ExprPtr> right_only;
+    std::vector<ExprPtr> residual;
+    std::vector<size_t> left_keys;
+    std::vector<size_t> right_keys;
+    for (const ExprPtr& conj : FlattenAnd(node.predicate())) {
+      size_t lc = 0;
+      size_t rc = 0;
+      if (options_.join == PhysicalOptions::JoinStrategy::kHash &&
+          ExtractEquiPair(conj, left_width, &lc, &rc)) {
+        left_keys.push_back(lc);
+        right_keys.push_back(rc);
+        continue;
+      }
+      if (options_.predicate_pushdown) {
+        Side side = ClassifySide(conj, left_width);
+        if (side == Side::kLeft) {
+          left_only.push_back(conj);
+          continue;
+        }
+        if (side == Side::kRight) {
+          right_only.push_back(ShiftColumnsDown(conj, left_width));
+          continue;
+        }
+      }
+      residual.push_back(conj);
+    }
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr left, Lower(product->left()));
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr right, Lower(product->right()));
+    if (!left_only.empty()) {
+      left = OperatorPtr(
+          new FilterOp(std::move(left), Expr::MakeAnd(std::move(left_only))));
+    }
+    if (!right_only.empty()) {
+      right = OperatorPtr(new FilterOp(std::move(right),
+                                       Expr::MakeAnd(std::move(right_only))));
+    }
+    if (!left_keys.empty()) {
+      ExprPtr res = residual.empty() ? nullptr
+                                     : Expr::MakeAnd(std::move(residual));
+      return OperatorPtr(new HashJoinOp(std::move(left), std::move(right),
+                                        std::move(left_keys),
+                                        std::move(right_keys),
+                                        std::move(res)));
+    }
+    OperatorPtr join(
+        new NestedLoopProductOp(std::move(left), std::move(right)));
+    if (residual.empty()) return join;
+    return OperatorPtr(
+        new FilterOp(std::move(join), Expr::MakeAnd(std::move(residual))));
+  }
+
+  Result<OperatorPtr> LowerExists(const ExistsNode& node) {
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr outer, Lower(node.outer()));
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr inner, Lower(node.sub()));
+    size_t outer_width = node.outer()->schema().num_columns();
+    if (options_.join == PhysicalOptions::JoinStrategy::kHash) {
+      std::vector<size_t> outer_keys;
+      std::vector<size_t> inner_keys;
+      std::vector<ExprPtr> residual;
+      for (const ExprPtr& conj : FlattenAnd(node.correlation())) {
+        size_t oc = 0;
+        size_t ic = 0;
+        if (ExtractEquiPair(conj, outer_width, &oc, &ic)) {
+          outer_keys.push_back(oc);
+          inner_keys.push_back(ic);
+        } else {
+          residual.push_back(conj);
+        }
+      }
+      if (!outer_keys.empty()) {
+        ExprPtr res = residual.empty() ? nullptr
+                                       : Expr::MakeAnd(std::move(residual));
+        return OperatorPtr(new HashSemiJoinOp(
+            std::move(outer), std::move(inner), std::move(outer_keys),
+            std::move(inner_keys), std::move(res), node.negated()));
+      }
+    }
+    return OperatorPtr(new NestedLoopSemiJoinOp(std::move(outer),
+                                                std::move(inner),
+                                                node.correlation(),
+                                                node.negated()));
+  }
+
+  Result<OperatorPtr> LowerSetOp(const SetOpNode& node) {
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr left, Lower(node.left()));
+    UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr right, Lower(node.right()));
+    if (options_.sort_merge_intersect &&
+        node.op() == SetOpAlgebra::kIntersect &&
+        node.mode() == DuplicateMode::kDist) {
+      return OperatorPtr(
+          new SortMergeIntersectOp(std::move(left), std::move(right)));
+    }
+    return OperatorPtr(
+        new SetOpOp(node.op(), node.mode(), std::move(left),
+                    std::move(right)));
+  }
+
+  /// Rebases a right-side-only conjunct from product coordinates into the
+  /// right child's own coordinates.
+  static ExprPtr ShiftColumnsDown(const ExprPtr& expr, size_t left_width) {
+    size_t max_col = expr->MaxColumnIndexPlusOne();
+    std::vector<size_t> mapping(max_col, 0);
+    for (size_t i = left_width; i < max_col; ++i) mapping[i] = i - left_width;
+    return RemapColumns(expr, mapping);
+  }
+
+  const Database& db_;
+  const PhysicalOptions& options_;
+};
+
+}  // namespace
+
+Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
+                                       const Database& db,
+                                       const PhysicalOptions& options) {
+  Lowering lowering(db, options);
+  return lowering.Lower(plan);
+}
+
+Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
+                                     ExecContext* ctx,
+                                     const PhysicalOptions& options) {
+  UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr root,
+                           CreatePhysicalPlan(plan, db, options));
+  return ExecuteToVector(root.get(), ctx);
+}
+
+}  // namespace uniqopt

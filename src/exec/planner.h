@@ -1,0 +1,42 @@
+#ifndef UNIQOPT_EXEC_PLANNER_H_
+#define UNIQOPT_EXEC_PLANNER_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// Physical strategy knobs. The logical rewrites of the paper expand the
+/// strategy space; these options let benchmarks pin each strategy and
+/// compare (the optimizer's cost model is out of the paper's scope).
+struct PhysicalOptions {
+  enum class JoinStrategy { kNestedLoop, kHash };
+  enum class DistinctStrategy { kSort, kHash };
+
+  JoinStrategy join = JoinStrategy::kHash;
+  /// The paper assumes duplicate elimination costs a sort (§1); kSort is
+  /// therefore the default baseline implementation.
+  DistinctStrategy distinct = DistinctStrategy::kSort;
+  /// Execute INTERSECT (DISTINCT) by the classic evaluate-sort-merge
+  /// strategy (§5.3) instead of hashing.
+  bool sort_merge_intersect = false;
+  /// Push single-side conjuncts of a Select-over-Product below the join.
+  bool predicate_pushdown = true;
+};
+
+/// Lowers a logical plan to an executable operator tree over `db`.
+Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
+                                       const Database& db,
+                                       const PhysicalOptions& options = {});
+
+/// Lower + execute in one step.
+Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
+                                     ExecContext* ctx,
+                                     const PhysicalOptions& options = {});
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXEC_PLANNER_H_

@@ -1,0 +1,69 @@
+#include "expr/equality.h"
+
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+bool IsAtom(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      return false;
+    default:
+      return true;
+  }
+}
+
+EqualityAtom ClassifyAtom(const ExprPtr& atom) {
+  EqualityAtom out;
+  if (atom->kind() != ExprKind::kComparison ||
+      atom->compare_op() != CompareOp::kEq) {
+    return out;
+  }
+  const ExprPtr& l = atom->child(0);
+  const ExprPtr& r = atom->child(1);
+  auto classify_pair = [&](const ExprPtr& col, const ExprPtr& other) -> bool {
+    if (col->kind() != ExprKind::kColumnRef) return false;
+    switch (other->kind()) {
+      case ExprKind::kLiteral:
+        out.type = AtomType::kType1ColumnConstant;
+        out.column = col->column_index();
+        out.constant = other->literal();
+        return true;
+      case ExprKind::kHostVar:
+        out.type = AtomType::kType1ColumnConstant;
+        out.column = col->column_index();
+        out.host_var = other->host_var_index();
+        return true;
+      case ExprKind::kColumnRef:
+        out.type = AtomType::kType2ColumnColumn;
+        out.column = col->column_index();
+        out.other_column = other->column_index();
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (classify_pair(l, r)) return out;
+  if (l->kind() != ExprKind::kColumnRef && classify_pair(r, l)) return out;
+  return out;
+}
+
+std::vector<EqualityAtom> ExtractEqualities(const ExprPtr& conjunction,
+                                            bool* has_other) {
+  std::vector<EqualityAtom> out;
+  if (has_other != nullptr) *has_other = false;
+  for (const ExprPtr& atom : FlattenAnd(conjunction)) {
+    if (atom->IsTrueLiteral()) continue;
+    EqualityAtom a = ClassifyAtom(atom);
+    if (a.type == AtomType::kOther) {
+      if (has_other != nullptr) *has_other = true;
+      continue;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,46 @@
+#ifndef UNIQOPT_EXPR_EQUALITY_H_
+#define UNIQOPT_EXPR_EQUALITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace uniqopt {
+
+/// Classification of an atomic condition per §4 of the paper:
+///  - Type 1: `v = c` — a column equated to a constant or host variable
+///    (host variables are constant for the duration of one execution);
+///  - Type 2: `v1 = v2` — two columns equated;
+///  - Other: everything else (ranges, inequalities, IS NULL, ...).
+enum class AtomType { kType1ColumnConstant, kType2ColumnColumn, kOther };
+
+/// Decomposed view of an atomic equality condition.
+struct EqualityAtom {
+  AtomType type = AtomType::kOther;
+  /// Type 1 and Type 2: the (left) column index.
+  size_t column = 0;
+  /// Type 2 only: the other column index.
+  size_t other_column = 0;
+  /// Type 1 with a literal: the constant.
+  std::optional<Value> constant;
+  /// Type 1 with a host variable: its parameter slot.
+  std::optional<size_t> host_var;
+};
+
+/// Classifies a single atom. Handles both operand orders (`c = v` is
+/// normalized to `v = c`). Non-equality comparisons and boolean structure
+/// classify as kOther.
+EqualityAtom ClassifyAtom(const ExprPtr& atom);
+
+/// True if `expr` is a single atomic condition (no AND/OR/NOT structure).
+bool IsAtom(const ExprPtr& expr);
+
+/// Extracts all Type 1 / Type 2 atoms from a conjunction of atoms.
+/// Atoms that are not equalities are reported via `*has_other`.
+std::vector<EqualityAtom> ExtractEqualities(const ExprPtr& conjunction,
+                                            bool* has_other);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXPR_EQUALITY_H_

@@ -1,0 +1,139 @@
+#include "expr/normalize.h"
+
+#include "common/logging.h"
+
+namespace uniqopt {
+
+namespace {
+
+ExprPtr NegateAtom(const ExprPtr& atom) {
+  switch (atom->kind()) {
+    case ExprKind::kComparison:
+      return Expr::Compare(NegateCompareOp(atom->compare_op()),
+                           atom->child(0), atom->child(1));
+    case ExprKind::kIsNull:
+      return Expr::IsNotNull(atom->child(0));
+    case ExprKind::kIsNotNull:
+      return Expr::IsNull(atom->child(0));
+    case ExprKind::kLiteral:
+      if (atom->IsTrueLiteral()) return FalseLiteral();
+      if (atom->IsFalseLiteral()) return TrueLiteral();
+      return Expr::MakeNot(atom);
+    default:
+      // Boolean-typed column refs / host vars: keep the NOT.
+      return Expr::MakeNot(atom);
+  }
+}
+
+ExprPtr ToNnfImpl(const ExprPtr& expr, bool negated) {
+  switch (expr->kind()) {
+    case ExprKind::kNot:
+      return ToNnfImpl(expr->child(0), !negated);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->num_children());
+      for (const ExprPtr& c : expr->children()) {
+        children.push_back(ToNnfImpl(c, negated));
+      }
+      bool make_and = (expr->kind() == ExprKind::kAnd) != negated;
+      return make_and ? Expr::MakeAnd(std::move(children))
+                      : Expr::MakeOr(std::move(children));
+    }
+    default:
+      return negated ? NegateAtom(expr) : expr;
+  }
+}
+
+/// A "clause list" representation: outer vector joined by `outer_is_and ?
+/// AND : OR`, inner vectors joined by the dual connective.
+using ClauseList = std::vector<std::vector<ExprPtr>>;
+
+/// Distributes an NNF expression into clause-list form. When
+/// `outer_is_and` is true the result is CNF, otherwise DNF.
+Status Distribute(const ExprPtr& expr, bool outer_is_and, size_t budget,
+                  ClauseList* out) {
+  // The dual connective distributes; the matching connective concatenates.
+  ExprKind concat_kind = outer_is_and ? ExprKind::kAnd : ExprKind::kOr;
+  ExprKind cross_kind = outer_is_and ? ExprKind::kOr : ExprKind::kAnd;
+  if (expr->kind() == concat_kind) {
+    for (const ExprPtr& c : expr->children()) {
+      UNIQOPT_RETURN_NOT_OK(Distribute(c, outer_is_and, budget, out));
+      if (out->size() > budget) {
+        return Status::LimitExceeded("normalization clause budget exceeded");
+      }
+    }
+    return Status::OK();
+  }
+  if (expr->kind() == cross_kind) {
+    // Cross product of the children's clause lists.
+    ClauseList acc;
+    acc.push_back({});
+    for (const ExprPtr& c : expr->children()) {
+      ClauseList child_clauses;
+      UNIQOPT_RETURN_NOT_OK(
+          Distribute(c, outer_is_and, budget, &child_clauses));
+      ClauseList next;
+      if (acc.size() * child_clauses.size() > budget) {
+        return Status::LimitExceeded("normalization clause budget exceeded");
+      }
+      next.reserve(acc.size() * child_clauses.size());
+      for (const auto& a : acc) {
+        for (const auto& b : child_clauses) {
+          std::vector<ExprPtr> merged = a;
+          merged.insert(merged.end(), b.begin(), b.end());
+          next.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(next);
+    }
+    for (auto& clause : acc) out->push_back(std::move(clause));
+    return Status::OK();
+  }
+  // Atom.
+  out->push_back({expr});
+  return Status::OK();
+}
+
+ExprPtr AssembleClauses(ClauseList clauses, bool outer_is_and) {
+  std::vector<ExprPtr> outer;
+  outer.reserve(clauses.size());
+  for (auto& clause : clauses) {
+    outer.push_back(outer_is_and ? Expr::MakeOr(std::move(clause))
+                                 : Expr::MakeAnd(std::move(clause)));
+  }
+  return outer_is_and ? Expr::MakeAnd(std::move(outer))
+                      : Expr::MakeOr(std::move(outer));
+}
+
+Result<ExprPtr> Normalize(const ExprPtr& expr, bool cnf, size_t budget) {
+  ExprPtr nnf = ToNnf(expr);
+  ClauseList clauses;
+  Status st = Distribute(nnf, cnf, budget, &clauses);
+  if (!st.ok()) return st;
+  return AssembleClauses(std::move(clauses), cnf);
+}
+
+}  // namespace
+
+ExprPtr ToNnf(const ExprPtr& expr) { return ToNnfImpl(expr, false); }
+
+Result<ExprPtr> ToCnf(const ExprPtr& expr, size_t budget) {
+  return Normalize(expr, /*cnf=*/true, budget);
+}
+
+Result<ExprPtr> ToDnf(const ExprPtr& expr, size_t budget) {
+  return Normalize(expr, /*cnf=*/false, budget);
+}
+
+std::vector<ExprPtr> FlattenAnd(const ExprPtr& expr) {
+  if (expr->kind() == ExprKind::kAnd) return expr->children();
+  return {expr};
+}
+
+std::vector<ExprPtr> FlattenOr(const ExprPtr& expr) {
+  if (expr->kind() == ExprKind::kOr) return expr->children();
+  return {expr};
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,38 @@
+#ifndef UNIQOPT_EXPR_NORMALIZE_H_
+#define UNIQOPT_EXPR_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace uniqopt {
+
+/// Default budget for CNF/DNF expansion. Distribution is worst-case
+/// exponential; Algorithm 1 is abandoned (NO is returned by callers) when
+/// a predicate exceeds the budget rather than stalling the optimizer.
+inline constexpr size_t kDefaultNormalizeBudget = 4096;
+
+/// Negation normal form: NOT is pushed onto atoms. Comparisons absorb the
+/// negation into the operator (¬(a = b) ⇒ a <> b — sound in 3VL because
+/// ¬UNKNOWN = UNKNOWN); IS NULL flips to IS NOT NULL.
+ExprPtr ToNnf(const ExprPtr& expr);
+
+/// Conjunctive normal form: AND of ORs of atoms. Fails with
+/// kLimitExceeded when more than `budget` clauses would be produced.
+Result<ExprPtr> ToCnf(const ExprPtr& expr,
+                      size_t budget = kDefaultNormalizeBudget);
+
+/// Disjunctive normal form: OR of ANDs of atoms. Fails with
+/// kLimitExceeded when more than `budget` terms would be produced.
+Result<ExprPtr> ToDnf(const ExprPtr& expr,
+                      size_t budget = kDefaultNormalizeBudget);
+
+/// Returns the top-level conjuncts (the expression itself if not an AND).
+std::vector<ExprPtr> FlattenAnd(const ExprPtr& expr);
+/// Returns the top-level disjuncts (the expression itself if not an OR).
+std::vector<ExprPtr> FlattenOr(const ExprPtr& expr);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXPR_NORMALIZE_H_

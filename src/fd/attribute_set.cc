@@ -1,0 +1,132 @@
+#include "fd/attribute_set.h"
+
+#include <bit>
+
+namespace uniqopt {
+
+void AttributeSet::Add(size_t attr) {
+  size_t word = attr / 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= uint64_t{1} << (attr % 64);
+}
+
+void AttributeSet::Remove(size_t attr) {
+  size_t word = attr / 64;
+  if (word >= words_.size()) return;
+  words_[word] &= ~(uint64_t{1} << (attr % 64));
+  Trim();
+}
+
+bool AttributeSet::Contains(size_t attr) const {
+  size_t word = attr / 64;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (attr % 64)) & 1;
+}
+
+bool AttributeSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t AttributeSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+AttributeSet AttributeSet::Union(const AttributeSet& other) const {
+  AttributeSet out = *this;
+  out.UnionInPlace(other);
+  return out;
+}
+
+void AttributeSet::UnionInPlace(const AttributeSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+AttributeSet AttributeSet::Intersect(const AttributeSet& other) const {
+  AttributeSet out;
+  size_t n = std::min(words_.size(), other.words_.size());
+  out.words_.resize(n, 0);
+  for (size_t i = 0; i < n; ++i) out.words_[i] = words_[i] & other.words_[i];
+  out.Trim();
+  return out;
+}
+
+AttributeSet AttributeSet::Difference(const AttributeSet& other) const {
+  AttributeSet out = *this;
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) out.words_[i] &= ~other.words_[i];
+  out.Trim();
+  return out;
+}
+
+bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~theirs) != 0) return false;
+  }
+  return true;
+}
+
+bool AttributeSet::Intersects(const AttributeSet& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> AttributeSet::ToVector() const {
+  std::vector<size_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      int b = std::countr_zero(bits);
+      out.push_back(w * 64 + static_cast<size_t>(b));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+AttributeSet AttributeSet::Shifted(size_t offset) const {
+  AttributeSet out;
+  for (size_t a : ToVector()) out.Add(a + offset);
+  return out;
+}
+
+bool AttributeSet::operator==(const AttributeSet& other) const {
+  size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+void AttributeSet::Trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t a : ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(a);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace uniqopt

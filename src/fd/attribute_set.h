@@ -1,0 +1,71 @@
+#ifndef UNIQOPT_FD_ATTRIBUTE_SET_H_
+#define UNIQOPT_FD_ATTRIBUTE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace uniqopt {
+
+/// A set of attribute positions (column ordinals of some derived-table
+/// schema), implemented as a growable bitset. Attribute identity is
+/// positional: attribute i is column i of the schema under analysis.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  AttributeSet(std::initializer_list<size_t> attrs) {
+    for (size_t a : attrs) Add(a);
+  }
+  static AttributeSet FromVector(const std::vector<size_t>& attrs) {
+    AttributeSet s;
+    for (size_t a : attrs) s.Add(a);
+    return s;
+  }
+  /// The set {0, 1, ..., n-1}.
+  static AttributeSet AllUpTo(size_t n) {
+    AttributeSet s;
+    for (size_t i = 0; i < n; ++i) s.Add(i);
+    return s;
+  }
+
+  void Add(size_t attr);
+  void Remove(size_t attr);
+  bool Contains(size_t attr) const;
+
+  bool Empty() const;
+  size_t Count() const;
+
+  /// Set algebra; operands need not have equal capacity.
+  AttributeSet Union(const AttributeSet& other) const;
+  AttributeSet Intersect(const AttributeSet& other) const;
+  AttributeSet Difference(const AttributeSet& other) const;
+  bool IsSubsetOf(const AttributeSet& other) const;
+  bool Intersects(const AttributeSet& other) const;
+
+  void UnionInPlace(const AttributeSet& other);
+
+  /// Members in ascending order.
+  std::vector<size_t> ToVector() const;
+
+  /// Every member shifted up by `offset` (product re-basing).
+  AttributeSet Shifted(size_t offset) const;
+
+  bool operator==(const AttributeSet& other) const;
+  bool operator!=(const AttributeSet& other) const {
+    return !(*this == other);
+  }
+
+  /// "{0, 3, 7}" rendering.
+  std::string ToString() const;
+
+ private:
+  void Trim();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_FD_ATTRIBUTE_SET_H_

@@ -1,0 +1,94 @@
+#include "fd/functional_dependency.h"
+
+#include <map>
+
+namespace uniqopt {
+
+FdSet FdSet::Shifted(size_t offset) const {
+  FdSet out;
+  for (const FunctionalDependency& fd : fds_) {
+    out.Add(fd.lhs.Shifted(offset), fd.rhs.Shifted(offset));
+  }
+  return out;
+}
+
+AttributeSet FdSet::Closure(const AttributeSet& attrs) const {
+  AttributeSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure.UnionInPlace(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::IsSuperkey(const AttributeSet& attrs,
+                       const AttributeSet& universe) const {
+  return universe.IsSubsetOf(Closure(attrs));
+}
+
+bool FdSet::Implies(const AttributeSet& lhs, const AttributeSet& rhs) const {
+  return rhs.IsSubsetOf(Closure(lhs));
+}
+
+FdSet FdSet::ProjectTo(const std::vector<size_t>& kept) const {
+  AttributeSet kept_set = AttributeSet::FromVector(kept);
+  std::map<size_t, size_t> renumber;
+  for (size_t i = 0; i < kept.size(); ++i) renumber[kept[i]] = i;
+
+  auto renumber_set = [&](const AttributeSet& s) {
+    AttributeSet out;
+    for (size_t a : s.ToVector()) {
+      auto it = renumber.find(a);
+      if (it != renumber.end()) out.Add(it->second);
+    }
+    return out;
+  };
+
+  FdSet out;
+  // Constants survive projection directly.
+  AttributeSet empty_closure = Closure(AttributeSet{});
+  AttributeSet kept_constants = empty_closure.Intersect(kept_set);
+  if (!kept_constants.Empty()) {
+    FunctionalDependency fd;
+    fd.rhs = renumber_set(kept_constants);
+    out.Add(std::move(fd));
+  }
+  // For each kept FD lhs contained in the projection, keep the kept part
+  // of the closure of that lhs. Additionally probe single attributes so
+  // equivalences survive even when declared with out-of-projection rhs.
+  for (const FunctionalDependency& fd : fds_) {
+    if (!fd.lhs.IsSubsetOf(kept_set)) continue;
+    AttributeSet reachable = Closure(fd.lhs).Intersect(kept_set);
+    AttributeSet lhs = renumber_set(fd.lhs);
+    AttributeSet rhs = renumber_set(reachable).Difference(lhs);
+    if (!rhs.Empty()) out.Add(std::move(lhs), std::move(rhs));
+  }
+  for (size_t a : kept) {
+    AttributeSet single{a};
+    AttributeSet reachable = Closure(single).Intersect(kept_set);
+    if (reachable.Count() > 1) {
+      AttributeSet lhs = renumber_set(single);
+      AttributeSet rhs = renumber_set(reachable).Difference(lhs);
+      if (!rhs.Empty()) out.Add(std::move(lhs), std::move(rhs));
+    }
+  }
+  return out;
+}
+
+std::string FdSet::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fds_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,117 @@
+#ifndef UNIQOPT_IMS_DLI_H_
+#define UNIQOPT_IMS_DLI_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "expr/expr.h"
+#include "ims/ims_database.h"
+
+namespace uniqopt {
+namespace ims {
+
+/// DL/I status codes (subset): '  ' OK, 'GE' not found, 'GB' end of
+/// database.
+enum class DliStatus { kOk, kNotFound, kEndOfDatabase };
+
+const char* DliStatusToString(DliStatus s);
+
+/// A qualification inside a segment search argument:
+/// `(field op value)`.
+struct Qualification {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// A segment search argument: segment name plus optional qualification.
+struct Ssa {
+  std::string segment;
+  std::optional<Qualification> qual;
+
+  static Ssa Unqualified(std::string segment_name) {
+    Ssa ssa;
+    ssa.segment = std::move(segment_name);
+    return ssa;
+  }
+  static Ssa Equal(std::string segment_name, std::string field, Value value) {
+    Ssa ssa;
+    ssa.segment = std::move(segment_name);
+    ssa.qual = Qualification{std::move(field), CompareOp::kEq,
+                             std::move(value)};
+    return ssa;
+  }
+};
+
+/// Work counters for one gateway program run. The §6.1 claims are about
+/// these numbers: DL/I calls per segment type and segments physically
+/// examined while satisfying them.
+struct DliCallStats {
+  size_t gu_calls = 0;
+  size_t gn_calls = 0;
+  size_t gnp_calls = 0;
+  /// Segments examined while positioning/searching (pointer chases).
+  size_t segments_visited = 0;
+  /// DL/I calls per target segment type.
+  std::map<std::string, size_t> calls_by_segment;
+
+  size_t TotalCalls() const { return gu_calls + gn_calls + gnp_calls; }
+  std::string ToString() const;
+};
+
+/// One DL/I program's view of an ImsDatabase: hierarchical position +
+/// the three retrieval calls used by the paper's programs (GU, GN, GNP).
+///
+/// Semantics implemented (the subset the §6.1 programs need):
+///  - GU <root ssa>: establish position at the first root segment that
+///    satisfies the SSA. An equality qualification on the root key uses
+///    the HIDAM key-sequenced index (one visit); otherwise roots are
+///    scanned in key order.
+///  - GN <root ssa>: advance to the next qualifying root after the
+///    current position.
+///  - GNP <child ssa>: retrieve the next qualifying child of the current
+///    root, resuming after the previously returned child (twin-chain
+///    order). Because twins are key-sequenced, an equality qualification
+///    on the child's sequence field stops scanning as soon as a greater
+///    key is seen — the early-halt behaviour the paper's Example 10
+///    exploits. Qualifications on non-key fields (e.g. OEM-PNO) must
+///    examine every remaining twin.
+class DliSession {
+ public:
+  explicit DliSession(const ImsDatabase* db) : db_(db) {}
+
+  DliStatus GU(const Ssa& root_ssa);
+  DliStatus GN(const Ssa& root_ssa);
+  DliStatus GNP(const Ssa& child_ssa);
+
+  /// Segment returned by the last successful call.
+  const Segment* current() const { return current_; }
+  /// Root segment the next GNP will search under.
+  const Segment* parent_position() const { return parent_; }
+
+  const DliCallStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DliCallStats(); }
+
+ private:
+  bool Matches(const Segment& seg, const Ssa& ssa) const;
+
+  const ImsDatabase* db_;
+  const Segment* current_ = nullptr;
+  /// Parentage for GNP (set by GU/GN on a root).
+  const Segment* parent_ = nullptr;
+  /// GNP resume cursor: next twin to examine. Valid only when
+  /// `gnp_active_` is set and `gnp_type_` matches the requested type; a
+  /// null cursor with `gnp_active_` means the twin chain is exhausted
+  /// (further GNPs of the same type keep returning 'GE').
+  const Segment* gnp_cursor_ = nullptr;
+  bool gnp_active_ = false;
+  /// Segment type the GNP cursor belongs to.
+  std::string gnp_type_;
+  DliCallStats stats_;
+};
+
+}  // namespace ims
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_IMS_DLI_H_

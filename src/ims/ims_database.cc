@@ -1,0 +1,122 @@
+#include "ims/ims_database.h"
+
+#include "common/string_util.h"
+
+namespace uniqopt {
+namespace ims {
+
+Result<size_t> SegmentTypeDef::FieldIndex(const std::string& field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (EqualsIgnoreCase(fields[i].name, field_name)) return i;
+  }
+  return Status::NotFound("no field " + field_name + " in segment " + name);
+}
+
+Status ImsDatabaseDef::AddSegmentType(SegmentTypeDef def) {
+  if (types_.empty()) {
+    if (!def.parent.empty()) {
+      return Status::InvalidArgument("first segment type must be the root");
+    }
+  } else {
+    if (def.parent.empty()) {
+      return Status::InvalidArgument("only one root segment type allowed");
+    }
+    UNIQOPT_RETURN_NOT_OK(GetType(def.parent).status());
+  }
+  if (def.key_field < 0 ||
+      static_cast<size_t>(def.key_field) >= def.fields.size()) {
+    return Status::InvalidArgument("segment type " + def.name +
+                                   " must have a valid sequence field");
+  }
+  for (const SegmentTypeDef& t : types_) {
+    if (EqualsIgnoreCase(t.name, def.name)) {
+      return Status::AlreadyExists("segment type exists: " + def.name);
+    }
+  }
+  types_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<const SegmentTypeDef*> ImsDatabaseDef::GetType(
+    const std::string& name) const {
+  for (const SegmentTypeDef& t : types_) {
+    if (EqualsIgnoreCase(t.name, name)) return &t;
+  }
+  return Status::NotFound("segment type not found: " + name);
+}
+
+Result<size_t> ImsDatabaseDef::TypeOrdinal(const std::string& name) const {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (EqualsIgnoreCase(types_[i].name, name)) return i;
+  }
+  return Status::NotFound("segment type not found: " + name);
+}
+
+Result<Segment*> ImsDatabase::InsertRoot(Row fields) {
+  const SegmentTypeDef& root_type = def_.root();
+  if (fields.size() != root_type.fields.size()) {
+    return Status::InvalidArgument("field count mismatch for root segment");
+  }
+  Value key = fields[root_type.key_field];
+  if (roots_.count(key) > 0) {
+    return Status::ConstraintViolation("duplicate root key " +
+                                       key.ToString());
+  }
+  auto seg = std::make_unique<Segment>();
+  seg->type = &root_type;
+  seg->fields = std::move(fields);
+  seg->first_child.resize(def_.types().size(), nullptr);
+  Segment* raw = seg.get();
+  segments_.push_back(std::move(seg));
+  roots_.emplace(std::move(key), raw);
+  return raw;
+}
+
+Result<Segment*> ImsDatabase::InsertChild(Segment* parent,
+                                          const std::string& type_name,
+                                          Row fields) {
+  UNIQOPT_ASSIGN_OR_RETURN(const SegmentTypeDef* type, def_.GetType(type_name));
+  UNIQOPT_ASSIGN_OR_RETURN(size_t ordinal, def_.TypeOrdinal(type_name));
+  if (!EqualsIgnoreCase(type->parent, parent->type->name)) {
+    return Status::InvalidArgument("segment " + type_name +
+                                   " is not a child of " +
+                                   parent->type->name);
+  }
+  if (fields.size() != type->fields.size()) {
+    return Status::InvalidArgument("field count mismatch for " + type_name);
+  }
+  auto seg = std::make_unique<Segment>();
+  seg->type = type;
+  seg->fields = std::move(fields);
+  seg->parent = parent;
+  seg->first_child.resize(def_.types().size(), nullptr);
+  Segment* raw = seg.get();
+  segments_.push_back(std::move(seg));
+
+  // Insert into the twin chain in ascending key order.
+  const Value& key = raw->KeyValue();
+  Segment** link = &parent->first_child[ordinal];
+  while (*link != nullptr && (*link)->KeyValue().Compare(key) < 0) {
+    link = &(*link)->next_twin;
+  }
+  raw->next_twin = *link;
+  *link = raw;
+  return raw;
+}
+
+Segment* ImsDatabase::FindRoot(const Value& key) const {
+  auto it = roots_.find(key);
+  return it == roots_.end() ? nullptr : it->second;
+}
+
+Segment* ImsDatabase::FirstRoot() const {
+  return roots_.empty() ? nullptr : roots_.begin()->second;
+}
+
+Segment* ImsDatabase::NextRoot(const Segment* root) const {
+  auto it = roots_.upper_bound(root->KeyValue());
+  return it == roots_.end() ? nullptr : it->second;
+}
+
+}  // namespace ims
+}  // namespace uniqopt

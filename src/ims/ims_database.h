@@ -1,0 +1,59 @@
+#ifndef UNIQOPT_IMS_IMS_DATABASE_H_
+#define UNIQOPT_IMS_IMS_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ims/segment.h"
+
+namespace uniqopt {
+namespace ims {
+
+/// Orders root keys for the HIDAM primary index.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+/// A hierarchical database instance: HIDAM organization (key-sequenced
+/// root index; parent-child/twin pointers below), per Figure 2 of the
+/// paper and the IMS/ESA manual it cites.
+class ImsDatabase {
+ public:
+  explicit ImsDatabase(ImsDatabaseDef def) : def_(std::move(def)) {}
+
+  ImsDatabase(const ImsDatabase&) = delete;
+  ImsDatabase& operator=(const ImsDatabase&) = delete;
+
+  const ImsDatabaseDef& def() const { return def_; }
+
+  /// Inserts a root segment; keys must be unique.
+  Result<Segment*> InsertRoot(Row fields);
+
+  /// Inserts a child under `parent`, maintaining twin-chain key order.
+  Result<Segment*> InsertChild(Segment* parent, const std::string& type_name,
+                               Row fields);
+
+  /// Root with exactly this key, if present (HIDAM index lookup).
+  Segment* FindRoot(const Value& key) const;
+  /// First root in key order.
+  Segment* FirstRoot() const;
+  /// Next root after `root` in key order.
+  Segment* NextRoot(const Segment* root) const;
+
+  size_t num_segments() const { return segments_.size(); }
+
+ private:
+  ImsDatabaseDef def_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::map<Value, Segment*, ValueLess> roots_;
+};
+
+}  // namespace ims
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_IMS_IMS_DATABASE_H_

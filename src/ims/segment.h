@@ -1,0 +1,76 @@
+#ifndef UNIQOPT_IMS_SEGMENT_H_
+#define UNIQOPT_IMS_SEGMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/value.h"
+
+namespace uniqopt {
+namespace ims {
+
+/// A field of an IMS segment type.
+struct SegmentField {
+  std::string name;
+  TypeId type = TypeId::kInteger;
+};
+
+/// Definition of one segment type in a hierarchical (DL/I) database.
+/// `key_field` is the segment's sequence field: twins (occurrences under
+/// one parent) are stored in ascending key order, which is what lets a
+/// qualified GNP on the key stop early (§6.1's cost argument).
+struct SegmentTypeDef {
+  std::string name;
+  std::vector<SegmentField> fields;
+  /// Index of the sequence (key) field within `fields`; -1 for none.
+  int key_field = -1;
+  /// Parent segment type name; empty for the root.
+  std::string parent;
+
+  Result<size_t> FieldIndex(const std::string& field_name) const;
+};
+
+/// The hierarchy definition (the paper's Figure 2: SUPPLIER root with
+/// PARTS and AGENTS children). One root type; children are key-sequenced
+/// under their parent.
+class ImsDatabaseDef {
+ public:
+  /// Adds a segment type. The first added type is the root and must have
+  /// an empty `parent`; later types must name an existing parent.
+  Status AddSegmentType(SegmentTypeDef def);
+
+  Result<const SegmentTypeDef*> GetType(const std::string& name) const;
+  /// Position of `name` in definition order (segment type ordinal).
+  Result<size_t> TypeOrdinal(const std::string& name) const;
+
+  const std::vector<SegmentTypeDef>& types() const { return types_; }
+  const SegmentTypeDef& root() const { return types_.front(); }
+
+ private:
+  std::vector<SegmentTypeDef> types_;
+};
+
+/// A stored segment occurrence. Pointers realize HIDAM's
+/// parent-child/twin organization: each segment knows its first child of
+/// each child type and its next twin under the same parent.
+struct Segment {
+  const SegmentTypeDef* type = nullptr;
+  Row fields;
+  Segment* parent = nullptr;
+  /// Next occurrence of the same type under the same parent (twin
+  /// pointer), in ascending key order.
+  Segment* next_twin = nullptr;
+  /// First child per child-type ordinal (indexed by database-wide type
+  /// ordinal; nullptr when none).
+  std::vector<Segment*> first_child;
+
+  const Value& KeyValue() const { return fields[type->key_field]; }
+};
+
+}  // namespace ims
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_IMS_SEGMENT_H_

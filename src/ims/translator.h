@@ -1,0 +1,91 @@
+#ifndef UNIQOPT_IMS_TRANSLATOR_H_
+#define UNIQOPT_IMS_TRANSLATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ims/dli.h"
+#include "ims/gateway.h"
+#include "plan/plan.h"
+
+namespace uniqopt {
+namespace ims {
+
+/// The Waterloo multidatabase gateway of §6.1: "the gateway optimizer
+/// attempts to translate an SQL query into an iterative DL/I program
+/// consisting of nested loops of IMS calls. Queries that cannot be
+/// directly translated by the data access layer ... require facilities
+/// of the post-processing layer ... at increased cost."
+///
+/// This module is that translator. It compiles a bound logical plan
+/// (over the relational views of the hierarchy: the root view is the
+/// root segment's fields; a child view is [root key] ++ child fields)
+/// into a DliProgram — a root GU/GN loop with child GNP probes — and
+/// keeps any untranslatable conjuncts as a post-processing filter.
+
+/// A qualification whose comparison value may be a host variable,
+/// resolved against the parameter vector when the program runs.
+struct QualTemplate {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+  std::optional<size_t> host_var;
+
+  Qualification Resolve(const std::vector<Value>& params) const {
+    Qualification q;
+    q.field = field;
+    q.op = op;
+    q.value = host_var.has_value() ? params.at(*host_var) : constant;
+    return q;
+  }
+};
+
+/// One child probe inside the root loop.
+struct ChildStep {
+  std::string segment;
+  /// Single-field qualification pushed into the GNP SSA, if any.
+  std::optional<QualTemplate> qual;
+  /// EXISTS semantics: probe once, emit the outer row if found
+  /// (the §6 nested strategy). Otherwise emit once per match
+  /// (join semantics).
+  bool exists_only = false;
+};
+
+/// A compiled iterative DL/I program.
+struct DliProgram {
+  /// Qualification on the root segment (pushed into GU/GN SSAs).
+  std::optional<QualTemplate> root_qual;
+  /// Child probes; at most one non-exists (emitting) step.
+  std::vector<ChildStep> steps;
+  /// Layout of the "view row" the post filter and projection see: the
+  /// FROM tables' segment names in order. The root view contributes the
+  /// root fields; a child view contributes [root key] ++ child fields.
+  std::vector<std::string> layout;
+  /// Column indexes into the view row forming the output row.
+  std::vector<size_t> output_columns;
+  /// Residual predicate over the view row, evaluated by the
+  /// post-processing layer (null when fully translatable).
+  ExprPtr post_filter;
+  /// Duplicate elimination required by the plan (π_Dist): also a
+  /// post-processing-layer operation (sort), as the paper notes.
+  bool distinct = false;
+
+  std::string ToString() const;
+};
+
+/// Translates `plan` into a DliProgram against `db`'s hierarchy.
+/// Supported shapes: π over (σ / Exists) over {root view, root ⋈ child
+/// view on the hierarchy key, child view alone}. Returns kUnsupported
+/// for plans outside the gateway's reach (the paper's queries all fit).
+Result<DliProgram> TranslatePlan(const ImsDatabase& db, const PlanPtr& plan);
+
+/// Executes a compiled program; `params` supplies host variables
+/// referenced by the post filter or qualifications.
+GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
+                         const std::vector<Value>& params = {});
+
+}  // namespace ims
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_IMS_TRANSLATOR_H_

@@ -1,0 +1,49 @@
+#ifndef UNIQOPT_OODB_NAVIGATOR_H_
+#define UNIQOPT_OODB_NAVIGATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "oodb/object_store.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+namespace oodb {
+
+/// Builds the Figure 3 object model — classes Supplier, Parts, Agent
+/// with child→parent OIDs replacing foreign keys — from the relational
+/// supplier database, with indexes on SUPPLIER.SNO and PARTS.PNO (the
+/// indexes Example 11 assumes).
+Result<std::unique_ptr<ObjectStore>> BuildSupplierObjectStore(
+    const Database& relational);
+
+/// Result of an Example 11 strategy: supplier rows plus navigation cost.
+struct StrategyResult {
+  std::vector<Row> rows;
+  NavStats stats;
+};
+
+/// Example 11's query:
+///   SELECT ALL S.* FROM SUPPLIER S, PARTS P
+///   WHERE S.SNO BETWEEN :LO AND :HI AND S.SNO = P.SNO AND P.PNO = :PARTNO
+///
+/// Child-driven strategy (lines 36–42): probe the PARTS index on PNO,
+/// chase each part's parent pointer to its Supplier, test the range.
+/// Inefficient when the range predicate is selective — many parents are
+/// retrieved only to be discarded.
+StrategyResult ChildDrivenSuppliersForPart(const ObjectStore& store,
+                                           int64_t part_no, int64_t sno_lo,
+                                           int64_t sno_hi);
+
+/// Parent-driven strategy (lines 43–48), enabled by the join→subquery
+/// rewrite of Theorem 2: range-probe the SUPPLIER index, and for each
+/// supplier look for a qualifying part (PNO index, filtered by parent
+/// OID), stopping at the first witness.
+StrategyResult ParentDrivenSuppliersForPart(const ObjectStore& store,
+                                            int64_t part_no, int64_t sno_lo,
+                                            int64_t sno_hi);
+
+}  // namespace oodb
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OODB_NAVIGATOR_H_

@@ -1,0 +1,143 @@
+#include "oodb/object_store.h"
+
+#include "common/string_util.h"
+
+namespace uniqopt {
+namespace oodb {
+
+Result<size_t> ClassDef::FieldIndex(const std::string& field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (EqualsIgnoreCase(fields[i].name, field_name)) return i;
+  }
+  return Status::NotFound("no field " + field_name + " in class " + name);
+}
+
+std::string NavStats::ToString() const {
+  return "derefs=" + std::to_string(pointer_derefs) +
+         " retrieved=" + std::to_string(objects_retrieved) +
+         " probes=" + std::to_string(index_probes) +
+         " entries=" + std::to_string(index_entries) +
+         " peeks=" + std::to_string(header_peeks);
+}
+
+Result<size_t> ObjectStore::AddClass(ClassDef def) {
+  for (const ClassDef& c : classes_) {
+    if (EqualsIgnoreCase(c.name, def.name)) {
+      return Status::AlreadyExists("class exists: " + def.name);
+    }
+  }
+  if (!def.parent_class.empty()) {
+    UNIQOPT_RETURN_NOT_OK(ClassId(def.parent_class).status());
+  }
+  classes_.push_back(std::move(def));
+  extents_.emplace_back();
+  return classes_.size() - 1;
+}
+
+Result<size_t> ObjectStore::ClassId(const std::string& name) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (EqualsIgnoreCase(classes_[i].name, name)) return i;
+  }
+  return Status::NotFound("class not found: " + name);
+}
+
+Result<Oid> ObjectStore::Insert(size_t class_id, Row fields, Oid parent) {
+  const ClassDef& cls = classes_.at(class_id);
+  if (fields.size() != cls.fields.size()) {
+    return Status::InvalidArgument("field count mismatch for class " +
+                                   cls.name);
+  }
+  if (cls.parent_class.empty() != (parent == kNullOid)) {
+    return Status::InvalidArgument(
+        "parent OID must be given exactly when the class declares a "
+        "parent: " +
+        cls.name);
+  }
+  if (parent != kNullOid) {
+    UNIQOPT_ASSIGN_OR_RETURN(size_t parent_id, ClassId(cls.parent_class));
+    if (parent >= objects_.size() ||
+        objects_[parent].class_id != parent_id) {
+      return Status::InvalidArgument("parent OID is not a " +
+                                     cls.parent_class);
+    }
+  }
+  Oid oid = objects_.size();
+  StoredObject obj;
+  obj.class_id = class_id;
+  obj.fields = std::move(fields);
+  obj.parent = parent;
+  // Maintain any existing indexes.
+  for (auto& [key, index] : indexes_) {
+    if (key.first == class_id) {
+      index.emplace(obj.fields[key.second], oid);
+    }
+  }
+  objects_.push_back(std::move(obj));
+  extents_[class_id].push_back(oid);
+  return oid;
+}
+
+Status ObjectStore::CreateIndex(size_t class_id, const std::string& field) {
+  UNIQOPT_ASSIGN_OR_RETURN(size_t field_idx,
+                           classes_.at(class_id).FieldIndex(field));
+  auto key = std::make_pair(class_id, field_idx);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index exists on " +
+                                 classes_[class_id].name + "." + field);
+  }
+  IndexMap index;
+  for (Oid oid : extents_[class_id]) {
+    index.emplace(objects_[oid].fields[field_idx], oid);
+  }
+  indexes_.emplace(key, std::move(index));
+  return Status::OK();
+}
+
+bool ObjectStore::HasIndex(size_t class_id, size_t field) const {
+  return indexes_.count({class_id, field}) > 0;
+}
+
+Result<const ObjectStore::IndexMap*> ObjectStore::GetIndex(
+    size_t class_id, size_t field) const {
+  auto it = indexes_.find({class_id, field});
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on class " +
+                            classes_.at(class_id).name + " field #" +
+                            std::to_string(field));
+  }
+  return &it->second;
+}
+
+Result<std::vector<Oid>> NavigationSession::IndexEq(size_t class_id,
+                                                    size_t field,
+                                                    const Value& value) {
+  UNIQOPT_ASSIGN_OR_RETURN(const ObjectStore::IndexMap* index,
+                           store_->GetIndex(class_id, field));
+  ++stats_.index_probes;
+  std::vector<Oid> out;
+  auto [begin, end] = index->equal_range(value);
+  for (auto it = begin; it != end; ++it) {
+    ++stats_.index_entries;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Result<std::vector<Oid>> NavigationSession::IndexRange(size_t class_id,
+                                                       size_t field,
+                                                       const Value& lo,
+                                                       const Value& hi) {
+  UNIQOPT_ASSIGN_OR_RETURN(const ObjectStore::IndexMap* index,
+                           store_->GetIndex(class_id, field));
+  ++stats_.index_probes;
+  std::vector<Oid> out;
+  for (auto it = index->lower_bound(lo);
+       it != index->end() && it->first.Compare(hi) <= 0; ++it) {
+    ++stats_.index_entries;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace oodb
+}  // namespace uniqopt

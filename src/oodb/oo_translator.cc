@@ -1,0 +1,249 @@
+#include "oodb/oo_translator.h"
+
+#include <limits>
+
+#include "analysis/shape.h"
+#include "common/string_util.h"
+#include "expr/normalize.h"
+
+namespace uniqopt {
+namespace oodb {
+
+const char* OoStrategyToString(OoStrategy s) {
+  return s == OoStrategy::kChildDriven ? "child-driven" : "parent-driven";
+}
+
+std::string OoProgram::ToString() const {
+  std::string out = std::string("OoProgram { ") + OoStrategyToString(strategy);
+  auto bound = [](const std::optional<Value>& v,
+                  const std::optional<size_t>& hv) -> std::string {
+    if (hv.has_value()) return ":param";
+    if (v.has_value()) return v->ToString();
+    return "-inf/+inf";
+  };
+  out += ", SNO in [" + bound(parent_lo, parent_lo_host) + ", " +
+         bound(parent_hi, parent_hi_host) + "]";
+  if (child_pno.has_value() || child_pno_host.has_value()) {
+    out += ", PNO = " + bound(child_pno, child_pno_host);
+  }
+  out += " }";
+  return out;
+}
+
+namespace {
+
+/// Bound side of a comparison: literal or host variable.
+struct BoundValue {
+  std::optional<Value> constant;
+  std::optional<size_t> host_var;
+
+  static std::optional<BoundValue> From(const ExprPtr& e) {
+    if (e->kind() == ExprKind::kLiteral && !e->literal().is_null()) {
+      return BoundValue{e->literal(), std::nullopt};
+    }
+    if (e->kind() == ExprKind::kHostVar) {
+      return BoundValue{std::nullopt, e->host_var_index()};
+    }
+    return std::nullopt;
+  }
+
+  Value Resolve(const std::vector<Value>& params) const {
+    return host_var.has_value() ? params.at(*host_var) : *constant;
+  }
+};
+
+/// Accumulates predicate conjuncts into the program fields. `sno_col`
+/// and `pno_col` are the product-schema positions of SUPPLIER.SNO and
+/// PARTS.PNO (PNO absent for parent-only subtrees).
+Status AbsorbConjunct(const ExprPtr& conj, size_t sno_col,
+                      std::optional<size_t> pno_col,
+                      std::optional<size_t> parts_sno_col,
+                      OoProgram* program) {
+  if (conj->kind() != ExprKind::kComparison) {
+    return Status::Unsupported("untranslatable conjunct: " +
+                               conj->ToString());
+  }
+  const ExprPtr& l = conj->child(0);
+  const ExprPtr& r = conj->child(1);
+  // The hierarchy join S.SNO = P.SNO is realized by the parent OID.
+  if (parts_sno_col.has_value() && l->kind() == ExprKind::kColumnRef &&
+      r->kind() == ExprKind::kColumnRef) {
+    size_t a = l->column_index();
+    size_t b = r->column_index();
+    if ((a == sno_col && b == *parts_sno_col) ||
+        (b == sno_col && a == *parts_sno_col)) {
+      return Status::OK();
+    }
+    return Status::Unsupported("untranslatable join conjunct: " +
+                               conj->ToString());
+  }
+  auto absorb = [&](const ExprPtr& col, const ExprPtr& value,
+                    CompareOp op) -> Status {
+    if (col->kind() != ExprKind::kColumnRef) {
+      return Status::Unsupported("untranslatable conjunct: " +
+                                 conj->ToString());
+    }
+    std::optional<BoundValue> bound = BoundValue::From(value);
+    if (!bound.has_value()) {
+      return Status::Unsupported("untranslatable operand: " +
+                                 conj->ToString());
+    }
+    size_t idx = col->column_index();
+    if (idx == sno_col) {
+      switch (op) {
+        case CompareOp::kGe:
+          program->parent_lo = bound->constant;
+          program->parent_lo_host = bound->host_var;
+          return Status::OK();
+        case CompareOp::kLe:
+          program->parent_hi = bound->constant;
+          program->parent_hi_host = bound->host_var;
+          return Status::OK();
+        case CompareOp::kEq:
+          program->parent_lo = program->parent_hi = bound->constant;
+          program->parent_lo_host = program->parent_hi_host =
+              bound->host_var;
+          return Status::OK();
+        default:
+          break;
+      }
+    }
+    if (pno_col.has_value() && idx == *pno_col && op == CompareOp::kEq) {
+      program->child_pno = bound->constant;
+      program->child_pno_host = bound->host_var;
+      return Status::OK();
+    }
+    return Status::Unsupported("untranslatable conjunct: " +
+                               conj->ToString());
+  };
+  Status st = absorb(l, r, conj->compare_op());
+  if (st.ok()) return st;
+  return absorb(r, l, FlipCompareOp(conj->compare_op()));
+}
+
+bool IsSupplierGet(const SpecShape::BaseTable& bt) {
+  return EqualsIgnoreCase(bt.get->table().name(), "SUPPLIER");
+}
+bool IsPartsGet(const SpecShape::BaseTable& bt) {
+  return EqualsIgnoreCase(bt.get->table().name(), "PARTS");
+}
+
+}  // namespace
+
+Result<OoProgram> TranslateOoPlan(const ObjectStore& store,
+                                  const PlanPtr& plan) {
+  (void)store;
+  UNIQOPT_ASSIGN_OR_RETURN(SpecShape shape, ExtractSpecShape(plan));
+  OoProgram program;
+
+  // Locate the SUPPLIER (parent) table and, for join shapes, PARTS.
+  const SpecShape::BaseTable* supplier = nullptr;
+  const SpecShape::BaseTable* parts = nullptr;
+  for (const SpecShape::BaseTable& bt : shape.tables) {
+    if (IsSupplierGet(bt) && supplier == nullptr) {
+      supplier = &bt;
+    } else if (IsPartsGet(bt) && parts == nullptr) {
+      parts = &bt;
+    } else {
+      return Status::Unsupported("unsupported FROM table: " +
+                                 bt.get->table().name());
+    }
+  }
+  if (supplier == nullptr) {
+    return Status::Unsupported("query must involve the Supplier class");
+  }
+  size_t sno_col = supplier->offset;  // SNO is Supplier's first column
+
+  // Projection must come from the parent side.
+  size_t sup_end = supplier->offset + supplier->get->schema().num_columns();
+  for (size_t col : shape.project->columns()) {
+    if (col < supplier->offset || col >= sup_end) {
+      return Status::Unsupported(
+          "projection must use Supplier columns only");
+    }
+    program.output_columns.push_back(col - supplier->offset);
+  }
+
+  if (parts != nullptr) {
+    // Join shape ⇒ child-driven navigation.
+    if (!shape.exists_filters.empty()) {
+      return Status::Unsupported("mixed join/exists shape");
+    }
+    program.strategy = OoStrategy::kChildDriven;
+    size_t pno_col = parts->offset + 1;      // PARTS(SNO, PNO, ...)
+    size_t parts_sno_col = parts->offset;    // inherited key column
+    for (const ExprPtr& conj : shape.predicates) {
+      UNIQOPT_RETURN_NOT_OK(AbsorbConjunct(conj, sno_col, pno_col,
+                                           parts_sno_col, &program));
+    }
+  } else {
+    // EXISTS shape ⇒ parent-driven navigation.
+    if (shape.exists_filters.size() != 1 ||
+        shape.exists_filters[0]->negated()) {
+      return Status::Unsupported(
+          "expected exactly one positive existential probe");
+    }
+    const ExistsNode* exists = shape.exists_filters[0];
+    UNIQOPT_ASSIGN_OR_RETURN(SpecShape inner,
+                             ExtractProductShape(exists->sub()));
+    if (inner.tables.size() != 1 || !IsPartsGet(inner.tables[0])) {
+      return Status::Unsupported("subquery must probe the Parts class");
+    }
+    program.strategy = OoStrategy::kParentDriven;
+    size_t outer_width = exists->outer()->schema().num_columns();
+    size_t pno_col = outer_width + 1;
+    size_t parts_sno_col = outer_width;
+    for (const ExprPtr& conj : shape.predicates) {
+      UNIQOPT_RETURN_NOT_OK(AbsorbConjunct(conj, sno_col, std::nullopt,
+                                           std::nullopt, &program));
+    }
+    for (const ExprPtr& conj : FlattenAnd(exists->correlation())) {
+      UNIQOPT_RETURN_NOT_OK(AbsorbConjunct(conj, sno_col, pno_col,
+                                           parts_sno_col, &program));
+    }
+    for (const ExprPtr& conj : inner.predicates) {
+      // Inner-local predicates are based at the Parts view frame.
+      UNIQOPT_RETURN_NOT_OK(AbsorbConjunct(
+          conj, /*sno_col=*/static_cast<size_t>(-1),
+          /*pno_col=*/1, /*parts_sno_col=*/std::nullopt, &program));
+    }
+  }
+  if (!program.child_pno.has_value() && !program.child_pno_host.has_value() &&
+      parts == nullptr) {
+    return Status::Unsupported("existential probe needs a PNO equality");
+  }
+  return program;
+}
+
+StrategyResult RunOoProgram(const ObjectStore& store,
+                            const OoProgram& program,
+                            const std::vector<Value>& params) {
+  auto resolve = [&](const std::optional<Value>& v,
+                     const std::optional<size_t>& hv,
+                     int64_t fallback) -> int64_t {
+    if (hv.has_value()) return params.at(*hv).AsInteger();
+    if (v.has_value()) return v->AsInteger();
+    return fallback;
+  };
+  int64_t lo = resolve(program.parent_lo, program.parent_lo_host,
+                       std::numeric_limits<int64_t>::min() / 2);
+  int64_t hi = resolve(program.parent_hi, program.parent_hi_host,
+                       std::numeric_limits<int64_t>::max() / 2);
+  int64_t pno = resolve(program.child_pno, program.child_pno_host, 0);
+
+  StrategyResult raw =
+      program.strategy == OoStrategy::kChildDriven
+          ? ChildDrivenSuppliersForPart(store, pno, lo, hi)
+          : ParentDrivenSuppliersForPart(store, pno, lo, hi);
+  // Apply the projection (the primitive strategies emit full Supplier
+  // rows).
+  StrategyResult out;
+  out.stats = raw.stats;
+  for (const Row& row : raw.rows) {
+    out.rows.push_back(row.Project(program.output_columns));
+  }
+  return out;
+}
+
+}  // namespace oodb
+}  // namespace uniqopt

@@ -1,0 +1,63 @@
+#ifndef UNIQOPT_OODB_OO_TRANSLATOR_H_
+#define UNIQOPT_OODB_OO_TRANSLATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "oodb/navigator.h"
+#include "plan/plan.h"
+
+namespace uniqopt {
+namespace oodb {
+
+/// §6.2's point, made executable end to end: the *shape* of the logical
+/// plan dictates the navigation strategy of an object database whose
+/// relationships are child→parent OIDs. A join plan compiles to the
+/// child-driven program (probe the child index, chase parent pointers,
+/// test the parent predicate after the fault — Example 11 lines 36–42);
+/// an EXISTS plan — produced by the join→subquery rewrite when Theorem 2
+/// licenses it — compiles to the parent-driven program (range-scan the
+/// parent index, probe children per parent; lines 43–48).
+
+enum class OoStrategy { kChildDriven, kParentDriven };
+
+const char* OoStrategyToString(OoStrategy s);
+
+/// A compiled navigation program for queries of the Example 11 family:
+///   SELECT <parent cols> FROM Supplier S [, Parts P]
+///   WHERE [S.SNO range/eq] AND S.SNO = P.SNO AND P.PNO = <const>
+/// (host variables resolved at run time).
+struct OoProgram {
+  OoStrategy strategy = OoStrategy::kChildDriven;
+  /// Parent key bounds (inclusive); unset side = unbounded.
+  std::optional<Value> parent_lo;
+  std::optional<Value> parent_hi;
+  std::optional<size_t> parent_lo_host;  ///< host var slots, when bound
+  std::optional<size_t> parent_hi_host;  ///< to parameters
+  /// Child PNO equality (the indexed probe).
+  std::optional<Value> child_pno;
+  std::optional<size_t> child_pno_host;
+  /// Output columns within the parent (Supplier) object fields.
+  std::vector<size_t> output_columns;
+
+  std::string ToString() const;
+};
+
+/// Compiles `plan` into an OoProgram. Supported shapes:
+///  - π[parent cols](σ[range ∧ join ∧ child eq](Supplier × Parts))
+///    → child-driven;
+///  - π[parent cols](Exists(σ[range](Supplier), Parts, join ∧ child eq))
+///    → parent-driven.
+/// Anything else: kUnsupported.
+Result<OoProgram> TranslateOoPlan(const ObjectStore& store,
+                                  const PlanPtr& plan);
+
+/// Executes a compiled program with navigation-cost accounting.
+StrategyResult RunOoProgram(const ObjectStore& store,
+                            const OoProgram& program,
+                            const std::vector<Value>& params = {});
+
+}  // namespace oodb
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OODB_OO_TRANSLATOR_H_

@@ -1,0 +1,125 @@
+#include "parser/ast.h"
+
+namespace uniqopt {
+
+const char* SetOpKindToString(SetOpKind k) {
+  switch (k) {
+    case SetOpKind::kIntersect:
+      return "INTERSECT";
+    case SetOpKind::kIntersectAll:
+      return "INTERSECT ALL";
+    case SetOpKind::kExcept:
+      return "EXCEPT";
+    case SetOpKind::kExceptAll:
+      return "EXCEPT ALL";
+  }
+  return "?";
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kLiteral:
+      return literal.ToString();
+    case AstExprKind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case AstExprKind::kHostVar:
+      return ":" + name;
+    case AstExprKind::kCompare:
+      return children[0]->ToString() + " " + CompareOpToString(op) + " " +
+             children[1]->ToString();
+    case AstExprKind::kAnd:
+    case AstExprKind::kOr: {
+      const char* sep = kind == AstExprKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case AstExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case AstExprKind::kBetween:
+      return children[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case AstExprKind::kInList: {
+      std::string out =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstExprKind::kExists:
+      return std::string(negated ? "NOT EXISTS (" : "EXISTS (") +
+             subquery->ToString() + ")";
+    case AstExprKind::kInSubquery:
+      return children[0]->ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + ")";
+    case AstExprKind::kAggregate: {
+      switch (agg_func) {
+        case AstAggFunc::kCountStar:
+          return "COUNT(*)";
+        case AstAggFunc::kCount:
+          return "COUNT(" + children[0]->ToString() + ")";
+        case AstAggFunc::kSum:
+          return "SUM(" + children[0]->ToString() + ")";
+        case AstAggFunc::kMin:
+          return "MIN(" + children[0]->ToString() + ")";
+        case AstAggFunc::kMax:
+          return "MAX(" + children[0]->ToString() + ")";
+        case AstAggFunc::kAvg:
+          return "AVG(" + children[0]->ToString() + ")";
+      }
+      return "?";
+    }
+  }
+  return "?";
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = select_list[i];
+    if (item.star) {
+      out += item.star_qualifier.empty() ? "*" : item.star_qualifier + ".*";
+    } else {
+      out += item.expr->ToString();
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table_name;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table_name) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where != nullptr) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = specs[0]->ToString();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out += std::string(" ") + SetOpKindToString(ops[i]) + " " +
+           specs[i + 1]->ToString();
+  }
+  return out;
+}
+
+}  // namespace uniqopt

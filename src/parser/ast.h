@@ -1,0 +1,144 @@
+#ifndef UNIQOPT_PARSER_AST_H_
+#define UNIQOPT_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace uniqopt {
+
+struct QuerySpec;
+
+/// Unbound (parse-time) expression kinds. BETWEEN / IN stay explicit at
+/// this level so the binder can desugar them while preserving the source
+/// shape for error messages.
+enum class AstExprKind {
+  kLiteral,
+  kColumnRef,
+  kHostVar,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,    ///< `x IS [NOT] NULL`, see `negated`
+  kBetween,   ///< children: value, low, high; `negated` for NOT BETWEEN
+  kInList,    ///< children: value, items...; `negated` for NOT IN
+  kExists,    ///< `[NOT] EXISTS (subquery)`
+  kInSubquery,  ///< `x [NOT] IN (subquery)`; child 0 is the value
+  kAggregate,   ///< COUNT/SUM/MIN/MAX/AVG(...) — select list only
+};
+
+/// Parse-level aggregate functions (mapped to plan::AggFunc by the
+/// binder).
+enum class AstAggFunc { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  Value literal;
+  std::string qualifier;  ///< column ref: optional table/alias part
+  std::string name;       ///< column ref column name / host variable name
+  CompareOp op = CompareOp::kEq;
+  bool negated = false;
+  AstAggFunc agg_func = AstAggFunc::kCountStar;  ///< kAggregate
+  std::vector<std::unique_ptr<AstExpr>> children;
+  std::unique_ptr<QuerySpec> subquery;  ///< kExists / kInSubquery
+  size_t offset = 0;  ///< source offset for diagnostics
+
+  /// Round-trippable SQL-ish rendering.
+  std::string ToString() const;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// One entry of a SELECT list: `*`, `T.*`, or a column reference.
+struct SelectItem {
+  bool star = false;
+  std::string star_qualifier;  ///< non-empty for `T.*`
+  AstExprPtr expr;             ///< non-star items
+};
+
+/// One entry of a FROM clause: `TABLE [alias]`.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< equals table_name when no alias given
+
+  const std::string& correlation_name() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// A query specification: SELECT [ALL|DISTINCT] ... FROM ... WHERE ... .
+struct QuerySpec {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  AstExprPtr where;  ///< may be null
+  /// GROUP BY columns (§7 extension); empty when absent. Aggregates in
+  /// the select list without GROUP BY form a single (scalar) group.
+  std::vector<AstExprPtr> group_by;
+
+  std::string ToString() const;
+};
+
+using QuerySpecPtr = std::unique_ptr<QuerySpec>;
+
+/// Set operators connecting query specifications (§2 of the paper).
+enum class SetOpKind { kIntersect, kIntersectAll, kExcept, kExceptAll };
+
+const char* SetOpKindToString(SetOpKind k);
+
+/// A query expression: one spec, or a left-associative chain of specs
+/// joined by INTERSECT [ALL] / EXCEPT [ALL].
+struct Query {
+  std::vector<QuerySpecPtr> specs;  ///< specs.size() == ops.size() + 1
+  std::vector<SetOpKind> ops;
+
+  bool IsSimpleSpec() const { return specs.size() == 1; }
+  std::string ToString() const;
+};
+
+using QueryPtr = std::unique_ptr<Query>;
+
+/// Parse-time column definition for CREATE TABLE.
+struct AstColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInteger;
+  bool not_null = false;
+};
+
+/// Parse-time CHECK constraint; bound against the table by the binder.
+struct AstCheck {
+  AstExprPtr predicate;
+  std::string sql_text;
+};
+
+/// Parse-time FOREIGN KEY (inclusion dependency) declaration.
+struct AstForeignKey {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+struct CreateTableStmt {
+  std::string table_name;
+  std::vector<AstColumnDef> columns;
+  std::vector<std::string> primary_key;  ///< empty when absent
+  std::vector<std::vector<std::string>> unique_keys;
+  std::vector<AstForeignKey> foreign_keys;
+  std::vector<AstCheck> checks;
+};
+
+/// A parsed SQL statement: either DDL or a query.
+struct Statement {
+  std::unique_ptr<CreateTableStmt> create_table;  ///< exactly one of
+  QueryPtr query;                                 ///< these is set
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_PARSER_AST_H_

@@ -1,0 +1,173 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace uniqopt {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-';  // Permit SQL-in-the-paper names like OEM-PNO.
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      ++i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      // A trailing '-' belongs to an operator/comment, not the identifier.
+      while (i > start + 1 && sql[i - 1] == '-') --i;
+      tok.type = TokenType::kIdentifier;
+      tok.original = std::string(sql.substr(start, i - start));
+      tok.text = ToUpperAscii(tok.original);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      bool is_double = false;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tok.type = is_double ? TokenType::kDouble : TokenType::kInteger;
+      tok.text = std::string(sql.substr(start, i - start));
+      tok.original = tok.text;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            content += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        content += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = content;
+      tok.original = content;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == ':') {
+      size_t start = i + 1;
+      if (start >= n || !IsIdentStart(sql[start])) {
+        return Status::ParseError("expected host variable name after ':'");
+      }
+      size_t j = start + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      while (j > start + 1 && sql[j - 1] == '-') --j;
+      tok.type = TokenType::kHostVar;
+      tok.original = std::string(sql.substr(start, j - start));
+      tok.text = ToUpperAscii(tok.original);
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-character operators.
+    auto symbol = [&](std::string s) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::move(s);
+      tok.original = tok.text;
+      tokens.push_back(tok);
+    };
+    if (c == '<') {
+      if (i + 1 < n && sql[i + 1] == '>') {
+        symbol("<>");
+        i += 2;
+      } else if (i + 1 < n && sql[i + 1] == '=') {
+        symbol("<=");
+        i += 2;
+      } else {
+        symbol("<");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        symbol(">=");
+        i += 2;
+      } else {
+        symbol(">");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        symbol("<>");
+        i += 2;
+        continue;
+      }
+      return Status::ParseError("unexpected character '!' at offset " +
+                                std::to_string(i));
+    }
+    switch (c) {
+      case '=':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '*':
+      case ';':
+        symbol(std::string(1, c));
+        ++i;
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(i));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEndOfInput;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace uniqopt

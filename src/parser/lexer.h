@@ -1,0 +1,36 @@
+#ifndef UNIQOPT_PARSER_LEXER_H_
+#define UNIQOPT_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace uniqopt {
+
+enum class TokenType {
+  kIdentifier,   ///< bare identifier or keyword (upper-cased in `text`)
+  kInteger,      ///< integer literal
+  kDouble,       ///< floating literal
+  kString,       ///< 'quoted string' (unescaped content in `text`)
+  kHostVar,      ///< :NAME host variable (name in `text`, upper-cased)
+  kSymbol,       ///< punctuation / operator; `text` is the symbol
+  kEndOfInput,
+};
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string text;       ///< canonical text (identifiers upper-cased)
+  std::string original;   ///< original spelling (string literals verbatim)
+  size_t offset = 0;      ///< byte offset into the SQL text
+};
+
+/// Tokenizes `sql`. Identifiers/keywords fold to upper case; string
+/// literals keep their exact content ('' escapes a quote). `--` comments
+/// run to end of line. Always appends a kEndOfInput token on success.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_PARSER_LEXER_H_

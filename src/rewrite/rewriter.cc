@@ -1,0 +1,759 @@
+#include "rewrite/rewriter.h"
+
+#include <map>
+
+#include "analysis/implication.h"
+#include "analysis/properties.h"
+#include "analysis/subquery.h"
+#include "analysis/uniqueness.h"
+#include "expr/equality.h"
+#include "expr/normalize.h"
+
+namespace uniqopt {
+
+const char* RewriteRuleIdToString(RewriteRuleId id) {
+  switch (id) {
+    case RewriteRuleId::kRemoveRedundantDistinct:
+      return "RemoveRedundantDistinct";
+    case RewriteRuleId::kSubqueryToJoin:
+      return "SubqueryToJoin";
+    case RewriteRuleId::kSubqueryToDistinctJoin:
+      return "SubqueryToDistinctJoin";
+    case RewriteRuleId::kIntersectToExists:
+      return "IntersectToExists";
+    case RewriteRuleId::kIntersectAllToExists:
+      return "IntersectAllToExists";
+    case RewriteRuleId::kExceptToNotExists:
+      return "ExceptToNotExists";
+    case RewriteRuleId::kJoinToSubquery:
+      return "JoinToSubquery";
+    case RewriteRuleId::kJoinElimination:
+      return "JoinElimination";
+    case RewriteRuleId::kRemoveImpliedPredicate:
+      return "RemoveImpliedPredicate";
+    case RewriteRuleId::kDetectEmptyResult:
+      return "DetectEmptyResult";
+    case RewriteRuleId::kEliminateGroupByOnKey:
+      return "EliminateGroupByOnKey";
+    case RewriteRuleId::kExistsToIntersect:
+      return "ExistsToIntersect";
+  }
+  return "?";
+}
+
+ExprPtr MakeNullSafeCorrelation(const Schema& left, const Schema& right) {
+  std::vector<ExprPtr> conjuncts;
+  for (size_t i = 0; i < left.num_columns(); ++i) {
+    const Column& lc = left.column(i);
+    const Column& rc = right.column(i);
+    ExprPtr l =
+        Expr::ColumnRef(i, lc.QualifiedName(), lc.type, lc.nullable);
+    ExprPtr r = Expr::ColumnRef(left.num_columns() + i, rc.QualifiedName(),
+                                rc.type, rc.nullable);
+    ExprPtr eq = Expr::Compare(CompareOp::kEq, l, r);
+    if (!lc.nullable && !rc.nullable) {
+      // Footnote 1: a NOT NULL column needs no IS NULL test.
+      conjuncts.push_back(std::move(eq));
+      continue;
+    }
+    ExprPtr both_null =
+        Expr::MakeAnd({Expr::IsNull(l), Expr::IsNull(r)});
+    conjuncts.push_back(Expr::MakeOr({std::move(both_null), std::move(eq)}));
+  }
+  return Expr::MakeAnd(std::move(conjuncts));
+}
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(const RewriteOptions& options) : options_(options) {}
+
+  Result<PlanPtr> Transform(const PlanPtr& node) {
+    UNIQOPT_ASSIGN_OR_RETURN(PlanPtr current, TransformChildren(node));
+    for (int i = 0; i < options_.max_iterations_per_node; ++i) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, ApplyRulesAt(current));
+      if (next == current) break;
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  std::vector<AppliedRewrite> TakeApplied() { return std::move(applied_); }
+
+ private:
+  Result<PlanPtr> TransformChildren(const PlanPtr& node) {
+    switch (node->kind()) {
+      case PlanKind::kGet:
+        return node;
+      case PlanKind::kSelect: {
+        const SelectNode& n = *As<SelectNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr input, Transform(n.input()));
+        if (input == n.input()) return node;
+        return SelectNode::Make(std::move(input), n.predicate());
+      }
+      case PlanKind::kProject: {
+        const ProjectNode& n = *As<ProjectNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr input, Transform(n.input()));
+        if (input == n.input()) return node;
+        return ProjectNode::Make(std::move(input), n.mode(), n.columns());
+      }
+      case PlanKind::kProduct: {
+        const ProductNode& n = *As<ProductNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr left, Transform(n.left()));
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr right, Transform(n.right()));
+        if (left == n.left() && right == n.right()) return node;
+        return ProductNode::Make(std::move(left), std::move(right));
+      }
+      case PlanKind::kExists: {
+        const ExistsNode& n = *As<ExistsNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr outer, Transform(n.outer()));
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr sub, Transform(n.sub()));
+        if (outer == n.outer() && sub == n.sub()) return node;
+        return ExistsNode::Make(std::move(outer), std::move(sub),
+                                n.correlation(), n.negated());
+      }
+      case PlanKind::kSetOp: {
+        const SetOpNode& n = *As<SetOpNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr left, Transform(n.left()));
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr right, Transform(n.right()));
+        if (left == n.left() && right == n.right()) return node;
+        return SetOpNode::Make(n.op(), n.mode(), std::move(left),
+                               std::move(right));
+      }
+      case PlanKind::kAggregate: {
+        const AggregateNode& n = *As<AggregateNode>(node);
+        UNIQOPT_ASSIGN_OR_RETURN(PlanPtr input, Transform(n.input()));
+        if (input == n.input()) return node;
+        return AggregateNode::Make(std::move(input), n.group_columns(),
+                                   n.aggregates());
+      }
+    }
+    return Status::Internal("unhandled plan kind in rewriter");
+  }
+
+  Result<PlanPtr> ApplyRulesAt(const PlanPtr& node) {
+    // Set-op rewrites run before DISTINCT removal so that Theorem 3 /
+    // Corollary 2 get credited on ∩_Dist nodes (removal would first turn
+    // them into ∩_All, which Corollary 2 then converts anyway).
+    if (options_.intersect_to_exists || options_.intersect_all_to_exists ||
+        options_.except_to_not_exists) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TrySetOpToExists(node));
+      if (next != node) return next;
+    }
+    if (options_.remove_redundant_distinct) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TryRemoveDistinct(node));
+      if (next != node) return next;
+    }
+    if (options_.subquery_to_join || options_.subquery_to_distinct_join ||
+        options_.starburst_always_join) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TrySubqueryToJoin(node));
+      if (next != node) return next;
+    }
+    if (options_.join_elimination) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TryJoinElimination(node));
+      if (next != node) return next;
+    }
+    if (options_.join_to_subquery) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TryJoinToSubquery(node));
+      if (next != node) return next;
+    }
+    if (options_.semantic_predicates) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TrySemanticPredicates(node));
+      if (next != node) return next;
+    }
+    if (options_.group_by_elimination) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TryEliminateGroupBy(node));
+      if (next != node) return next;
+    }
+    if (options_.exists_to_intersect) {
+      UNIQOPT_ASSIGN_OR_RETURN(PlanPtr next, TryExistsToIntersect(node));
+      if (next != node) return next;
+    }
+    return node;
+  }
+
+  void Record(RewriteRuleId rule, std::string description) {
+    applied_.push_back({rule, std::move(description)});
+  }
+
+  // §5.1: π_Dist → π_All; ∩/−_Dist → ∩/−_All.
+  Result<PlanPtr> TryRemoveDistinct(const PlanPtr& node) {
+    if (const ProjectNode* p = As<ProjectNode>(node);
+        p != nullptr && p->mode() == DuplicateMode::kDist) {
+      UniquenessVerdict verdict = AnalyzeDistinct(node, options_.analysis);
+      if (verdict.distinct_unnecessary) {
+        Record(RewriteRuleId::kRemoveRedundantDistinct,
+               "DISTINCT removed (uniqueness condition holds)");
+        return ProjectNode::Make(p->input(), DuplicateMode::kAll,
+                                 p->columns());
+      }
+      return node;
+    }
+    if (const SetOpNode* s = As<SetOpNode>(node);
+        s != nullptr && s->mode() == DuplicateMode::kDist) {
+      DerivedProperties left = DeriveProperties(s->left(), options_.analysis);
+      DerivedProperties right =
+          DeriveProperties(s->right(), options_.analysis);
+      bool equivalent =
+          s->op() == SetOpAlgebra::kIntersect
+              ? (left.IsDuplicateFree() || right.IsDuplicateFree())
+              : left.IsDuplicateFree();
+      if (equivalent) {
+        Record(RewriteRuleId::kRemoveRedundantDistinct,
+               "set-op DISTINCT ≡ ALL (operand duplicate-free)");
+        return SetOpNode::Make(s->op(), DuplicateMode::kAll, s->left(),
+                               s->right());
+      }
+    }
+    return node;
+  }
+
+  // §5.2: π_d[A](Exists(outer, inner)) → π_d'[A](σ[corr](outer × inner)).
+  Result<PlanPtr> TrySubqueryToJoin(const PlanPtr& node) {
+    const ProjectNode* project = As<ProjectNode>(node);
+    if (project == nullptr) return node;
+    const ExistsNode* exists = As<ExistsNode>(project->input());
+    if (exists == nullptr || exists->negated()) return node;
+
+    auto rebuild_as_join = [&](DuplicateMode mode) -> PlanPtr {
+      PlanPtr product = ProductNode::Make(exists->outer(), exists->sub());
+      PlanPtr select = SelectNode::Make(product, exists->correlation());
+      return ProjectNode::Make(std::move(select), mode, project->columns());
+    };
+
+    // Theorem 2: at most one inner match ⇒ plain join, mode preserved.
+    if (options_.subquery_to_join) {
+      Result<SubqueryVerdict> verdict =
+          TestSubqueryAtMostOneMatch(*exists, options_.analysis);
+      if (verdict.ok() && verdict->at_most_one_match) {
+        Record(RewriteRuleId::kSubqueryToJoin,
+               "EXISTS converted to join (Theorem 2: inner key bound)");
+        return rebuild_as_join(project->mode());
+      }
+    }
+    // Already-DISTINCT projection: the Dist/Dist equivalence noted after
+    // Theorem 2 always allows the conversion.
+    if ((options_.subquery_to_distinct_join ||
+         options_.starburst_always_join) &&
+        project->mode() == DuplicateMode::kDist) {
+      Record(RewriteRuleId::kSubqueryToDistinctJoin,
+             "EXISTS under π_Dist converted to join");
+      return rebuild_as_join(DuplicateMode::kDist);
+    }
+    // Corollary 1: outer block duplicate-free ⇒ DISTINCT join.
+    if (options_.subquery_to_distinct_join &&
+        project->mode() == DuplicateMode::kAll) {
+      PlanPtr outer_projection = ProjectNode::Make(
+          exists->outer(), DuplicateMode::kAll, project->columns());
+      if (IsProvablyDuplicateFree(outer_projection, options_.analysis)) {
+        Record(RewriteRuleId::kSubqueryToDistinctJoin,
+               "EXISTS converted to DISTINCT join (Corollary 1: outer "
+               "duplicate-free)");
+        return rebuild_as_join(DuplicateMode::kDist);
+      }
+    }
+    // Starburst baseline: force the conversion via a DISTINCT join even
+    // without a uniqueness proof (always sound for ALL-mode outer blocks
+    // only when the outer is duplicate-free — so the baseline converts
+    // π_Dist blocks unconditionally and leaves π_All blocks with a proof
+    // obligation it cannot discharge; mirrored from Rule 7 discussion).
+    return node;
+  }
+
+  // §5.3: set operations → existential subqueries.
+  Result<PlanPtr> TrySetOpToExists(const PlanPtr& node) {
+    const SetOpNode* setop = As<SetOpNode>(node);
+    if (setop == nullptr) return node;
+    DerivedProperties left = DeriveProperties(setop->left(), options_.analysis);
+    DerivedProperties right =
+        DeriveProperties(setop->right(), options_.analysis);
+
+    if (setop->op() == SetOpAlgebra::kIntersect) {
+      bool enabled = setop->mode() == DuplicateMode::kDist
+                         ? options_.intersect_to_exists
+                         : options_.intersect_all_to_exists;
+      if (!enabled) return node;
+      const char* what = setop->mode() == DuplicateMode::kDist
+                             ? "INTERSECT (Theorem 3)"
+                             : "INTERSECT ALL (Corollary 2)";
+      if (left.IsDuplicateFree()) {
+        ExprPtr corr = MakeNullSafeCorrelation(setop->left()->schema(),
+                                               setop->right()->schema());
+        Record(setop->mode() == DuplicateMode::kDist
+                   ? RewriteRuleId::kIntersectToExists
+                   : RewriteRuleId::kIntersectAllToExists,
+               std::string(what) + " converted to EXISTS (left operand "
+                                   "duplicate-free)");
+        return ExistsNode::Make(setop->left(), setop->right(),
+                                std::move(corr), /*negated=*/false);
+      }
+      if (right.IsDuplicateFree()) {
+        ExprPtr corr = MakeNullSafeCorrelation(setop->right()->schema(),
+                                               setop->left()->schema());
+        Record(setop->mode() == DuplicateMode::kDist
+                   ? RewriteRuleId::kIntersectToExists
+                   : RewriteRuleId::kIntersectAllToExists,
+               std::string(what) + " converted to EXISTS (right operand "
+                                   "duplicate-free; operands swapped)");
+        return ExistsNode::Make(setop->right(), setop->left(),
+                                std::move(corr), /*negated=*/false);
+      }
+      return node;
+    }
+
+    // EXCEPT [ALL] → NOT EXISTS when the left operand is duplicate-free.
+    if (!options_.except_to_not_exists) return node;
+    if (left.IsDuplicateFree()) {
+      ExprPtr corr = MakeNullSafeCorrelation(setop->left()->schema(),
+                                             setop->right()->schema());
+      Record(RewriteRuleId::kExceptToNotExists,
+             "EXCEPT converted to NOT EXISTS (left operand duplicate-free)");
+      return ExistsNode::Make(setop->left(), setop->right(), std::move(corr),
+                              /*negated=*/true);
+    }
+    return node;
+  }
+
+  // §5.3 converse: Exists(L, R, null-safe column equality) → L ∩ R when
+  // L is duplicate-free (then ∩_Dist ≡ the EXISTS filter exactly).
+  Result<PlanPtr> TryExistsToIntersect(const PlanPtr& node) {
+    const ExistsNode* exists = As<ExistsNode>(node);
+    if (exists == nullptr || exists->negated()) return node;
+    const Schema& left = exists->outer()->schema();
+    const Schema& right = exists->sub()->schema();
+    if (!left.UnionCompatible(right)) return node;
+    // The correlation must be exactly the null-safe tuple equality.
+    ExprPtr expected = MakeNullSafeCorrelation(left, right);
+    if (!exists->correlation()->Equals(*expected)) return node;
+    if (!IsProvablyDuplicateFree(exists->outer(), options_.analysis)) {
+      return node;
+    }
+    Result<PlanPtr> setop =
+        SetOpNode::Make(SetOpAlgebra::kIntersect, DuplicateMode::kDist,
+                        exists->outer(), exists->sub());
+    if (!setop.ok()) return node;
+    Record(RewriteRuleId::kExistsToIntersect,
+           "null-safe EXISTS converted to INTERSECT (outer "
+           "duplicate-free)");
+    return *setop;
+  }
+
+  // GROUP BY extension: an aggregation whose group columns cover a
+  // derived key of the input has exactly one row per group; SUM/MIN/MAX
+  // of a single row equal the row's value, so the whole node collapses
+  // into a projection. (COUNT and AVG change value or type and are
+  // excluded.)
+  Result<PlanPtr> TryEliminateGroupBy(const PlanPtr& node) {
+    const AggregateNode* agg = As<AggregateNode>(node);
+    if (agg == nullptr || agg->group_columns().empty()) return node;
+    for (const AggregateItem& item : agg->aggregates()) {
+      if (item.func != AggFunc::kSum && item.func != AggFunc::kMin &&
+          item.func != AggFunc::kMax) {
+        return node;
+      }
+    }
+    DerivedProperties props =
+        DeriveProperties(agg->input(), options_.analysis);
+    AttributeSet group_set =
+        AttributeSet::FromVector(agg->group_columns());
+    AttributeSet closure = props.fds.Closure(group_set);
+    bool covers_key = false;
+    for (const AttributeSet& key : props.keys) {
+      covers_key = covers_key || key.IsSubsetOf(closure);
+    }
+    if (!covers_key) return node;
+    std::vector<size_t> columns = agg->group_columns();
+    for (const AggregateItem& item : agg->aggregates()) {
+      columns.push_back(item.arg_column);
+    }
+    Record(RewriteRuleId::kEliminateGroupByOnKey,
+           "GROUP BY on a key: single-row groups, aggregation replaced "
+           "by projection");
+    return ProjectNode::Make(agg->input(), DuplicateMode::kAll,
+                             std::move(columns));
+  }
+
+  // §7 extension: simplify the conjuncts of a selection against the
+  // CHECK constraints of the base tables below it ("true-interpreted
+  // predicate" transformations). Implied conjuncts on NOT NULL columns
+  // are dropped; a contradicted conjunct collapses the selection to
+  // FALSE (the executor then skips the input entirely).
+  Result<PlanPtr> TrySemanticPredicates(const PlanPtr& node) {
+    const SelectNode* select = As<SelectNode>(node);
+    if (select == nullptr) return node;
+    if (select->predicate()->IsFalseLiteral()) return node;  // already done
+    Result<SpecShape> shape_result = ExtractProductShape(select->input());
+    if (!shape_result.ok()) return node;
+    const SpecShape& shape = *shape_result;
+    const Schema& schema = select->input()->schema();
+
+    // Locate the owning base table of a product column.
+    auto owner = [&](size_t col) -> const SpecShape::BaseTable* {
+      for (const SpecShape::BaseTable& bt : shape.tables) {
+        size_t w = bt.get->schema().num_columns();
+        if (col >= bt.offset && col < bt.offset + w) return &bt;
+      }
+      return nullptr;
+    };
+    // Per-table domain cache.
+    std::map<const TableDef*, ColumnDomains> domains;
+    auto domain_of = [&](const SpecShape::BaseTable& bt,
+                         size_t ordinal) -> const ValueDomain& {
+      const TableDef* def = &bt.get->table();
+      auto it = domains.find(def);
+      if (it == domains.end()) {
+        it = domains.emplace(def, ColumnDomains::FromTable(*def)).first;
+      }
+      return it->second.domain(ordinal);
+    };
+
+    bool changed = false;
+    bool contradiction = false;
+    std::vector<ExprPtr> kept;
+    for (const ExprPtr& conj : FlattenAnd(select->predicate())) {
+      AtomVerdict verdict = AtomVerdict::kUnknown;
+      bool column_not_null = false;
+      size_t col = 0;
+      CompareOp op = CompareOp::kEq;
+      Value constant;
+      std::vector<Value> in_list;
+      if (MatchColumnConstant(conj, &col, &op, &constant)) {
+        const SpecShape::BaseTable* bt = owner(col);
+        if (bt != nullptr) {
+          verdict = TestAtomAgainstDomain(domain_of(*bt, col - bt->offset),
+                                          op, constant);
+          column_not_null = !schema.column(col).nullable;
+        }
+      } else if (MatchColumnInList(conj, &col, &in_list)) {
+        const SpecShape::BaseTable* bt = owner(col);
+        if (bt != nullptr) {
+          const ValueDomain& d = domain_of(*bt, col - bt->offset);
+          // Contradicted iff every listed value is impossible; implied
+          // iff the (finite) domain is a subset of the list.
+          bool all_contradicted = !in_list.empty();
+          for (const Value& v : in_list) {
+            all_contradicted =
+                all_contradicted &&
+                TestAtomAgainstDomain(d, CompareOp::kEq, v) ==
+                    AtomVerdict::kContradicted;
+          }
+          bool implied = d.values.has_value();
+          if (implied) {
+            for (const Value& dv : *d.values) {
+              bool in = false;
+              for (const Value& v : in_list) in = in || dv.Compare(v) == 0;
+              implied = implied && in;
+            }
+          }
+          if (all_contradicted) {
+            verdict = AtomVerdict::kContradicted;
+          } else if (implied) {
+            verdict = AtomVerdict::kImpliedForNonNull;
+          }
+          column_not_null = !schema.column(col).nullable;
+        }
+      } else if (conj->kind() == ExprKind::kIsNotNull &&
+                 conj->child(0)->kind() == ExprKind::kColumnRef &&
+                 !schema.column(conj->child(0)->column_index()).nullable) {
+        // IS NOT NULL on a NOT NULL column is a tautology.
+        verdict = AtomVerdict::kImpliedForNonNull;
+        column_not_null = true;
+      } else if (conj->kind() == ExprKind::kIsNull &&
+                 conj->child(0)->kind() == ExprKind::kColumnRef &&
+                 !schema.column(conj->child(0)->column_index()).nullable) {
+        verdict = AtomVerdict::kContradicted;
+      }
+
+      if (verdict == AtomVerdict::kContradicted) {
+        contradiction = true;
+        break;
+      }
+      if (verdict == AtomVerdict::kImpliedForNonNull && column_not_null) {
+        // Sound to drop: the conjunct is TRUE for every row that can
+        // exist (CHECK holds; the column cannot be NULL).
+        changed = true;
+        continue;
+      }
+      kept.push_back(conj);
+    }
+    if (contradiction) {
+      Record(RewriteRuleId::kDetectEmptyResult,
+             "WHERE conjunct contradicts a CHECK constraint: result is "
+             "empty");
+      return SelectNode::Make(select->input(), FalseLiteral());
+    }
+    if (!changed) return node;
+    Record(RewriteRuleId::kRemoveImpliedPredicate,
+           "dropped WHERE conjunct(s) implied by CHECK constraints");
+    if (kept.empty()) return select->input();
+    return SelectNode::Make(select->input(), Expr::MakeAnd(std::move(kept)));
+  }
+
+  // §7 extension: drop a table joined only through a declared foreign
+  // key. Preconditions checked below guarantee every surviving row
+  // matched the eliminated table exactly once, so ALL semantics are
+  // preserved.
+  Result<PlanPtr> TryJoinElimination(const PlanPtr& node) {
+    const ProjectNode* project = As<ProjectNode>(node);
+    if (project == nullptr) return node;
+    Result<SpecShape> shape_result = ExtractSpecShape(node);
+    if (!shape_result.ok()) return node;
+    const SpecShape& shape = *shape_result;
+    if (shape.tables.size() < 2) return node;
+    // Existential filters hold column references into the product
+    // schema; eliminating a table would invalidate them. Be
+    // conservative.
+    if (!shape.exists_filters.empty()) return node;
+
+    for (size_t victim_idx = 0; victim_idx < shape.tables.size();
+         ++victim_idx) {
+      const SpecShape::BaseTable& victim = shape.tables[victim_idx];
+      size_t begin = victim.offset;
+      size_t end = begin + victim.get->schema().num_columns();
+      auto in_victim = [&](size_t col) { return col >= begin && col < end; };
+
+      // 1. Projection must not use the victim.
+      bool projected = false;
+      for (size_t col : project->columns()) projected |= in_victim(col);
+      if (projected) continue;
+
+      // 2. Every predicate touching the victim must be an equality
+      //    between a victim column and an outside column.
+      std::vector<std::pair<size_t, size_t>> pairs;  // (outside, inside)
+      bool disqualified = false;
+      for (const ExprPtr& pred : shape.predicates) {
+        std::vector<size_t> cols;
+        pred->CollectColumns(&cols);
+        bool touches = false;
+        for (size_t c : cols) touches |= in_victim(c);
+        if (!touches) continue;
+        EqualityAtom atom = ClassifyAtom(pred);
+        if (atom.type != AtomType::kType2ColumnColumn) {
+          disqualified = true;
+          break;
+        }
+        size_t inside;
+        size_t outside;
+        if (in_victim(atom.column) && !in_victim(atom.other_column)) {
+          inside = atom.column;
+          outside = atom.other_column;
+        } else if (in_victim(atom.other_column) && !in_victim(atom.column)) {
+          inside = atom.other_column;
+          outside = atom.column;
+        } else {
+          disqualified = true;  // victim-internal or unexpected shape
+          break;
+        }
+        pairs.emplace_back(outside, inside - begin);
+      }
+      if (disqualified || pairs.empty()) continue;
+
+      // 3. Some declared foreign key from another FROM table must cover
+      //    the victim's joined columns; `representative[i]` then holds,
+      //    for each joined victim ordinal i, the product column whose
+      //    value provably equals the victim column (the FK source).
+      std::map<size_t, size_t> representative;
+      if (!MatchesForeignKey(shape, victim, pairs, &representative)) {
+        continue;
+      }
+      return EliminateTable(*project, shape, victim_idx, pairs,
+                            representative);
+    }
+    return node;
+  }
+
+  /// Searches for a foreign key (B → victim) such that:
+  ///  - B is another FROM table and every FK column of B is NOT NULL
+  ///    (a NULL row would be dropped by the join but kept afterwards);
+  ///  - every joined victim column (`pairs[*].second`) is one of the
+  ///    FK's referenced key columns (equalities on non-key victim
+  ///    columns cannot be reproduced after elimination);
+  ///  - every referenced key column is actually joined (otherwise the
+  ///    victim could match more than one row).
+  /// On success fills `representative`: victim ordinal → product column
+  /// of the FK source providing the same value.
+  static bool MatchesForeignKey(
+      const SpecShape& shape, const SpecShape::BaseTable& victim,
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      std::map<size_t, size_t>* representative) {
+    const TableDef& victim_def = victim.get->table();
+    for (const SpecShape::BaseTable& source : shape.tables) {
+      if (&source == &victim) continue;
+      const TableDef& source_def = source.get->table();
+      size_t src_begin = source.offset;
+      for (const ForeignKeyConstraint& fk : source_def.foreign_keys()) {
+        if (fk.ref_table != victim_def.name()) continue;
+        std::vector<size_t> ref_ordinals;
+        bool ok = true;
+        for (const std::string& rc : fk.ref_columns) {
+          auto ord = victim_def.ColumnOrdinal(rc);
+          if (!ord.ok()) {
+            ok = false;
+            break;
+          }
+          ref_ordinals.push_back(*ord);
+        }
+        for (size_t c : fk.columns) {
+          ok = ok && !source_def.schema().column(c).nullable;
+        }
+        if (!ok) continue;
+
+        std::map<size_t, size_t> reps;
+        for (size_t j = 0; j < ref_ordinals.size(); ++j) {
+          reps[ref_ordinals[j]] = src_begin + fk.columns[j];
+        }
+        // Every pair's victim column must be a referenced key column.
+        bool pairs_ok = true;
+        for (const auto& [outside, inside] : pairs) {
+          (void)outside;
+          pairs_ok = pairs_ok && reps.count(inside) > 0;
+        }
+        if (!pairs_ok) continue;
+        // The FK's own equalities must all be present in the query:
+        // only then is the guaranteed FK target row the row the join
+        // actually matched, making any *additional* pair equivalent to
+        // the derived predicate `outside = fk_source_column`.
+        bool fk_join_present = true;
+        for (size_t j = 0; j < ref_ordinals.size() && fk_join_present;
+             ++j) {
+          bool found = false;
+          for (const auto& [outside, inside] : pairs) {
+            found = found || (inside == ref_ordinals[j] &&
+                              outside == src_begin + fk.columns[j]);
+          }
+          fk_join_present = found;
+        }
+        if (!fk_join_present) continue;
+        *representative = std::move(reps);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<PlanPtr> EliminateTable(
+      const ProjectNode& project, const SpecShape& shape, size_t victim_idx,
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      const std::map<size_t, size_t>& representative) {
+    const SpecShape::BaseTable& victim = shape.tables[victim_idx];
+    size_t begin = victim.offset;
+    size_t width = victim.get->schema().num_columns();
+    size_t end = begin + width;
+
+    // Old→new column mapping over the shrunken product.
+    std::vector<size_t> mapping(shape.width, 0);
+    for (size_t i = 0; i < shape.width; ++i) {
+      mapping[i] = i < begin ? i : (i >= end ? i - width : 0);
+    }
+
+    // Rebuild the product of surviving tables (original order).
+    PlanPtr plan;
+    for (size_t i = 0; i < shape.tables.size(); ++i) {
+      if (i == victim_idx) continue;
+      PlanPtr get = GetNode::Make(&shape.tables[i].get->table(),
+                                  shape.tables[i].get->alias());
+      plan = plan == nullptr ? get : ProductNode::Make(plan, get);
+    }
+    // Surviving predicates, remapped.
+    std::vector<ExprPtr> predicates;
+    for (const ExprPtr& pred : shape.predicates) {
+      std::vector<size_t> cols;
+      pred->CollectColumns(&cols);
+      bool touches = false;
+      for (size_t c : cols) touches |= (c >= begin && c < end);
+      if (touches) continue;  // the FK equalities vanish with the table
+      predicates.push_back(RemapColumns(pred, mapping));
+    }
+    // Derived predicates: a pair (o, i) with o different from the FK
+    // source column constrained the victim's key from two sides; the
+    // constraint survives as o = representative(i).
+    const Schema& product_schema = project.input()->schema();
+    for (const auto& [outside, inside] : pairs) {
+      size_t rep = representative.at(inside);
+      if (rep == outside) continue;
+      const Column& oc = product_schema.column(outside);
+      const Column& rc = product_schema.column(rep);
+      ExprPtr derived = Expr::Compare(
+          CompareOp::kEq,
+          Expr::ColumnRef(mapping[outside], oc.QualifiedName(), oc.type,
+                          oc.nullable),
+          Expr::ColumnRef(mapping[rep], rc.QualifiedName(), rc.type,
+                          rc.nullable));
+      predicates.push_back(std::move(derived));
+    }
+    if (!predicates.empty()) {
+      plan = SelectNode::Make(plan, Expr::MakeAnd(std::move(predicates)));
+    }
+    std::vector<size_t> new_columns;
+    for (size_t col : project.columns()) new_columns.push_back(mapping[col]);
+    Record(RewriteRuleId::kJoinElimination,
+           "eliminated join with " + victim.get->table().name() +
+               " (inclusion dependency guarantees exactly one match)");
+    return ProjectNode::Make(std::move(plan), project.mode(),
+                             std::move(new_columns));
+  }
+
+  // §6: π_d[A ⊆ left](σ[C](L × R)) → π_d[A](Exists(σ[C_L](L), R, rest)).
+  Result<PlanPtr> TryJoinToSubquery(const PlanPtr& node) {
+    const ProjectNode* project = As<ProjectNode>(node);
+    if (project == nullptr) return node;
+    const SelectNode* select = As<SelectNode>(project->input());
+    if (select == nullptr) return node;
+    const ProductNode* product = As<ProductNode>(select->input());
+    if (product == nullptr) return node;
+    size_t left_width = product->left()->schema().num_columns();
+    for (size_t col : project->columns()) {
+      if (col >= left_width) return node;  // projection must be left-only
+    }
+    // Partition conjuncts: left-only stay on the outer; everything else
+    // becomes the correlation.
+    std::vector<ExprPtr> outer_pred;
+    std::vector<ExprPtr> correlation;
+    for (const ExprPtr& conj : FlattenAnd(select->predicate())) {
+      std::vector<size_t> cols;
+      conj->CollectColumns(&cols);
+      bool left_only = true;
+      for (size_t c : cols) left_only = left_only && c < left_width;
+      (left_only ? outer_pred : correlation).push_back(conj);
+    }
+    PlanPtr outer = product->left();
+    if (!outer_pred.empty()) {
+      outer = SelectNode::Make(outer, Expr::MakeAnd(std::move(outer_pred)));
+    }
+    PlanPtr exists =
+        ExistsNode::Make(outer, product->right(),
+                         Expr::MakeAnd(std::move(correlation)),
+                         /*negated=*/false);
+    // Valid unconditionally for π_Dist; for π_All the discarded side must
+    // match at most once (Theorem 2 read right-to-left).
+    if (project->mode() == DuplicateMode::kAll) {
+      Result<SubqueryVerdict> verdict = TestSubqueryAtMostOneMatch(
+          *As<ExistsNode>(exists), options_.analysis);
+      if (!verdict.ok() || !verdict->at_most_one_match) return node;
+      Record(RewriteRuleId::kJoinToSubquery,
+             "join converted to EXISTS (Theorem 2: discarded side unique)");
+    } else {
+      Record(RewriteRuleId::kJoinToSubquery,
+             "DISTINCT join converted to EXISTS");
+    }
+    return ProjectNode::Make(std::move(exists), project->mode(),
+                             project->columns());
+  }
+
+  const RewriteOptions& options_;
+  std::vector<AppliedRewrite> applied_;
+};
+
+}  // namespace
+
+Result<RewriteResult> RewritePlan(const PlanPtr& plan,
+                                  const RewriteOptions& options) {
+  Rewriter rewriter(options);
+  RewriteResult result;
+  UNIQOPT_ASSIGN_OR_RETURN(result.plan, rewriter.Transform(plan));
+  result.applied = rewriter.TakeApplied();
+  return result;
+}
+
+}  // namespace uniqopt

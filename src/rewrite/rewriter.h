@@ -1,0 +1,132 @@
+#ifndef UNIQOPT_REWRITE_REWRITER_H_
+#define UNIQOPT_REWRITE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/algorithm1.h"
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace uniqopt {
+
+/// The semantic rewrites of §5–§6, each gated on a uniqueness condition
+/// proved by the analysis layer.
+enum class RewriteRuleId {
+  /// §5.1 / Theorem 1: π_Dist → π_All when the uniqueness condition
+  /// holds; also ∩_Dist → ∩_All / −_Dist → −_All when an operand is
+  /// duplicate-free (the observation before Corollary 2).
+  kRemoveRedundantDistinct,
+  /// §5.2 / Theorem 2: positive EXISTS → plain join when at most one
+  /// inner row can match each outer row.
+  kSubqueryToJoin,
+  /// §5.2 / Corollary 1: EXISTS → DISTINCT join when the outer block is
+  /// duplicate-free (Example 8), or when the projection is already
+  /// DISTINCT.
+  kSubqueryToDistinctJoin,
+  /// §5.3 / Theorem 3: ∩_Dist → EXISTS with null-safe correlation when
+  /// one operand is duplicate-free.
+  kIntersectToExists,
+  /// §5.3 / Corollary 2: ∩_All → EXISTS under the same condition.
+  kIntersectAllToExists,
+  /// §5.3 (sketched; "space restrictions" in the paper): − [ALL] →
+  /// NOT EXISTS when the left operand is duplicate-free.
+  kExceptToNotExists,
+  /// §6: join → subquery for navigational back ends; valid when the
+  /// projection uses only one side's columns and either the projection
+  /// is DISTINCT or the discarded side matches at most once.
+  kJoinToSubquery,
+  /// §7 future work, implemented here: King-style join elimination via
+  /// inclusion dependencies. A table joined only through a declared
+  /// NOT NULL foreign key onto one of its candidate keys, contributing
+  /// no projection columns and no other predicates, matches exactly
+  /// once per referencing row and can be dropped from the query graph.
+  kJoinElimination,
+  /// §7 future work ("transformations based on true-interpreted
+  /// predicates"): a WHERE conjunct implied by the CHECK constraints of
+  /// a NOT NULL column is removed.
+  kRemoveImpliedPredicate,
+  /// Same machinery, the other direction: a conjunct contradicted by
+  /// the CHECK constraints proves the result empty; the selection
+  /// collapses to FALSE and the executor skips the scan.
+  kDetectEmptyResult,
+  /// GROUP BY extension: when the group columns functionally determine
+  /// a key of the input, every group holds exactly one row, so
+  /// SUM/MIN/MAX aggregates equal their argument and the aggregation
+  /// becomes a plain projection (no hash/sort work).
+  kEliminateGroupByOnKey,
+  /// §5.3's converse observation: "we now have a means of converting a
+  /// nested query specification to a query expression involving
+  /// intersection". An EXISTS whose correlation is exactly the
+  /// null-safe column-wise equality becomes an INTERSECT when the outer
+  /// block is duplicate-free — another strategy-space expansion.
+  kExistsToIntersect,
+};
+
+const char* RewriteRuleIdToString(RewriteRuleId id);
+
+struct RewriteOptions {
+  Algorithm1Options analysis;
+  bool remove_redundant_distinct = true;
+  bool subquery_to_join = true;
+  bool subquery_to_distinct_join = true;
+  bool intersect_to_exists = true;
+  bool intersect_all_to_exists = true;
+  bool except_to_not_exists = true;
+  /// Off by default: beneficial for navigational (IMS / OO) back ends,
+  /// usually not for relational executors (§6, §7 discussion).
+  bool join_to_subquery = false;
+  /// §7 extension: prune provably redundant joins via inclusion
+  /// dependencies (foreign keys).
+  bool join_elimination = true;
+  /// §7 extension: simplify WHERE conjuncts against CHECK constraints
+  /// (drop implied conjuncts, detect empty results).
+  bool semantic_predicates = true;
+  /// GROUP BY extension: turn single-row-group aggregation into
+  /// projection when the group columns cover a derived key.
+  bool group_by_elimination = true;
+  /// Off by default (it is the inverse of intersect_to_exists; enabling
+  /// both would ping-pong): convert a null-safe-equality EXISTS into an
+  /// INTERSECT for set-operation execution strategies.
+  bool exists_to_intersect = false;
+  /// Starburst-style baseline policy: convert every subquery to a join
+  /// whenever semantically possible, even without a uniqueness proof
+  /// (uses DISTINCT-join). Used by comparison benchmarks.
+  bool starburst_always_join = false;
+  /// Bound on rule applications at one node (cycle guard).
+  int max_iterations_per_node = 8;
+};
+
+struct AppliedRewrite {
+  RewriteRuleId rule;
+  std::string description;
+};
+
+struct RewriteResult {
+  PlanPtr plan;
+  std::vector<AppliedRewrite> applied;
+
+  bool Applied(RewriteRuleId id) const {
+    for (const AppliedRewrite& r : applied) {
+      if (r.rule == id) return true;
+    }
+    return false;
+  }
+};
+
+/// Applies the enabled rules bottom-up until fixpoint. Every rewrite is
+/// semantics-preserving under the multiset (ALL) semantics of §2.2,
+/// gated on the corresponding theorem's condition.
+Result<RewriteResult> RewritePlan(const PlanPtr& plan,
+                                  const RewriteOptions& options = {});
+
+/// Builds the null-safe tuple-equivalence predicate of Theorem 3 over
+/// Concat(left, right): for every column i,
+///   (L.i IS NULL AND R.i IS NULL) OR L.i = R.i,
+/// simplified to plain equality when both sides are NOT NULL (the
+/// paper's footnote 1).
+ExprPtr MakeNullSafeCorrelation(const Schema& left, const Schema& right);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_REWRITE_REWRITER_H_

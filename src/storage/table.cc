@@ -1,0 +1,168 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace uniqopt {
+
+Status Table::Validate(const Row& row) const {
+  const Schema& schema = def_->schema();
+  if (row.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        def_->name() + " arity " + std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema.column(i);
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           col.name + " of " + def_->name());
+      }
+      continue;
+    }
+    if (!Value::Comparable(v.type(), col.type)) {
+      return Status::TypeMismatch("value " + v.ToString() +
+                                  " incompatible with column " + col.name +
+                                  " of type " + TypeIdToString(col.type));
+    }
+  }
+  // CHECK constraints are true-interpreted: only FALSE rejects.
+  static const std::vector<Value> kNoParams;
+  for (const CheckConstraint& check : def_->checks()) {
+    Tribool t = check.predicate->EvaluatePredicate(row, kNoParams);
+    if (t == Tribool::kFalse) {
+      return Status::ConstraintViolation(
+          "row " + row.ToString() + " violates CHECK (" +
+          (check.sql_text.empty() ? check.predicate->ToString()
+                                  : check.sql_text) +
+          ") on " + def_->name());
+    }
+  }
+  return Status::OK();
+}
+
+bool Table::ContainsKeyValue(size_t key_index, const Row& key_row) const {
+  if (key_index >= key_sets_.size()) return false;
+  return key_sets_[key_index].count(key_row) > 0;
+}
+
+Status Table::ValidateForeignKeys(const Row& row) const {
+  if (database_ == nullptr) return Status::OK();
+  for (const ForeignKeyConstraint& fk : def_->foreign_keys()) {
+    // MATCH SIMPLE: a NULL in any referencing column exempts the row.
+    bool any_null = false;
+    for (size_t c : fk.columns) any_null = any_null || row[c].is_null();
+    if (any_null) continue;
+
+    UNIQOPT_ASSIGN_OR_RETURN(const Table* parent,
+                             database_->GetTable(fk.ref_table));
+    // Locate the referenced candidate key and its index.
+    std::vector<size_t> ref_ordinals;
+    for (const std::string& rc : fk.ref_columns) {
+      UNIQOPT_ASSIGN_OR_RETURN(size_t ord, parent->def().ColumnOrdinal(rc));
+      ref_ordinals.push_back(ord);
+    }
+    std::optional<size_t> key_index;
+    const std::vector<KeyConstraint>& parent_keys = parent->def().keys();
+    for (size_t k = 0; k < parent_keys.size(); ++k) {
+      std::vector<size_t> a = parent_keys[k].columns;
+      std::vector<size_t> b = ref_ordinals;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a == b) {
+        key_index = k;
+        break;
+      }
+    }
+    if (!key_index.has_value()) {
+      return Status::Internal("foreign key " + fk.name +
+                              " does not match a key of " + fk.ref_table);
+    }
+    // Build the probe row in the parent key's column order.
+    std::vector<Value> probe;
+    for (size_t parent_col : parent_keys[*key_index].columns) {
+      size_t j = 0;
+      while (ref_ordinals[j] != parent_col) ++j;
+      probe.push_back(row[fk.columns[j]]);
+    }
+    if (!parent->ContainsKeyValue(*key_index, Row(std::move(probe)))) {
+      return Status::ConstraintViolation(
+          "row " + row.ToString() + " violates " + fk.name +
+          ": no matching row in " + fk.ref_table);
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  UNIQOPT_RETURN_NOT_OK(Validate(row));
+  UNIQOPT_RETURN_NOT_OK(ValidateForeignKeys(row));
+  if (key_sets_.size() != def_->keys().size()) {
+    key_sets_.resize(def_->keys().size());
+  }
+  // Probe all key sets before mutating any.
+  std::vector<Row> key_rows;
+  key_rows.reserve(def_->keys().size());
+  for (size_t k = 0; k < def_->keys().size(); ++k) {
+    Row key_row = row.Project(def_->keys()[k].columns);
+    if (key_sets_[k].count(key_row) > 0) {
+      return Status::ConstraintViolation(
+          "duplicate key " + key_row.ToString() + " for " +
+          def_->keys()[k].name + " on " + def_->name());
+    }
+    key_rows.push_back(std::move(key_row));
+  }
+  for (size_t k = 0; k < key_rows.size(); ++k) {
+    key_sets_[k].insert(std::move(key_rows[k]));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  for (auto& ks : key_sets_) ks.clear();
+}
+
+Status Database::CreateTable(TableDef def) {
+  UNIQOPT_RETURN_NOT_OK(catalog_.AddTable(std::move(def)));
+  // The catalog owns the definition; point the instance at it.
+  const std::string name = catalog_.TableNames().back();
+  UNIQOPT_ASSIGN_OR_RETURN(const TableDef* stored, catalog_.GetTable(name));
+  tables_.push_back(std::make_unique<Table>(stored));
+  tables_.back()->SetDatabase(this);
+  return Status::OK();
+}
+
+Status Database::ExecuteDdl(std::string_view sql) {
+  UNIQOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  if (stmt->create_table == nullptr) {
+    return Status::InvalidArgument("expected a CREATE TABLE statement");
+  }
+  UNIQOPT_ASSIGN_OR_RETURN(TableDef def, BuildTableDef(*stmt->create_table));
+  return CreateTable(std::move(def));
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  std::string key = ToUpperAscii(name);
+  for (auto& t : tables_) {
+    if (t->def().name() == key) return t.get();
+  }
+  return Status::NotFound("table not found: " + name);
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  std::string key = ToUpperAscii(name);
+  for (const auto& t : tables_) {
+    if (t->def().name() == key) return t.get();
+  }
+  return Status::NotFound("table not found: " + name);
+}
+
+}  // namespace uniqopt

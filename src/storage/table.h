@@ -1,0 +1,95 @@
+#ifndef UNIQOPT_STORAGE_TABLE_H_
+#define UNIQOPT_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/table_def.h"
+#include "common/result.h"
+#include "types/row.h"
+
+namespace uniqopt {
+
+/// An in-memory base table. Inserts enforce, in order: arity and column
+/// types, NOT NULL, CHECK constraints (true-interpreted: a row is
+/// rejected only when a CHECK evaluates to FALSE — SQL2 semantics), and
+/// key uniqueness.
+///
+/// Key uniqueness follows the paper's reading of SQL2 UNIQUE (§2.1):
+/// NULL is treated as one special value under the null-equality operator
+/// `=!`, so at most one row may carry NULL in a single-column candidate
+/// key. This is what makes declared UNIQUE constraints usable as key
+/// dependencies in Theorem 1.
+class Database;
+
+class Table {
+ public:
+  explicit Table(const TableDef* def) : def_(def) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+
+  const TableDef& def() const { return *def_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  Status Insert(Row row);
+
+  /// Convenience for fixtures: insert from values; aborts on arity
+  /// mismatch, returns the constraint status.
+  Status InsertValues(std::vector<Value> values) {
+    return Insert(Row(std::move(values)));
+  }
+
+  void Clear();
+
+  /// Attaches the owning database; enables FOREIGN KEY enforcement on
+  /// insert (set automatically by Database::CreateTable).
+  void SetDatabase(const Database* db) { database_ = db; }
+
+  /// True when a row with this key value (projected in the key's column
+  /// order) exists. `key_index` indexes def().keys().
+  bool ContainsKeyValue(size_t key_index, const Row& key_row) const;
+
+ private:
+  Status Validate(const Row& row) const;
+  Status ValidateForeignKeys(const Row& row) const;
+
+  const TableDef* def_;
+  const Database* database_ = nullptr;
+  std::vector<Row> rows_;
+  /// One uniqueness set per declared key, holding projected key rows.
+  std::vector<std::unordered_set<Row, RowHash, RowNullSafeEqual>> key_sets_;
+};
+
+/// A catalog plus its table instances — the "database" the executor and
+/// examples run against.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Registers a definition and creates an empty instance.
+  Status CreateTable(TableDef def);
+  /// Parses `CREATE TABLE ...` and creates the table.
+  Status ExecuteDdl(std::string_view sql);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+ private:
+  Catalog catalog_;
+  std::vector<std::unique_ptr<Table>> tables_;  // parallel to catalog order
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_STORAGE_TABLE_H_

@@ -1,0 +1,57 @@
+#include "types/row.h"
+
+#include "common/hash.h"
+
+namespace uniqopt {
+
+Row Row::Concat(const Row& left, const Row& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Row(std::move(values));
+}
+
+Row Row::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Value> values;
+  values.reserve(indexes.size());
+  for (size_t i : indexes) values.push_back(values_.at(i));
+  return Row(std::move(values));
+}
+
+bool Row::NullSafeEquals(const Row& other) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!values_[i].NullSafeEquals(other.values_[i])) return false;
+  }
+  return true;
+}
+
+size_t Row::Hash() const {
+  size_t seed = 0x345678;
+  for (const Value& v : values_) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+int Row::Compare(const Row& other) const {
+  size_t n = std::min(size(), other.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (size() < other.size()) return -1;
+  if (size() > other.size()) return 1;
+  return 0;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,68 @@
+#ifndef UNIQOPT_TYPES_ROW_H_
+#define UNIQOPT_TYPES_ROW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace uniqopt {
+
+/// A tuple of values. Rows carry no schema; position i corresponds to
+/// column i of the producing operator's Schema.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_.at(i); }
+  Value& at(size_t i) { return values_.at(i); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Concatenation, used by the extended Cartesian product.
+  static Row Concat(const Row& left, const Row& right);
+
+  /// Row projected onto `indexes` (in the given order).
+  Row Project(const std::vector<size_t>& indexes) const;
+
+  /// The paper's tuple equivalence (Eq. 1): every column equal under `=!`.
+  bool NullSafeEquals(const Row& other) const;
+
+  /// Hash consistent with NullSafeEquals.
+  size_t Hash() const;
+
+  /// Lexicographic total order using Value::Compare (NULLs first).
+  int Compare(const Row& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+inline bool operator==(const Row& a, const Row& b) {
+  return a.NullSafeEquals(b);
+}
+inline bool operator!=(const Row& a, const Row& b) { return !(a == b); }
+inline bool operator<(const Row& a, const Row& b) { return a.Compare(b) < 0; }
+
+/// Functors for hash containers keyed by Row under `=!` semantics.
+struct RowHash {
+  size_t operator()(const Row& r) const { return r.Hash(); }
+};
+struct RowNullSafeEqual {
+  bool operator()(const Row& a, const Row& b) const {
+    return a.NullSafeEquals(b);
+  }
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_TYPES_ROW_H_

@@ -1,0 +1,90 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace uniqopt {
+
+std::string Column::QualifiedName() const {
+  if (qualifier.empty()) return name;
+  return qualifier + "." + name;
+}
+
+Result<size_t> Schema::Resolve(std::string_view qualifier,
+                               std::string_view name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found.has_value()) {
+      return Status::BindError("ambiguous column reference: " +
+                               std::string(name));
+    }
+    found = i;
+  }
+  if (!found.has_value()) {
+    std::string full = qualifier.empty()
+                           ? std::string(name)
+                           : std::string(qualifier) + "." + std::string(name);
+    return Status::NotFound("column not found: " + full);
+  }
+  return *found;
+}
+
+std::optional<size_t> Schema::Find(std::string_view qualifier,
+                                   std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name) &&
+        EqualsIgnoreCase(columns_[i].qualifier, qualifier)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(indexes.size());
+  for (size_t i : indexes) cols.push_back(columns_.at(i));
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(std::string_view alias) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.qualifier = std::string(alias);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Column& c = columns_[i];
+    out += c.QualifiedName();
+    out += " ";
+    out += TypeIdToString(c.type);
+    if (c.nullable) out += " NULL";
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (num_columns() != other.num_columns()) return false;
+  for (size_t i = 0; i < num_columns(); ++i) {
+    if (!Value::Comparable(columns_[i].type, other.columns_[i].type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace uniqopt

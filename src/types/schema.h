@@ -1,0 +1,72 @@
+#ifndef UNIQOPT_TYPES_SCHEMA_H_
+#define UNIQOPT_TYPES_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace uniqopt {
+
+/// A column of an operator's output. `qualifier` is the table name or
+/// correlation (alias) the column is reachable under, e.g. "S" in "S.SNO";
+/// derived columns may have an empty qualifier.
+struct Column {
+  std::string qualifier;
+  std::string name;
+  TypeId type = TypeId::kInteger;
+  bool nullable = true;
+
+  /// "Q.NAME" or just "NAME" when unqualified.
+  std::string QualifiedName() const;
+};
+
+/// An ordered list of columns describing a base table or a derived table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Resolves a possibly-qualified column reference, case-insensitively.
+  /// Unqualified names that match multiple columns are ambiguous.
+  Result<size_t> Resolve(std::string_view qualifier,
+                         std::string_view name) const;
+
+  /// Index of the column with exactly this qualifier and name, if any.
+  std::optional<size_t> Find(std::string_view qualifier,
+                             std::string_view name) const;
+
+  /// Concatenation for the extended Cartesian product.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Schema restricted to `indexes` (column order preserved as given).
+  Schema Project(const std::vector<size_t>& indexes) const;
+
+  /// Replaces every qualifier with `alias` (FROM-clause correlation name).
+  Schema WithQualifier(std::string_view alias) const;
+
+  /// "(Q.A INTEGER, Q.B VARCHAR NULL)" rendering for diagnostics.
+  std::string ToString() const;
+
+  /// True when both schemas have the same column count and pairwise
+  /// comparable types (SQL union compatibility, used by INTERSECT/EXCEPT).
+  bool UnionCompatible(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_TYPES_SCHEMA_H_

@@ -1,0 +1,67 @@
+#ifndef UNIQOPT_TYPES_TRIBOOL_H_
+#define UNIQOPT_TYPES_TRIBOOL_H_
+
+namespace uniqopt {
+
+/// SQL's three-valued logic. `kUnknown` arises from any comparison with
+/// NULL inside a WHERE/HAVING clause (the paper's §3.1, Table 2).
+enum class Tribool { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+/// Kleene conjunction.
+constexpr Tribool And(Tribool a, Tribool b) {
+  if (a == Tribool::kFalse || b == Tribool::kFalse) return Tribool::kFalse;
+  if (a == Tribool::kUnknown || b == Tribool::kUnknown) {
+    return Tribool::kUnknown;
+  }
+  return Tribool::kTrue;
+}
+
+/// Kleene disjunction.
+constexpr Tribool Or(Tribool a, Tribool b) {
+  if (a == Tribool::kTrue || b == Tribool::kTrue) return Tribool::kTrue;
+  if (a == Tribool::kUnknown || b == Tribool::kUnknown) {
+    return Tribool::kUnknown;
+  }
+  return Tribool::kFalse;
+}
+
+/// Kleene negation.
+constexpr Tribool Not(Tribool a) {
+  switch (a) {
+    case Tribool::kFalse:
+      return Tribool::kTrue;
+    case Tribool::kTrue:
+      return Tribool::kFalse;
+    case Tribool::kUnknown:
+      return Tribool::kUnknown;
+  }
+  return Tribool::kUnknown;
+}
+
+constexpr Tribool FromBool(bool b) {
+  return b ? Tribool::kTrue : Tribool::kFalse;
+}
+
+/// The paper's false-interpretation operator ⌊P⌋: UNKNOWN collapses to
+/// FALSE. This is the semantics SQL applies to WHERE-clause predicates.
+constexpr bool FalseInterpreted(Tribool t) { return t == Tribool::kTrue; }
+
+/// The paper's true-interpretation operator ⌈P⌉: UNKNOWN collapses to TRUE
+/// ("x IS NULL OR P(x)").
+constexpr bool TrueInterpreted(Tribool t) { return t != Tribool::kFalse; }
+
+constexpr const char* TriboolToString(Tribool t) {
+  switch (t) {
+    case Tribool::kFalse:
+      return "false";
+    case Tribool::kUnknown:
+      return "unknown";
+    case Tribool::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_TYPES_TRIBOOL_H_

@@ -1,0 +1,108 @@
+#ifndef UNIQOPT_TYPES_VALUE_H_
+#define UNIQOPT_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/tribool.h"
+
+namespace uniqopt {
+
+/// Column / value types supported by the library's SQL subset.
+enum class TypeId {
+  kBoolean,
+  kInteger,  ///< 64-bit signed.
+  kDouble,
+  kString,
+};
+
+const char* TypeIdToString(TypeId t);
+
+/// A typed SQL datum, possibly NULL. Values are small and copyable.
+///
+/// Two distinct equality notions are exposed, matching the paper's §3.1:
+///  - `SqlEquals` — the WHERE-clause comparison: any NULL operand yields
+///    UNKNOWN (three-valued logic);
+///  - `NullSafeEquals` — the paper's `=!` operator used by DISTINCT,
+///    GROUP BY, set operations and functional-dependency satisfaction:
+///    `NULL =! NULL` is *true*, and NULL never equals a non-NULL value.
+class Value {
+ public:
+  /// Constructs a NULL of the given type.
+  static Value Null(TypeId type) { return Value(type); }
+  static Value Boolean(bool v) { return Value(TypeId::kBoolean, Repr(v)); }
+  static Value Integer(int64_t v) { return Value(TypeId::kInteger, Repr(v)); }
+  static Value Double(double v) { return Value(TypeId::kDouble, Repr(v)); }
+  static Value String(std::string v) {
+    return Value(TypeId::kString, Repr(std::move(v)));
+  }
+
+  /// Default: NULL integer; needed so Row can be resized.
+  Value() : Value(TypeId::kInteger) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+
+  /// Typed accessors; calling the wrong accessor or reading a NULL aborts
+  /// (callers must check `is_null()` / `type()` first).
+  bool AsBoolean() const { return std::get<bool>(repr_); }
+  int64_t AsInteger() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: integers widen to double for mixed comparisons.
+  double AsNumeric() const;
+
+  /// Three-valued WHERE-clause equality (NULL ⇒ UNKNOWN).
+  Tribool SqlEquals(const Value& other) const;
+  /// Three-valued ordering comparisons (NULL ⇒ UNKNOWN).
+  Tribool SqlLess(const Value& other) const;
+  Tribool SqlLessEqual(const Value& other) const;
+
+  /// The paper's `=!` operator: NULLs compare equal to each other.
+  bool NullSafeEquals(const Value& other) const;
+
+  /// Total order used for sorting: NULL sorts first, then by value.
+  /// Returns <0, 0, >0. NULLs of any type compare equal to each other.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with `NullSafeEquals` (all NULLs hash alike).
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering ("NULL", 42, 'RED', 3.5, TRUE).
+  std::string ToString() const;
+
+  /// True when values of these types may be compared (numeric↔numeric or
+  /// same type).
+  static bool Comparable(TypeId a, TypeId b);
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+  explicit Value(TypeId type) : type_(type), repr_(std::monostate{}) {}
+  Value(TypeId type, Repr repr) : type_(type), repr_(std::move(repr)) {}
+
+  TypeId type_;
+  Repr repr_;
+};
+
+/// `operator==` follows NullSafeEquals (container/test convenience).
+inline bool operator==(const Value& a, const Value& b) {
+  return a.NullSafeEquals(b);
+}
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_TYPES_VALUE_H_

@@ -1,0 +1,109 @@
+#include "uniqopt/optimizer.h"
+
+#include "common/string_util.h"
+
+namespace uniqopt {
+
+std::string PreparedQuery::Explain() const {
+  std::string out = "SQL: " + sql + "\n";
+  out += "-- logical plan --\n";
+  out += original_plan->ToString();
+  if (rewrites.empty()) {
+    out += "-- no rewrites applied --\n";
+  } else {
+    out += "-- rewrites --\n";
+    for (const AppliedRewrite& r : rewrites) {
+      out += "  ";
+      out += RewriteRuleIdToString(r.rule);
+      out += ": ";
+      out += r.description;
+      out += "\n";
+    }
+    out += "-- optimized plan --\n";
+    out += optimized_plan->ToString();
+  }
+  if (cost_based) {
+    out += "-- cost-based choice --\n";
+    out += "  " + chosen_label +
+           " (est. rows=" + std::to_string(chosen_estimate.rows) +
+           ", cost=" + std::to_string(chosen_estimate.cost) + ")\n";
+  }
+  return out;
+}
+
+Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
+  Binder binder(&db_->catalog());
+  UNIQOPT_ASSIGN_OR_RETURN(BoundQuery bound, binder.BindSql(sql));
+  UNIQOPT_ASSIGN_OR_RETURN(RewriteResult rewritten,
+                           RewritePlan(bound.plan, rewrite_options_));
+  PreparedQuery out;
+  out.sql = sql;
+  out.original_plan = std::move(bound.plan);
+  out.optimized_plan = std::move(rewritten.plan);
+  out.rewrites = std::move(rewritten.applied);
+  out.host_vars = std::move(bound.host_vars);
+  if (use_cost_model_) {
+    CostEstimator estimator(db_);
+    std::vector<PlanAlternative> alternatives =
+        StandardAlternatives(out.original_plan, out.optimized_plan);
+    size_t best = ChooseBestAlternative(estimator, &alternatives);
+    out.cost_based = true;
+    out.optimized_plan = alternatives[best].plan;
+    out.chosen_physical = alternatives[best].physical;
+    out.chosen_label = alternatives[best].label;
+    out.chosen_estimate = alternatives[best].estimate;
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Optimizer::Execute(
+    const PreparedQuery& query,
+    const std::vector<std::pair<std::string, Value>>& params,
+    const PhysicalOptions& physical, ExecStats* stats) const {
+  ExecContext ctx;
+  ctx.params.resize(query.host_vars.size());
+  std::vector<bool> bound(query.host_vars.size(), false);
+  for (const auto& [name, value] : params) {
+    bool found = false;
+    for (size_t i = 0; i < query.host_vars.size(); ++i) {
+      if (EqualsIgnoreCase(query.host_vars[i].name, name)) {
+        ctx.params[i] = value;
+        bound[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown host variable: " + name);
+    }
+  }
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (!bound[i]) {
+      return Status::InvalidArgument("host variable not bound: :" +
+                                     query.host_vars[i].name);
+    }
+  }
+  const PhysicalOptions& effective =
+      query.cost_based ? query.chosen_physical : physical;
+  UNIQOPT_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      ExecutePlan(query.optimized_plan, *db_, &ctx, effective));
+  if (stats != nullptr) *stats = ctx.stats;
+  return rows;
+}
+
+Result<std::vector<Row>> Optimizer::Query(
+    const std::string& sql,
+    const std::vector<std::pair<std::string, Value>>& params,
+    const PhysicalOptions& physical, ExecStats* stats) const {
+  UNIQOPT_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return Execute(prepared, params, physical, stats);
+}
+
+Result<UniquenessVerdict> Optimizer::AnalyzeSql(const std::string& sql) const {
+  Binder binder(&db_->catalog());
+  UNIQOPT_ASSIGN_OR_RETURN(BoundQuery bound, binder.BindSql(sql));
+  return AnalyzeDistinct(bound.plan, rewrite_options_.analysis);
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,82 @@
+#ifndef UNIQOPT_UNIQOPT_OPTIMIZER_H_
+#define UNIQOPT_UNIQOPT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/uniqueness.h"
+#include "common/result.h"
+#include "exec/cost_model.h"
+#include "exec/planner.h"
+#include "plan/binder.h"
+#include "rewrite/rewriter.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// A fully prepared query: logical plan before/after rewriting, the
+/// rewrites that fired, and the host-variable signature.
+struct PreparedQuery {
+  std::string sql;
+  PlanPtr original_plan;
+  PlanPtr optimized_plan;
+  std::vector<AppliedRewrite> rewrites;
+  std::vector<HostVariable> host_vars;
+  /// Filled by cost-based preparation: the physical strategy selected
+  /// for `optimized_plan`, its label, and the estimate that won.
+  bool cost_based = false;
+  PhysicalOptions chosen_physical;
+  std::string chosen_label;
+  PlanEstimate chosen_estimate;
+
+  /// EXPLAIN-style report: both plans and the rewrite audit trail.
+  std::string Explain() const;
+};
+
+/// The end-to-end facade: parse → bind → semantic rewrite → execute.
+/// This is the API the examples and a downstream embedder use; the
+/// individual layers remain available for finer control.
+class Optimizer {
+ public:
+  /// When `use_cost_model` is set, Prepare additionally costs the
+  /// original and rewritten plans under the standard physical
+  /// alternatives (§5: "choose the most appropriate strategy on the
+  /// basis of its cost model") and pins the winner.
+  explicit Optimizer(Database* db, RewriteOptions rewrite_options = {},
+                     bool use_cost_model = false)
+      : db_(db),
+        rewrite_options_(std::move(rewrite_options)),
+        use_cost_model_(use_cost_model) {}
+
+  /// Parses, binds and rewrites `sql` (and cost-chooses, when enabled).
+  Result<PreparedQuery> Prepare(const std::string& sql) const;
+
+  /// Executes a prepared query's optimized plan. `params` supplies host
+  /// variables by name (case-insensitive); all declared host variables
+  /// must be bound.
+  Result<std::vector<Row>> Execute(
+      const PreparedQuery& query,
+      const std::vector<std::pair<std::string, Value>>& params = {},
+      const PhysicalOptions& physical = {}, ExecStats* stats = nullptr) const;
+
+  /// One-shot convenience: Prepare + Execute.
+  Result<std::vector<Row>> Query(
+      const std::string& sql,
+      const std::vector<std::pair<std::string, Value>>& params = {},
+      const PhysicalOptions& physical = {}, ExecStats* stats = nullptr) const;
+
+  /// Runs the DISTINCT analysis without rewriting (diagnostics).
+  Result<UniquenessVerdict> AnalyzeSql(const std::string& sql) const;
+
+  Database* database() const { return db_; }
+  const RewriteOptions& rewrite_options() const { return rewrite_options_; }
+
+ private:
+  Database* db_;
+  RewriteOptions rewrite_options_;
+  bool use_cost_model_ = false;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_UNIQOPT_OPTIMIZER_H_

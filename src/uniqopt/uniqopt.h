@@ -1,0 +1,29 @@
+#ifndef UNIQOPT_UNIQOPT_UNIQOPT_H_
+#define UNIQOPT_UNIQOPT_UNIQOPT_H_
+
+/// \mainpage uniqopt — Exploiting Uniqueness in Query Optimization
+///
+/// Umbrella header for the public API. The library reproduces
+/// Paulley & Larson (ICDE 1994):
+///  - `AnalyzeDistinct*` — Theorem 1's uniqueness condition via the
+///    paper's Algorithm 1 and an FD-propagation generalization;
+///  - `RewritePlan` — the §5/§6 semantic transformations;
+///  - `Optimizer` — the parse → bind → rewrite → execute facade;
+///  - `ims::` / `oodb::` — the §6 navigational back ends with cost
+///    accounting.
+
+#include "analysis/properties.h"      // IWYU pragma: export
+#include "analysis/subquery.h"        // IWYU pragma: export
+#include "analysis/uniqueness.h"      // IWYU pragma: export
+#include "catalog/catalog.h"          // IWYU pragma: export
+#include "exec/planner.h"             // IWYU pragma: export
+#include "ims/gateway.h"              // IWYU pragma: export
+#include "oodb/navigator.h"           // IWYU pragma: export
+#include "parser/parser.h"            // IWYU pragma: export
+#include "plan/binder.h"              // IWYU pragma: export
+#include "rewrite/rewriter.h"         // IWYU pragma: export
+#include "storage/table.h"            // IWYU pragma: export
+#include "uniqopt/optimizer.h"        // IWYU pragma: export
+#include "workload/supplier_schema.h" // IWYU pragma: export
+
+#endif  // UNIQOPT_UNIQOPT_UNIQOPT_H_

@@ -1,0 +1,94 @@
+#include "workload/query_corpus.h"
+
+namespace uniqopt {
+
+const std::vector<CorpusQuery>& DistinctQueryCorpus() {
+  static const std::vector<CorpusQuery>* kCorpus = new std::vector<
+      CorpusQuery>{
+      // -- The paper's worked examples --------------------------------
+      {"example1",
+       "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+       "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+       true, true, true},
+      {"example2",
+       "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+       "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+       false, false, false},
+      {"example4",
+       "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P "
+       "WHERE P.SNO = :SUPPLIER_NO AND S.SNO = P.SNO",
+       true, true, true},
+      {"example6",
+       "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR FROM SUPPLIER S, PARTS P "
+       "WHERE S.SNAME = :SUPPLIER_NAME AND S.SNO = P.SNO",
+       true, true, true},
+      // -- Single-table projections -----------------------------------
+      {"single-pk-no-pred",  // C = T: verbatim line 10 answers NO.
+       "SELECT DISTINCT SNO, SNAME FROM SUPPLIER", true, false, true},
+      {"single-pk-pred",
+       "SELECT DISTINCT SNO, SNAME FROM SUPPLIER WHERE SCITY = 'Toronto'",
+       true, true, true},
+      {"single-nonkey", "SELECT DISTINCT SNAME FROM SUPPLIER", false, false,
+       false},
+      {"const-bound-key",
+       "SELECT DISTINCT SNAME FROM SUPPLIER WHERE SNO = :X", true, true,
+       true},
+      {"const-bound-key-lit",
+       "SELECT DISTINCT S.SNAME, S.SCITY FROM SUPPLIER S WHERE S.SNO = 7",
+       true, true, true},
+      {"full-star-no-pred",  // C = T again.
+       "SELECT DISTINCT * FROM PARTS", true, false, true},
+      {"pk-partial",
+       "SELECT DISTINCT P.SNO, P.PNAME FROM PARTS P WHERE P.PNO = :X", true,
+       true, true},
+      {"pk-partial-miss", "SELECT DISTINCT P.SNO, P.PNAME FROM PARTS P",
+       false, false, false},
+      // -- Candidate (UNIQUE) keys ------------------------------------
+      {"unique-key-only",  // UNIQUE(OEM_PNO); C = T defeats verbatim.
+       "SELECT DISTINCT P.OEM_PNO FROM PARTS P", true, false, true},
+      {"unique-key-pred",
+       "SELECT DISTINCT P.OEM_PNO, P.PNAME FROM PARTS P "
+       "WHERE P.COLOR = 'RED'",
+       true, true, true},
+      // -- Predicate shapes -------------------------------------------
+      {"range-conjunct-harmless",
+       "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P "
+       "WHERE S.SNO = P.SNO AND P.PNO > 5",
+       true, true, true},
+      {"between-harmless",  // All conjuncts are ranges ⇒ C = T ⇒ the
+                            // verbatim algorithm answers NO (line 10).
+       "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S "
+       "WHERE S.BUDGET BETWEEN 100 AND 20000",
+       true, false, true},
+      {"disjunction-defeats",
+       "SELECT DISTINCT SNAME FROM SUPPLIER WHERE SNO = 1 OR SNO = 2",
+       false, false, false},
+      {"in-list-defeats",
+       "SELECT DISTINCT SNAME FROM SUPPLIER WHERE SNO IN (1, 2, 3)", false,
+       false, false},
+      {"no-join-pred",
+       "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P", false, false,
+       false},
+      // -- Transitivity and FD-only detection -------------------------
+      {"fd-only-chain",  // ANO → SNO → P.SNO needs FD reasoning beyond
+                         // Algorithm 1's bound-column closure.
+       "SELECT DISTINCT A.ANO, P.PNAME FROM AGENTS A, PARTS P "
+       "WHERE A.SNO = P.SNO AND P.PNO = :P",
+       true, false, true},
+      {"three-table",
+       "SELECT DISTINCT S.SNO, P.PNO, A.ANO "
+       "FROM SUPPLIER S, PARTS P, AGENTS A "
+       "WHERE S.SNO = P.SNO AND A.SNO = S.SNO",
+       true, true, true},
+      {"three-table-miss",
+       "SELECT DISTINCT S.SNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A "
+       "WHERE S.SNO = P.SNO AND A.SNO = S.SNO",
+       false, false, false},
+      {"agents-nonkey",
+       "SELECT DISTINCT A.ANAME FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+       false, false, false},
+  };
+  return *kCorpus;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,33 @@
+#ifndef UNIQOPT_WORKLOAD_QUERY_CORPUS_H_
+#define UNIQOPT_WORKLOAD_QUERY_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace uniqopt {
+
+/// One catalogued query over the Figure 1 schema.
+struct CorpusQuery {
+  std::string id;    ///< e.g. "example1", "var-proj-sname"
+  std::string sql;
+  /// Ground truth: is DISTINCT provably redundant by Theorem 1 for this
+  /// query (i.e. should a complete analyzer say YES)?
+  bool distinct_redundant = false;
+  /// Whether the published Algorithm 1 (sufficient test, verbatim
+  /// including line 10) detects it.
+  bool algorithm1_detects = false;
+  /// Whether the FD-propagation analyzer (this library's extended
+  /// detector) detects it.
+  bool fd_detects = false;
+};
+
+/// The paper's worked examples (1, 2, 4, 5, 6) plus systematic
+/// variations: projections that cover / miss keys, constant bindings via
+/// host variables, transitive equality chains, disjunctions that defeat
+/// Algorithm 1, and UNIQUE-key (OEM_PNO) coverage. Used by unit tests and
+/// by the X3/X10 applicability experiments.
+const std::vector<CorpusQuery>& DistinctQueryCorpus();
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_WORKLOAD_QUERY_CORPUS_H_

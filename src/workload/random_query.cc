@@ -1,0 +1,198 @@
+#include "workload/random_query.h"
+
+#include <vector>
+
+namespace uniqopt {
+
+struct RandomQueryGenerator::TableInfo {
+  const char* name;
+  const char* alias;
+  std::vector<const char*> int_columns;
+  std::vector<const char*> string_columns;
+  /// Values the data generator produces for the first string column.
+  std::vector<const char*> string_palette;
+};
+
+namespace {
+
+const RandomQueryGenerator::TableInfo kSupplier{
+    "SUPPLIER",
+    "S",
+    {"SNO"},
+    {"SNAME", "SCITY", "STATUS"},
+    {"Chicago", "New York", "Toronto"}};
+const RandomQueryGenerator::TableInfo kParts{
+    "PARTS",
+    "P",
+    {"SNO", "PNO", "OEM_PNO"},
+    {"PNAME", "COLOR"},
+    {"RED", "GREEN", "BLUE", "YELLOW"}};
+const RandomQueryGenerator::TableInfo kAgents{
+    "AGENTS",
+    "A",
+    {"SNO", "ANO"},
+    {"ANAME", "ACITY"},
+    {"Ottawa", "Hull", "Toronto", "Montreal"}};
+
+const RandomQueryGenerator::TableInfo* kTables[] = {&kSupplier, &kParts,
+                                                    &kAgents};
+
+}  // namespace
+
+const RandomQueryGenerator::TableInfo& RandomQueryGenerator::PickTable() {
+  return *kTables[rng_() % 3];
+}
+
+std::string RandomQueryGenerator::RandomPredicate(const std::string& alias,
+                                                  const TableInfo& table) {
+  switch (rng_() % 5) {
+    case 0: {  // int equality with constant
+      const char* col = table.int_columns[rng_() % table.int_columns.size()];
+      return alias + "." + col + " = " + std::to_string(1 + rng_() % 20);
+    }
+    case 1: {  // string equality from palette
+      const char* col =
+          table.string_columns[rng_() % table.string_columns.size()];
+      // Only COLOR/SCITY/ACITY have palettes; names use the generator's
+      // NAME-k convention.
+      std::string value;
+      std::string c = col;
+      if (c == "COLOR" || c == "SCITY" || c == "ACITY") {
+        value = table.string_palette[rng_() % table.string_palette.size()];
+      } else if (c == "STATUS") {
+        value = (rng_() % 2 == 0) ? "Active" : "Inactive";
+      } else {
+        value = std::string(table.name).substr(0, 1) +
+                "-" + std::to_string(1 + rng_() % 30);
+        value = (c == "SNAME" ? "SUPPLIER-" : c == "PNAME" ? "PART-"
+                                                           : "AGENT-") +
+                std::to_string(1 + rng_() % 30);
+      }
+      return alias + "." + c + " = '" + value + "'";
+    }
+    case 2: {  // range
+      const char* col = table.int_columns[rng_() % table.int_columns.size()];
+      int64_t lo = static_cast<int64_t>(1 + rng_() % 10);
+      return alias + "." + col + " BETWEEN " + std::to_string(lo) + " AND " +
+             std::to_string(lo + static_cast<int64_t>(rng_() % 20));
+    }
+    case 3: {  // IN list
+      const char* col = table.int_columns[rng_() % table.int_columns.size()];
+      return alias + "." + col + " IN (" + std::to_string(1 + rng_() % 10) +
+             ", " + std::to_string(1 + rng_() % 10) + ")";
+    }
+    default: {  // IS [NOT] NULL on a nullable column
+      const char* col =
+          table.string_columns[rng_() % table.string_columns.size()];
+      return alias + "." + col +
+             (rng_() % 2 == 0 ? " IS NULL" : " IS NOT NULL");
+    }
+  }
+}
+
+std::string RandomQueryGenerator::NextQuery() {
+  size_t num_tables = 1 + rng_() % options_.max_tables;
+  const TableInfo* t1 = &PickTable();
+  const TableInfo* t2 = nullptr;
+  if (num_tables == 2) {
+    do {
+      t2 = &PickTable();
+    } while (t2 == t1);
+  }
+
+  auto all_columns = [](const TableInfo& t) {
+    std::vector<std::string> cols;
+    for (const char* c : t.int_columns) cols.push_back(c);
+    for (const char* c : t.string_columns) cols.push_back(c);
+    return cols;
+  };
+
+  // Projection: 1..4 random columns across the chosen tables.
+  std::vector<std::string> proj;
+  size_t proj_count = 1 + rng_() % 4;
+  for (size_t i = 0; i < proj_count; ++i) {
+    const TableInfo* t = (t2 != nullptr && rng_() % 2 == 0) ? t2 : t1;
+    std::vector<std::string> cols = all_columns(*t);
+    std::string col = std::string(t->alias) + "." + cols[rng_() % cols.size()];
+    bool dup = false;
+    for (const std::string& p : proj) dup = dup || p == col;
+    if (!dup) proj.push_back(std::move(col));
+  }
+
+  std::uniform_real_distribution<double> unit01(0.0, 1.0);
+  bool grouped = unit01(rng_) < options_.group_by_probability;
+
+  std::string sql = options_.always_distinct || rng_() % 2 == 0
+                        ? "SELECT DISTINCT "
+                        : "SELECT ";
+  for (size_t i = 0; i < proj.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += proj[i];
+  }
+  if (grouped) {
+    // Aggregates over the first table's columns.
+    sql += ", COUNT(*)";
+    const char* icol = t1->int_columns[rng_() % t1->int_columns.size()];
+    switch (rng_() % 3) {
+      case 0:
+        sql += std::string(", SUM(") + t1->alias + "." + icol + ")";
+        break;
+      case 1:
+        sql += std::string(", MIN(") + t1->alias + "." + icol + ")";
+        break;
+      default:
+        sql += std::string(", AVG(") + t1->alias + "." + icol + ")";
+        break;
+    }
+  }
+  sql += " FROM ";
+  sql += t1->name;
+  sql += " ";
+  sql += t1->alias;
+  if (t2 != nullptr) {
+    sql += ", ";
+    sql += t2->name;
+    sql += " ";
+    sql += t2->alias;
+  }
+
+  std::vector<std::string> predicates;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  if (t2 != nullptr && unit(rng_) < options_.join_probability) {
+    predicates.push_back(std::string(t1->alias) + ".SNO = " + t2->alias +
+                         ".SNO");
+  }
+  size_t extra = rng_() % (options_.max_predicates + 1);
+  for (size_t i = 0; i < extra; ++i) {
+    if (unit(rng_) < options_.exists_probability) {
+      // Correlated EXISTS against a third table.
+      const TableInfo* sub = kTables[rng_() % 3];
+      if (sub == t1 || sub == t2) continue;
+      std::string alias = std::string(sub->alias) + "2";
+      std::string pred = std::string("EXISTS (SELECT * FROM ") + sub->name +
+                         " " + alias + " WHERE " + alias +
+                         ".SNO = " + t1->alias + ".SNO)";
+      predicates.push_back(std::move(pred));
+      continue;
+    }
+    const TableInfo* t = (t2 != nullptr && rng_() % 2 == 0) ? t2 : t1;
+    predicates.push_back(RandomPredicate(t->alias, *t));
+  }
+  if (!predicates.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += predicates[i];
+    }
+  }
+  if (grouped) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < proj.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += proj[i];
+    }
+  }
+  return sql;
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,54 @@
+#ifndef UNIQOPT_WORKLOAD_RANDOM_QUERY_H_
+#define UNIQOPT_WORKLOAD_RANDOM_QUERY_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace uniqopt {
+
+struct RandomQueryOptions {
+  uint64_t seed = 1;
+  /// Maximum FROM tables (1 or 2).
+  size_t max_tables = 2;
+  size_t max_predicates = 3;
+  /// Probability of adding the natural SNO join predicate when two
+  /// tables are chosen.
+  double join_probability = 0.8;
+  /// Probability that a generated predicate conjunct is an EXISTS
+  /// subquery.
+  double exists_probability = 0.15;
+  /// Generate SELECT DISTINCT (property tests for the analyzer) or a mix.
+  bool always_distinct = true;
+  /// Probability of producing a GROUP BY query (the projection becomes
+  /// the grouping list, plus aggregates).
+  double group_by_probability = 0.0;
+};
+
+/// Generates random SQL queries over the Figure 1 supplier schema. The
+/// generated queries stay within the supported subset (SPJ + EXISTS),
+/// reference only palette values the data generator actually produces,
+/// and are always parseable and bindable.
+class RandomQueryGenerator {
+ public:
+  explicit RandomQueryGenerator(const RandomQueryOptions& options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Next random query specification.
+  std::string NextQuery();
+
+  /// Schema metadata used to generate well-typed references.
+  struct TableInfo;
+
+ private:
+  const TableInfo& PickTable();
+  std::string RandomPredicate(const std::string& alias,
+                              const TableInfo& table);
+
+  RandomQueryOptions options_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_WORKLOAD_RANDOM_QUERY_H_

@@ -1,0 +1,141 @@
+#include "workload/supplier_schema.h"
+
+#include <random>
+#include <string>
+
+namespace uniqopt {
+
+namespace {
+
+const char* kCities[] = {"Chicago", "New York", "Toronto"};
+const char* kAgentCities[] = {"Ottawa", "Hull", "Toronto", "Montreal"};
+const char* kColors[] = {"RED", "GREEN", "BLUE", "YELLOW"};
+
+}  // namespace
+
+Status CreateSupplierSchema(Database* db,
+                            const SupplierSchemaOptions& options) {
+  std::string supplier_ddl =
+      "CREATE TABLE SUPPLIER ("
+      "  SNO INTEGER NOT NULL,"
+      "  SNAME VARCHAR(30),"
+      "  SCITY VARCHAR(20),"
+      "  BUDGET DOUBLE,"
+      "  STATUS VARCHAR(10),"
+      "  PRIMARY KEY (SNO)";
+  if (options.with_check_constraints) {
+    supplier_ddl +=
+        ", CHECK (SNO BETWEEN 1 AND " + std::to_string(options.max_sno) +
+        ")"
+        ", CHECK (SCITY IN ('Chicago', 'New York', 'Toronto'))"
+        ", CHECK (BUDGET > 0 OR STATUS = 'Inactive')";
+  }
+  supplier_ddl += ")";
+  UNIQOPT_RETURN_NOT_OK(db->ExecuteDdl(supplier_ddl));
+
+  std::string parts_ddl =
+      "CREATE TABLE PARTS ("
+      "  SNO INTEGER NOT NULL,"
+      "  PNO INTEGER NOT NULL,"
+      "  PNAME VARCHAR(30),"
+      "  OEM_PNO INTEGER,"
+      "  COLOR VARCHAR(10),"
+      "  PRIMARY KEY (SNO, PNO)";
+  if (options.with_oem_unique) parts_ddl += ", UNIQUE (OEM_PNO)";
+  if (options.with_check_constraints) {
+    parts_ddl += ", CHECK (SNO BETWEEN 1 AND " +
+                 std::to_string(options.max_sno) + ")";
+  }
+  if (options.with_foreign_keys) {
+    parts_ddl += ", FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO)";
+  }
+  parts_ddl += ")";
+  UNIQOPT_RETURN_NOT_OK(db->ExecuteDdl(parts_ddl));
+
+  std::string agents_ddl =
+      "CREATE TABLE AGENTS ("
+      "  SNO INTEGER NOT NULL,"
+      "  ANO INTEGER NOT NULL,"
+      "  ANAME VARCHAR(30),"
+      "  ACITY VARCHAR(20),"
+      "  PRIMARY KEY (ANO)";
+  if (options.with_foreign_keys) {
+    agents_ddl += ", FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO)";
+  }
+  agents_ddl += ")";
+  return db->ExecuteDdl(agents_ddl);
+}
+
+Status PopulateSupplierDatabase(Database* db,
+                                const SupplierDataOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  UNIQOPT_ASSIGN_OR_RETURN(Table * supplier, db->GetTable("SUPPLIER"));
+  UNIQOPT_ASSIGN_OR_RETURN(Table * parts, db->GetTable("PARTS"));
+  UNIQOPT_ASSIGN_OR_RETURN(Table * agents, db->GetTable("AGENTS"));
+
+  // SUPPLIER: duplicate names are drawn from a small pool so that
+  // Example 2's SNAME projection genuinely produces duplicate rows.
+  const size_t name_pool =
+      std::max<size_t>(1, static_cast<size_t>(options.num_suppliers *
+                                              (1.0 -
+                                               options.duplicate_sname_fraction)));
+  auto maybe_null = [&](Value v) {
+    if (options.null_fraction > 0 && unit(rng) < options.null_fraction) {
+      return Value::Null(v.type());
+    }
+    return v;
+  };
+  for (size_t i = 1; i <= options.num_suppliers; ++i) {
+    size_t name_id = 1 + rng() % name_pool;
+    bool inactive = unit(rng) < 0.1;
+    UNIQOPT_RETURN_NOT_OK(supplier->InsertValues(
+        {Value::Integer(static_cast<int64_t>(i)),
+         maybe_null(Value::String("SUPPLIER-" + std::to_string(name_id))),
+         maybe_null(Value::String(kCities[rng() % 3])),
+         inactive ? Value::Double(0.0)
+                  : maybe_null(Value::Double(
+                        1000.0 + static_cast<double>(rng() % 9000))),
+         Value::String(inactive ? "Inactive" : "Active")}));
+  }
+
+  // PARTS: key (SNO, PNO); part numbers repeat across suppliers so that
+  // one part may have several suppliers (Example 10's premise).
+  int64_t next_oem = 1;
+  bool used_null_oem = !options.one_null_oem;
+  for (size_t s = 1; s <= options.num_suppliers; ++s) {
+    for (size_t p = 1; p <= options.parts_per_supplier; ++p) {
+      Value oem = Value::Integer(next_oem++);
+      if (!used_null_oem && unit(rng) < 0.002) {
+        oem = Value::Null(TypeId::kInteger);
+        used_null_oem = true;
+      }
+      const char* color =
+          unit(rng) < options.red_fraction ? "RED" : kColors[1 + rng() % 3];
+      UNIQOPT_RETURN_NOT_OK(parts->InsertValues(
+          {Value::Integer(static_cast<int64_t>(s)),
+           Value::Integer(static_cast<int64_t>(p)),
+           maybe_null(Value::String("PART-" + std::to_string(p))),
+           std::move(oem), maybe_null(Value::String(color))}));
+    }
+  }
+
+  // AGENTS: each agent represents one supplier.
+  for (size_t a = 1; a <= options.num_agents; ++a) {
+    UNIQOPT_RETURN_NOT_OK(agents->InsertValues(
+        {Value::Integer(static_cast<int64_t>(1 + rng() %
+                                             options.num_suppliers)),
+         Value::Integer(static_cast<int64_t>(a)),
+         maybe_null(Value::String("AGENT-" + std::to_string(a))),
+         maybe_null(Value::String(kAgentCities[rng() % 4]))}));
+  }
+  return Status::OK();
+}
+
+Status MakeTestSupplierDatabase(Database* db) {
+  UNIQOPT_RETURN_NOT_OK(CreateSupplierSchema(db));
+  return PopulateSupplierDatabase(db);
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,67 @@
+#ifndef UNIQOPT_WORKLOAD_SUPPLIER_SCHEMA_H_
+#define UNIQOPT_WORKLOAD_SUPPLIER_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// Options for the hypothetical supplier database of Figure 1.
+struct SupplierSchemaOptions {
+  /// Upper bound of the `CHECK (SNO BETWEEN 1 AND max_sno)` constraint.
+  /// The paper uses 499; benchmarks raise it to scale the data.
+  int64_t max_sno = 499;
+  /// Include the CHECK table constraints of §2.1 (SNO range, SCITY city
+  /// list, BUDGET/STATUS implication).
+  bool with_check_constraints = true;
+  /// Declare the UNIQUE (OEM_PNO) candidate key on PARTS.
+  bool with_oem_unique = true;
+  /// Declare the Figure 1 inclusion dependencies ("Tuples in PARTS
+  /// reference the SUPPLIER who supply them; tuples in AGENTS reference
+  /// the SUPPLIER they represent"): PARTS.SNO → SUPPLIER.SNO and
+  /// AGENTS.SNO → SUPPLIER.SNO.
+  bool with_foreign_keys = true;
+};
+
+/// Creates the paper's example schema (Figure 1) in `db`:
+///   SUPPLIER(SNO, SNAME, SCITY, BUDGET, STATUS)        PK (SNO)
+///   PARTS(SNO, PNO, PNAME, OEM_PNO, COLOR)             PK (SNO, PNO),
+///                                                      UNIQUE (OEM_PNO)
+///   AGENTS(SNO, ANO, ANAME, ACITY)                     PK (ANO)
+/// with the CHECK constraints of §2.1.
+Status CreateSupplierSchema(Database* db,
+                            const SupplierSchemaOptions& options = {});
+
+/// Data-population knobs. Generation is deterministic for a given seed.
+struct SupplierDataOptions {
+  size_t num_suppliers = 100;
+  size_t parts_per_supplier = 10;
+  size_t num_agents = 50;
+  /// Fraction of suppliers sharing a name with another supplier — makes
+  /// Example 2's duplicate-producing query actually produce duplicates.
+  double duplicate_sname_fraction = 0.3;
+  /// Fraction of parts colored 'RED' (the predicate the paper's examples
+  /// filter on).
+  double red_fraction = 0.25;
+  /// Give (at most) one part a NULL OEM_PNO — the most a candidate key
+  /// admits under the paper's `=!` reading of UNIQUE.
+  bool one_null_oem = true;
+  /// Probability that any nullable non-key column is NULL. CHECK
+  /// constraints are true-interpreted, so NULLs always pass them.
+  double null_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Fills SUPPLIER/PARTS/AGENTS with synthetic rows satisfying every
+/// declared constraint. Requires max_sno >= num_suppliers.
+Status PopulateSupplierDatabase(Database* db,
+                                const SupplierDataOptions& options = {});
+
+/// Convenience: schema + data sized for unit tests (the defaults above).
+Status MakeTestSupplierDatabase(Database* db);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_WORKLOAD_SUPPLIER_SCHEMA_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(CreateSupplierSchema(&db_));
+    binder_ = std::make_unique<Binder>(&db_.catalog());
+  }
+
+  Result<BoundQuery> Bind(const std::string& sql) {
+    return binder_->BindSql(sql);
+  }
+
+  Database db_;
+  std::unique_ptr<Binder> binder_;
+};
+
+TEST_F(BinderTest, ResolvesQualifiedColumns) {
+  auto bound = Bind("SELECT S.SNO FROM SUPPLIER S");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const Schema& schema = bound->plan->schema();
+  ASSERT_EQ(schema.num_columns(), 1u);
+  EXPECT_EQ(schema.column(0).qualifier, "S");
+  EXPECT_EQ(schema.column(0).name, "SNO");
+  EXPECT_FALSE(schema.column(0).nullable);  // primary key column
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedColumnRejected) {
+  auto bound = Bind("SELECT SNO FROM SUPPLIER S, PARTS P");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_EQ(Bind("SELECT X FROM NOSUCH").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT NOSUCH FROM SUPPLIER").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(Bind("SELECT Q.SNO FROM SUPPLIER S").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  auto bound = Bind("SELECT S.SNO FROM SUPPLIER S, PARTS S");
+  ASSERT_FALSE(bound.ok());
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto all = Bind("SELECT * FROM SUPPLIER S, PARTS P");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->plan->schema().num_columns(), 10u);
+  auto one = Bind("SELECT P.* FROM SUPPLIER S, PARTS P");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->plan->schema().num_columns(), 5u);
+  EXPECT_EQ(one->plan->schema().column(0).qualifier, "P");
+}
+
+TEST_F(BinderTest, HostVariablesGetSlotsAndTypes) {
+  auto bound = Bind(
+      "SELECT S.SNO FROM SUPPLIER S "
+      "WHERE S.SNO = :NUM AND S.SNAME = :NAME AND S.SNO = :NUM");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->host_vars.size(), 2u);  // :NUM deduplicated
+  auto num = bound->HostVarSlot("NUM");
+  auto name = bound->HostVarSlot("NAME");
+  ASSERT_TRUE(num.ok());
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(bound->host_vars[*num].type, TypeId::kInteger);
+  EXPECT_EQ(bound->host_vars[*name].type, TypeId::kString);
+  EXPECT_FALSE(bound->HostVarSlot("MISSING").ok());
+}
+
+TEST_F(BinderTest, TypeMismatchRejected) {
+  auto bound = Bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 'RED'");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, NumericWideningAccepted) {
+  EXPECT_TRUE(Bind("SELECT S.SNO FROM SUPPLIER S WHERE S.BUDGET > 100").ok());
+}
+
+TEST_F(BinderTest, PlanShapeForSpec) {
+  auto bound = Bind(
+      "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO");
+  ASSERT_TRUE(bound.ok());
+  const ProjectNode* project = As<ProjectNode>(bound->plan);
+  ASSERT_NE(project, nullptr);
+  EXPECT_EQ(project->mode(), DuplicateMode::kDist);
+  const SelectNode* select = As<SelectNode>(project->input());
+  ASSERT_NE(select, nullptr);
+  EXPECT_NE(As<ProductNode>(select->input()), nullptr);
+}
+
+TEST_F(BinderTest, ExistsSplitsInnerOnlyConjuncts) {
+  auto bound = Bind(
+      "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+      "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const ProjectNode* project = As<ProjectNode>(bound->plan);
+  ASSERT_NE(project, nullptr);
+  const ExistsNode* exists = As<ExistsNode>(project->input());
+  ASSERT_NE(exists, nullptr);
+  // COLOR conjunct references only the inner table and is pushed into
+  // the subplan; the correlation keeps only the crossing conjunct.
+  const SelectNode* inner_select = As<SelectNode>(exists->sub());
+  ASSERT_NE(inner_select, nullptr);
+  EXPECT_NE(inner_select->predicate()->ToString().find("COLOR"),
+            std::string::npos);
+  EXPECT_EQ(exists->correlation()->ToString().find("COLOR"),
+            std::string::npos);
+}
+
+TEST_F(BinderTest, InnerColumnsShadowOuter) {
+  // Inside the subquery, unqualified PNO resolves to the inner PARTS
+  // even though the outer also has a PARTS instance.
+  auto bound = Bind(
+      "SELECT P.PNO FROM PARTS P WHERE EXISTS "
+      "(SELECT * FROM SUPPLIER S WHERE S.SNO = P.SNO AND SNAME IS NOT NULL)");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+}
+
+TEST_F(BinderTest, NotInSubqueryUnsupported) {
+  auto bound = Bind(
+      "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO NOT IN "
+      "(SELECT P.SNO FROM PARTS P)");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BinderTest, NestedSubqueryInsideSubqueryUnsupported) {
+  auto bound = Bind(
+      "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+      "(SELECT * FROM PARTS P WHERE EXISTS "
+      "(SELECT * FROM AGENTS A WHERE A.SNO = P.SNO))");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BinderTest, ExistsUnderOrUnsupported) {
+  auto bound = Bind(
+      "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1 OR EXISTS "
+      "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO)");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BinderTest, SetOpRequiresUnionCompatibility) {
+  auto ok = Bind("SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM PARTS");
+  EXPECT_TRUE(ok.ok());
+  auto bad = Bind(
+      "SELECT SNO FROM SUPPLIER INTERSECT SELECT PNAME FROM PARTS");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kBindError);
+  auto arity =
+      Bind("SELECT SNO, SNAME FROM SUPPLIER INTERSECT SELECT SNO FROM PARTS");
+  EXPECT_FALSE(arity.ok());
+}
+
+TEST_F(BinderTest, CheckWithHostVarRejected) {
+  Database db;
+  Status st = db.ExecuteDdl("CREATE TABLE T (A INTEGER, CHECK (A = :X))");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, BetweenDesugarsToRangeConjunction) {
+  auto bound =
+      Bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO BETWEEN 5 AND 9");
+  ASSERT_TRUE(bound.ok());
+  const ProjectNode* project = As<ProjectNode>(bound->plan);
+  const SelectNode* select = As<SelectNode>(project->input());
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->predicate()->ToString(),
+            "(S.SNO >= 5 AND S.SNO <= 9)");
+}
+
+TEST_F(BinderTest, InListDesugarsToDisjunction) {
+  auto bound =
+      Bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO IN (1, 2)");
+  ASSERT_TRUE(bound.ok());
+  const SelectNode* select =
+      As<SelectNode>(As<ProjectNode>(bound->plan)->input());
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->predicate()->ToString(), "(S.SNO = 1 OR S.SNO = 2)");
+}
+
+}  // namespace
+}  // namespace uniqopt

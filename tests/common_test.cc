@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace uniqopt {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::ParseError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad token");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, EqualityAndStreaming) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kBindError, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kConstraintViolation,
+        StatusCode::kTypeMismatch, StatusCode::kUnsupported,
+        StatusCode::kLimitExceeded, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Status::NotFound("gone");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  UNIQOPT_ASSIGN_OR_RETURN(int h, Half(x));
+  UNIQOPT_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToUpperAscii("select Sno"), "SELECT SNO");
+  EXPECT_EQ(ToLowerAscii("SELECT"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("SnO", "sno"));
+  EXPECT_FALSE(EqualsIgnoreCase("SNO", "SN"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, JoinSplitStrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StripAsciiWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+}  // namespace
+}  // namespace uniqopt

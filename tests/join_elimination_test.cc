@@ -1,0 +1,211 @@
+// Tests for the §7 extension: join elimination via inclusion
+// dependencies (King's semantic optimization, named by the paper as
+// future work), plus FOREIGN KEY catalog/storage behaviour.
+
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+class JoinEliminationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK(MakeTestSupplierDatabase(&db_)); }
+
+  RewriteResult RewriteAndCheck(const std::string& sql,
+                                const ParamBindings& params = {},
+                                const RewriteOptions& options = {}) {
+    Binder binder(&db_.catalog());
+    auto bound = binder.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto rewritten = RewritePlan(bound->plan, options);
+    EXPECT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+    ExecContext c1;
+    ExecContext c2;
+    c1.params.resize(bound->host_vars.size());
+    c2.params.resize(bound->host_vars.size());
+    for (const auto& [name, value] : params) {
+      auto slot = bound->HostVarSlot(name);
+      EXPECT_TRUE(slot.ok());
+      c1.params[*slot] = value;
+      c2.params[*slot] = value;
+    }
+    auto before = ExecutePlan(bound->plan, db_, &c1);
+    auto after = ExecutePlan(rewritten->plan, db_, &c2);
+    EXPECT_TRUE(before.ok());
+    EXPECT_TRUE(after.ok());
+    EXPECT_TRUE(MultisetEquals(*before, *after))
+        << sql << "\n"
+        << rewritten->plan->ToString();
+    return *rewritten;
+  }
+
+  Database db_;
+};
+
+TEST_F(JoinEliminationTest, ForeignKeyParsedIntoCatalog) {
+  ASSERT_OK_AND_ASSIGN(const TableDef* parts, db_.catalog().GetTable("PARTS"));
+  ASSERT_EQ(parts->foreign_keys().size(), 1u);
+  const ForeignKeyConstraint& fk = parts->foreign_keys()[0];
+  EXPECT_EQ(fk.ref_table, "SUPPLIER");
+  EXPECT_EQ(fk.columns, (std::vector<size_t>{0}));
+  EXPECT_EQ(fk.ref_columns, (std::vector<std::string>{"SNO"}));
+}
+
+TEST_F(JoinEliminationTest, ForeignKeyValidationAtCatalog) {
+  Database db;
+  // Unknown referenced table.
+  EXPECT_FALSE(db.ExecuteDdl("CREATE TABLE C (X INTEGER, "
+                             "FOREIGN KEY (X) REFERENCES NOPE (K))")
+                   .ok());
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE P (K INTEGER, V INTEGER, "
+                          "PRIMARY KEY (K))"));
+  // Referenced column is not a candidate key.
+  EXPECT_FALSE(db.ExecuteDdl("CREATE TABLE C (X INTEGER, "
+                             "FOREIGN KEY (X) REFERENCES P (V))")
+                   .ok());
+  // Type mismatch.
+  EXPECT_FALSE(db.ExecuteDdl("CREATE TABLE C (X VARCHAR(5), "
+                             "FOREIGN KEY (X) REFERENCES P (K))")
+                   .ok());
+  // Valid, with the column-level shorthand.
+  EXPECT_OK(db.ExecuteDdl(
+      "CREATE TABLE C (X INTEGER REFERENCES P (K), Y INTEGER)"));
+}
+
+TEST_F(JoinEliminationTest, StorageEnforcesForeignKeys) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE P (K INTEGER, PRIMARY KEY (K))"));
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE C (X INTEGER, FOREIGN KEY (X) REFERENCES P (K))"));
+  ASSERT_OK_AND_ASSIGN(Table * p, db.GetTable("P"));
+  ASSERT_OK_AND_ASSIGN(Table * c, db.GetTable("C"));
+  // Orphan rejected.
+  EXPECT_EQ(c->InsertValues({Value::Integer(1)}).code(),
+            StatusCode::kConstraintViolation);
+  ASSERT_OK(p->InsertValues({Value::Integer(1)}));
+  EXPECT_OK(c->InsertValues({Value::Integer(1)}));
+  // NULL referencing column is exempt (MATCH SIMPLE).
+  EXPECT_OK(c->InsertValues({Value::Null(TypeId::kInteger)}));
+}
+
+TEST_F(JoinEliminationTest, EliminatesPureKeyJoin) {
+  // SUPPLIER contributes nothing but the FK match: PARTS.SNO is NOT NULL
+  // and references SUPPLIER.SNO, so the join is a no-op.
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO, P.PNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kJoinElimination));
+  // The SUPPLIER get must be gone.
+  EXPECT_EQ(r.plan->ToString().find("SUPPLIER"), std::string::npos)
+      << r.plan->ToString();
+}
+
+TEST_F(JoinEliminationTest, KeepsJoinWhenVictimIsProjected) {
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO, S.SNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO");
+  EXPECT_FALSE(r.Applied(RewriteRuleId::kJoinElimination));
+}
+
+TEST_F(JoinEliminationTest, KeepsJoinWhenVictimIsFiltered) {
+  // The SCITY predicate makes SUPPLIER genuinely selective.
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO AND S.SCITY = 'Toronto'");
+  EXPECT_FALSE(r.Applied(RewriteRuleId::kJoinElimination));
+}
+
+TEST_F(JoinEliminationTest, KeepsJoinWithoutDeclaredForeignKey) {
+  // Same query, but the schema lacks inclusion dependencies.
+  Database db;
+  SupplierSchemaOptions opts;
+  opts.with_foreign_keys = false;
+  ASSERT_OK(CreateSupplierSchema(&db, opts));
+  ASSERT_OK(PopulateSupplierDatabase(&db));
+  Binder binder(&db.catalog());
+  auto bound = binder.BindSql(
+      "SELECT P.PNO, P.PNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO");
+  ASSERT_TRUE(bound.ok());
+  auto r = RewritePlan(bound->plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Applied(RewriteRuleId::kJoinElimination));
+}
+
+TEST_F(JoinEliminationTest, KeepsJoinWhenReferencingColumnNullable) {
+  // A nullable FK column means rows with NULL would be dropped by the
+  // join but kept after elimination — the rewrite must not fire.
+  Database db;
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE P (K INTEGER, PRIMARY KEY (K))"));
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE C (X INTEGER, V INTEGER, "
+      "FOREIGN KEY (X) REFERENCES P (K))"));
+  ASSERT_OK_AND_ASSIGN(Table * p, db.GetTable("P"));
+  ASSERT_OK_AND_ASSIGN(Table * c, db.GetTable("C"));
+  ASSERT_OK(p->InsertValues({Value::Integer(1)}));
+  ASSERT_OK(c->InsertValues({Value::Integer(1), Value::Integer(10)}));
+  ASSERT_OK(c->InsertValues(
+      {Value::Null(TypeId::kInteger), Value::Integer(20)}));
+  Binder binder(&db.catalog());
+  auto bound =
+      binder.BindSql("SELECT C.V FROM C, P WHERE C.X = P.K");
+  ASSERT_TRUE(bound.ok());
+  auto r = RewritePlan(bound->plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Applied(RewriteRuleId::kJoinElimination));
+  // And indeed the join drops the NULL row.
+  ExecContext ctx;
+  auto rows = ExecutePlan(bound->plan, db, &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(JoinEliminationTest, EliminationChainsWithOtherPredicates) {
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO, P.COLOR FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO AND P.COLOR = 'RED'");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kJoinElimination));
+}
+
+TEST_F(JoinEliminationTest, EliminatesThroughExistsRewrite) {
+  // EXISTS over the FK target: Theorem 2 converts to a join, which the
+  // inclusion dependency then eliminates entirely — the subquery was a
+  // tautology.
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO, P.PNAME FROM PARTS P WHERE EXISTS "
+      "(SELECT * FROM SUPPLIER S WHERE S.SNO = P.SNO)");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kSubqueryToJoin));
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kJoinElimination));
+  EXPECT_EQ(r.plan->ToString().find("SUPPLIER"), std::string::npos)
+      << r.plan->ToString();
+}
+
+TEST_F(JoinEliminationTest, ThreeWayJoinEliminatesOnlyRedundantTable) {
+  RewriteResult r = RewriteAndCheck(
+      "SELECT A.ANO, P.PNO FROM AGENTS A, SUPPLIER S, PARTS P "
+      "WHERE A.SNO = S.SNO AND P.SNO = S.SNO AND P.SNO = A.SNO");
+  // SUPPLIER is joined purely through FKs from both AGENTS and PARTS;
+  // with A.SNO = P.SNO retained the elimination is sound.
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kJoinElimination));
+  EXPECT_EQ(r.plan->ToString().find("SUPPLIER"), std::string::npos)
+      << r.plan->ToString();
+  EXPECT_NE(r.plan->ToString().find("AGENTS"), std::string::npos);
+  EXPECT_NE(r.plan->ToString().find("PARTS"), std::string::npos);
+}
+
+TEST_F(JoinEliminationTest, DisabledByOption) {
+  RewriteOptions opts;
+  opts.join_elimination = false;
+  RewriteResult r = RewriteAndCheck(
+      "SELECT P.PNO, P.PNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO",
+      {}, opts);
+  EXPECT_FALSE(r.Applied(RewriteRuleId::kJoinElimination));
+}
+
+}  // namespace
+}  // namespace uniqopt

@@ -1,0 +1,138 @@
+// Tests for the plan → navigation-strategy compiler (§6.2 end to end):
+// join plans run child-driven, EXISTS plans (the Theorem 2 rewrite's
+// output) run parent-driven; both produce identical rows.
+
+#include <gtest/gtest.h>
+
+#include "oodb/oo_translator.h"
+#include "rewrite/rewriter.h"
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+using oodb::OoProgram;
+using oodb::OoStrategy;
+using oodb::RunOoProgram;
+using oodb::TranslateOoPlan;
+
+class OoTranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(MakeTestSupplierDatabase(&db_));
+    auto store = oodb::BuildSupplierObjectStore(db_);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+
+  PlanPtr Bind(const std::string& sql) {
+    Binder binder(&db_.catalog());
+    auto bound = binder.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound->plan;
+  }
+
+  Database db_;
+  std::unique_ptr<oodb::ObjectStore> store_;
+};
+
+constexpr const char* kExample11 =
+    "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S, PARTS P "
+    "WHERE S.SNO BETWEEN 10 AND 20 AND S.SNO = P.SNO AND P.PNO = 4";
+
+TEST_F(OoTranslatorTest, JoinPlanCompilesChildDriven) {
+  auto program = TranslateOoPlan(*store_, Bind(kExample11));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->strategy, OoStrategy::kChildDriven);
+  ASSERT_TRUE(program->parent_lo.has_value());
+  EXPECT_EQ(program->parent_lo->AsInteger(), 10);
+  EXPECT_EQ(program->parent_hi->AsInteger(), 20);
+  ASSERT_TRUE(program->child_pno.has_value());
+  EXPECT_EQ(program->child_pno->AsInteger(), 4);
+
+  auto result = RunOoProgram(*store_, *program);
+  EXPECT_EQ(result.rows.size(), 11u);
+  EXPECT_GT(result.stats.pointer_derefs, 0u);
+}
+
+TEST_F(OoTranslatorTest, RewrittenPlanCompilesParentDriven) {
+  PlanPtr plan = Bind(kExample11);
+  RewriteOptions opts;
+  opts.join_to_subquery = true;  // navigational policy (§6)
+  opts.subquery_to_join = false;
+  opts.subquery_to_distinct_join = false;
+  opts.join_elimination = false;
+  auto rewritten = RewritePlan(plan, opts);
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_TRUE(rewritten->Applied(RewriteRuleId::kJoinToSubquery))
+      << rewritten->plan->ToString();
+
+  auto program = TranslateOoPlan(*store_, rewritten->plan);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->strategy, OoStrategy::kParentDriven);
+
+  // Both strategies must agree with relational execution.
+  auto original_program = TranslateOoPlan(*store_, plan);
+  ASSERT_TRUE(original_program.ok());
+  auto child = RunOoProgram(*store_, *original_program);
+  auto parent = RunOoProgram(*store_, *program);
+  EXPECT_TRUE(MultisetEquals(child.rows, parent.rows));
+
+  ExecContext ctx;
+  auto relational = ExecutePlan(plan, db_, &ctx);
+  ASSERT_TRUE(relational.ok());
+  EXPECT_TRUE(MultisetEquals(parent.rows, *relational));
+
+  // The selective range makes the parent-driven plan cheaper.
+  EXPECT_LT(parent.stats.EstimatedIoCost(), child.stats.EstimatedIoCost());
+  EXPECT_EQ(parent.stats.pointer_derefs, 0u);
+}
+
+TEST_F(OoTranslatorTest, HostVariablesResolveAtRunTime) {
+  PlanPtr plan = Bind(
+      "SELECT ALL S.SNO FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO BETWEEN :LO AND :HI AND S.SNO = P.SNO AND "
+      "P.PNO = :PN");
+  auto program = TranslateOoPlan(*store_, plan);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->parent_lo_host.has_value());
+  // Parameter slots assigned in first-use order: :LO, :HI, :PN.
+  auto result = RunOoProgram(
+      *store_, *program,
+      {Value::Integer(5), Value::Integer(7), Value::Integer(2)});
+  EXPECT_EQ(result.rows.size(), 3u);  // suppliers 5, 6, 7
+}
+
+TEST_F(OoTranslatorTest, ProgramToStringReadable) {
+  auto program = TranslateOoPlan(*store_, Bind(kExample11));
+  ASSERT_TRUE(program.ok());
+  std::string s = program->ToString();
+  EXPECT_NE(s.find("child-driven"), std::string::npos) << s;
+  EXPECT_NE(s.find("PNO = 4"), std::string::npos) << s;
+}
+
+TEST_F(OoTranslatorTest, UnsupportedShapes) {
+  // Projection from the child side.
+  EXPECT_FALSE(TranslateOoPlan(
+                   *store_,
+                   Bind("SELECT P.PNO FROM SUPPLIER S, PARTS P "
+                        "WHERE S.SNO = P.SNO AND P.PNO = 1"))
+                   .ok());
+  // Agents class is not part of the Example 11 family.
+  EXPECT_FALSE(TranslateOoPlan(
+                   *store_,
+                   Bind("SELECT S.SNO FROM SUPPLIER S, AGENTS A "
+                        "WHERE S.SNO = A.SNO"))
+                   .ok());
+  // Disjunctive predicate.
+  EXPECT_FALSE(TranslateOoPlan(
+                   *store_,
+                   Bind("SELECT S.SNO FROM SUPPLIER S, PARTS P "
+                        "WHERE S.SNO = P.SNO AND (P.PNO = 1 OR "
+                        "P.PNO = 2)"))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace uniqopt

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "oodb/navigator.h"
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+using oodb::BuildSupplierObjectStore;
+using oodb::ChildDrivenSuppliersForPart;
+using oodb::ClassDef;
+using oodb::NavigationSession;
+using oodb::ObjectStore;
+using oodb::Oid;
+using oodb::ParentDrivenSuppliersForPart;
+
+class OodbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(MakeTestSupplierDatabase(&db_));
+    auto store = BuildSupplierObjectStore(db_);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+
+  Database db_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_F(OodbTest, LoadsAllObjects) {
+  EXPECT_EQ(store_->num_objects(), 1150u);
+  EXPECT_EQ(store_->Extent(*store_->ClassId("Supplier")).size(), 100u);
+  EXPECT_EQ(store_->Extent(*store_->ClassId("Parts")).size(), 1000u);
+  EXPECT_EQ(store_->Extent(*store_->ClassId("Agent")).size(), 50u);
+}
+
+TEST_F(OodbTest, ChildObjectsPointToParents) {
+  size_t parts_id = *store_->ClassId("Parts");
+  size_t supplier_id = *store_->ClassId("Supplier");
+  for (Oid oid : store_->Extent(parts_id)) {
+    const auto& part = store_->Get(oid);
+    ASSERT_NE(part.parent, oodb::kNullOid);
+    EXPECT_EQ(store_->Get(part.parent).class_id, supplier_id);
+  }
+}
+
+TEST_F(OodbTest, IndexPointAndRangeProbes) {
+  NavigationSession nav(store_.get());
+  size_t supplier_id = *store_->ClassId("Supplier");
+  auto point = nav.IndexEq(supplier_id, 0, Value::Integer(7));
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->size(), 1u);
+  auto range = nav.IndexRange(supplier_id, 0, Value::Integer(10),
+                              Value::Integer(19));
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 10u);
+  EXPECT_EQ(nav.stats().index_probes, 2u);
+  EXPECT_EQ(nav.stats().index_entries, 11u);
+}
+
+TEST_F(OodbTest, MissingIndexIsAnError) {
+  NavigationSession nav(store_.get());
+  size_t agent_id = *store_->ClassId("Agent");
+  auto missing = nav.IndexEq(agent_id, 0, Value::Integer(1));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OodbTest, Example11StrategiesAgreeOnResults) {
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {10, 20}, {1, 100}, {50, 50}, {101, 200}}) {
+    auto child = ChildDrivenSuppliersForPart(*store_, 4, lo, hi);
+    auto parent = ParentDrivenSuppliersForPart(*store_, 4, lo, hi);
+    EXPECT_TRUE(MultisetEquals(child.rows, parent.rows))
+        << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST_F(OodbTest, Example11ParentDrivenAvoidsWastedDerefs) {
+  // Selective range: the child-driven plan dereferences all 100 parents
+  // (every supplier has part 4) and keeps 11; the parent-driven plan
+  // never chases a pointer it discards.
+  auto child = ChildDrivenSuppliersForPart(*store_, 4, 10, 20);
+  auto parent = ParentDrivenSuppliersForPart(*store_, 4, 10, 20);
+  ASSERT_EQ(child.rows.size(), 11u);
+  EXPECT_EQ(child.stats.pointer_derefs, 100u);
+  EXPECT_EQ(parent.stats.pointer_derefs, 0u);
+  EXPECT_LT(parent.stats.objects_retrieved, child.stats.objects_retrieved);
+}
+
+TEST_F(OodbTest, Example11ChildDrivenWinsOnWideRanges) {
+  // When the range predicate keeps everything, the parent-driven plan
+  // pays per-supplier index probes for nothing.
+  auto child = ChildDrivenSuppliersForPart(*store_, 4, 1, 100);
+  auto parent = ParentDrivenSuppliersForPart(*store_, 4, 1, 100);
+  EXPECT_EQ(child.rows.size(), 100u);
+  EXPECT_LT(child.stats.index_probes, parent.stats.index_probes);
+}
+
+TEST_F(OodbTest, InsertValidation) {
+  ObjectStore store;
+  ClassDef top;
+  top.name = "Top";
+  top.fields = {{"K", TypeId::kInteger}};
+  auto top_id = store.AddClass(top);
+  ASSERT_TRUE(top_id.ok());
+  ClassDef child;
+  child.name = "Child";
+  child.fields = {{"K", TypeId::kInteger}};
+  child.parent_class = "Top";
+  auto child_id = store.AddClass(child);
+  ASSERT_TRUE(child_id.ok());
+
+  // Parent OID required exactly when declared.
+  EXPECT_FALSE(store.Insert(*child_id, Row({Value::Integer(1)})).ok());
+  auto top_oid = store.Insert(*top_id, Row({Value::Integer(1)}));
+  ASSERT_TRUE(top_oid.ok());
+  EXPECT_FALSE(
+      store.Insert(*top_id, Row({Value::Integer(2)}), *top_oid).ok());
+  // Wrong-class parent rejected.
+  auto child_oid = store.Insert(*child_id, Row({Value::Integer(9)}), *top_oid);
+  ASSERT_TRUE(child_oid.ok());
+  EXPECT_FALSE(
+      store.Insert(*child_id, Row({Value::Integer(3)}), *child_oid).ok());
+  // Arity checked.
+  EXPECT_FALSE(store
+                   .Insert(*child_id,
+                           Row({Value::Integer(1), Value::Integer(2)}),
+                           *top_oid)
+                   .ok());
+}
+
+TEST_F(OodbTest, IndexMaintainedAcrossInserts) {
+  ObjectStore store;
+  ClassDef top;
+  top.name = "Top";
+  top.fields = {{"K", TypeId::kInteger}};
+  auto top_id = store.AddClass(top);
+  ASSERT_TRUE(top_id.ok());
+  ASSERT_OK(store.CreateIndex(*top_id, "K"));
+  for (int64_t k : {3, 1, 2}) {
+    ASSERT_TRUE(store.Insert(*top_id, Row({Value::Integer(k)})).ok());
+  }
+  NavigationSession nav(&store);
+  auto hits = nav.IndexRange(*top_id, 0, Value::Integer(1),
+                             Value::Integer(2));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+}  // namespace
+}  // namespace uniqopt

@@ -1,0 +1,153 @@
+// Tests for the logical plan layer: schema propagation, nullability,
+// printing, and the SpecShape decomposition used by the analyzers.
+
+#include <gtest/gtest.h>
+
+#include "analysis/shape.h"
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(CreateSupplierSchema(&db_));
+    binder_ = std::make_unique<Binder>(&db_.catalog());
+  }
+
+  PlanPtr Bind(const std::string& sql) {
+    auto bound = binder_->BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound->plan;
+  }
+
+  Database db_;
+  std::unique_ptr<Binder> binder_;
+};
+
+TEST_F(PlanTest, SchemaPropagation) {
+  PlanPtr plan = Bind(
+      "SELECT P.PNAME, S.SNO FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO");
+  const Schema& schema = plan->schema();
+  ASSERT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.column(0).QualifiedName(), "P.PNAME");
+  EXPECT_TRUE(schema.column(0).nullable);
+  EXPECT_EQ(schema.column(1).QualifiedName(), "S.SNO");
+  EXPECT_FALSE(schema.column(1).nullable);  // primary key column
+}
+
+TEST_F(PlanTest, ProductSchemaIsConcat) {
+  PlanPtr plan = Bind("SELECT * FROM SUPPLIER S, AGENTS A");
+  const ProjectNode* project = As<ProjectNode>(plan);
+  ASSERT_NE(project, nullptr);
+  const ProductNode* product = As<ProductNode>(project->input());
+  ASSERT_NE(product, nullptr);
+  EXPECT_EQ(product->schema().num_columns(),
+            product->left()->schema().num_columns() +
+                product->right()->schema().num_columns());
+  EXPECT_EQ(product->schema().column(5).QualifiedName(), "A.SNO");
+}
+
+TEST_F(PlanTest, ExistsPreservesOuterSchema) {
+  PlanPtr plan = Bind(
+      "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+      "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO)");
+  const ProjectNode* project = As<ProjectNode>(plan);
+  const ExistsNode* exists = As<ExistsNode>(project->input());
+  ASSERT_NE(exists, nullptr);
+  EXPECT_EQ(exists->schema().num_columns(),
+            exists->outer()->schema().num_columns());
+}
+
+TEST_F(PlanTest, SetOpNullabilityUnions) {
+  // SUPPLIER.SNO is NOT NULL, PARTS.OEM_PNO is nullable: the result
+  // column of the set operation must be nullable.
+  PlanPtr plan = Bind(
+      "SELECT SNO FROM SUPPLIER INTERSECT SELECT OEM_PNO FROM PARTS");
+  EXPECT_TRUE(plan->schema().column(0).nullable);
+  PlanPtr both_strict =
+      Bind("SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM AGENTS");
+  EXPECT_FALSE(both_strict->schema().column(0).nullable);
+}
+
+TEST_F(PlanTest, ToStringRendersTree) {
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'");
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Project DISTINCT [S.SNO]"), std::string::npos) << s;
+  EXPECT_NE(s.find("Select [(S.SNO = P.SNO AND P.COLOR = 'RED')]"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("Get SUPPLIER AS S"), std::string::npos) << s;
+  // Indentation shows structure.
+  EXPECT_NE(s.find("\n  Select"), std::string::npos) << s;
+  EXPECT_NE(s.find("\n    Product"), std::string::npos) << s;
+}
+
+TEST_F(PlanTest, AggregateSchemaAndPrinting) {
+  PlanPtr plan = Bind(
+      "SELECT SCITY, COUNT(*), SUM(BUDGET) FROM SUPPLIER GROUP BY SCITY");
+  const ProjectNode* project = As<ProjectNode>(plan);
+  ASSERT_NE(project, nullptr);
+  const AggregateNode* agg = As<AggregateNode>(project->input());
+  ASSERT_NE(agg, nullptr);
+  const Schema& schema = agg->schema();
+  ASSERT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.column(1).name, "COUNT(*)");
+  EXPECT_EQ(schema.column(1).type, TypeId::kInteger);
+  EXPECT_FALSE(schema.column(1).nullable);
+  EXPECT_EQ(schema.column(2).type, TypeId::kDouble);  // SUM over DOUBLE
+  EXPECT_TRUE(schema.column(2).nullable);
+  EXPECT_NE(plan->ToString().find("Aggregate [SUPPLIER.SCITY]"),
+            std::string::npos);
+}
+
+TEST_F(PlanTest, SpecShapeDecomposition) {
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A "
+      "WHERE S.SNO = P.SNO AND A.SNO = S.SNO AND P.COLOR = 'RED'");
+  auto shape = ExtractSpecShape(plan);
+  ASSERT_TRUE(shape.ok()) << shape.status().ToString();
+  ASSERT_EQ(shape->tables.size(), 3u);
+  EXPECT_EQ(shape->tables[0].offset, 0u);
+  EXPECT_EQ(shape->tables[1].offset, 5u);   // SUPPLIER has 5 columns
+  EXPECT_EQ(shape->tables[2].offset, 10u);  // PARTS has 5 columns
+  EXPECT_EQ(shape->predicates.size(), 3u);
+  EXPECT_EQ(shape->width, 14u);
+}
+
+TEST_F(PlanTest, SpecShapeRejectsSetOps) {
+  PlanPtr plan =
+      Bind("SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM AGENTS");
+  auto shape = ExtractSpecShape(plan);
+  EXPECT_FALSE(shape.ok());
+  EXPECT_EQ(shape.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(PlanTest, SpecShapeCollectsExistsFilters) {
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNO FROM SUPPLIER S "
+      "WHERE S.SCITY = 'Toronto' AND EXISTS "
+      "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO)");
+  auto shape = ExtractSpecShape(plan);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->exists_filters.size(), 1u);
+  EXPECT_EQ(shape->predicates.size(), 1u);
+  EXPECT_EQ(shape->tables.size(), 1u);
+}
+
+TEST_F(PlanTest, AsDowncastsAreChecked) {
+  PlanPtr plan = Bind("SELECT SNO FROM SUPPLIER");
+  EXPECT_NE(As<ProjectNode>(plan), nullptr);
+  EXPECT_EQ(As<SelectNode>(plan), nullptr);
+  EXPECT_EQ(As<GetNode>(plan), nullptr);
+  EXPECT_EQ(As<SetOpNode>(plan), nullptr);
+  EXPECT_EQ(As<AggregateNode>(plan), nullptr);
+}
+
+}  // namespace
+}  // namespace uniqopt

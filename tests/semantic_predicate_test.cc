@@ -1,0 +1,209 @@
+// Tests for the §7 "true-interpreted predicate" extension: WHERE
+// conjuncts simplified against CHECK constraints — the implication
+// engine (analysis/implication) and the RemoveImpliedPredicate /
+// DetectEmptyResult rewrites.
+
+#include <gtest/gtest.h>
+
+#include "analysis/implication.h"
+#include "rewrite/rewriter.h"
+#include "test_util.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+// --------------------------------------------------------------- domains
+TEST(ImplicationTest, IntervalFromChecks) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE T (A INTEGER NOT NULL, CHECK (A BETWEEN 1 AND 499))"));
+  ASSERT_OK_AND_ASSIGN(const TableDef* t, db.catalog().GetTable("T"));
+  ColumnDomains domains = ColumnDomains::FromTable(*t);
+  const ValueDomain& d = domains.domain(0);
+  ASSERT_TRUE(d.min.has_value());
+  ASSERT_TRUE(d.max.has_value());
+  EXPECT_EQ(d.min->AsInteger(), 1);
+  EXPECT_EQ(d.max->AsInteger(), 499);
+
+  // Implications against the interval.
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kGe, Value::Integer(0)),
+            AtomVerdict::kImpliedForNonNull);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kLe, Value::Integer(499)),
+            AtomVerdict::kImpliedForNonNull);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kGt, Value::Integer(0)),
+            AtomVerdict::kImpliedForNonNull);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kEq, Value::Integer(600)),
+            AtomVerdict::kContradicted);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kGt, Value::Integer(499)),
+            AtomVerdict::kContradicted);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kLt, Value::Integer(1)),
+            AtomVerdict::kContradicted);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kEq, Value::Integer(42)),
+            AtomVerdict::kUnknown);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kNe, Value::Integer(600)),
+            AtomVerdict::kImpliedForNonNull);
+}
+
+TEST(ImplicationTest, FiniteSetFromInListCheck) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE T (C VARCHAR(20) NOT NULL, "
+      "CHECK (C IN ('Chicago', 'New York', 'Toronto')))"));
+  ASSERT_OK_AND_ASSIGN(const TableDef* t, db.catalog().GetTable("T"));
+  ColumnDomains domains = ColumnDomains::FromTable(*t);
+  const ValueDomain& d = domains.domain(0);
+  ASSERT_TRUE(d.values.has_value());
+  EXPECT_EQ(d.values->size(), 3u);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kEq, Value::String("Paris")),
+            AtomVerdict::kContradicted);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kNe, Value::String("Paris")),
+            AtomVerdict::kImpliedForNonNull);
+  EXPECT_EQ(
+      TestAtomAgainstDomain(d, CompareOp::kEq, Value::String("Toronto")),
+      AtomVerdict::kUnknown);
+}
+
+TEST(ImplicationTest, PinnedColumn) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE T (A INTEGER NOT NULL, CHECK (A = 7))"));
+  ASSERT_OK_AND_ASSIGN(const TableDef* t, db.catalog().GetTable("T"));
+  ColumnDomains domains = ColumnDomains::FromTable(*t);
+  const ValueDomain& d = domains.domain(0);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kEq, Value::Integer(7)),
+            AtomVerdict::kImpliedForNonNull);
+  EXPECT_EQ(TestAtomAgainstDomain(d, CompareOp::kNe, Value::Integer(7)),
+            AtomVerdict::kContradicted);
+}
+
+TEST(ImplicationTest, MatchersHandleOperandOrder) {
+  size_t col = 0;
+  CompareOp op = CompareOp::kEq;
+  Value v;
+  // 5 < A  ≡  A > 5.
+  ExprPtr e = Expr::Compare(CompareOp::kLt,
+                            Expr::Literal(Value::Integer(5)),
+                            Expr::ColumnRef(3, "A", TypeId::kInteger));
+  ASSERT_TRUE(MatchColumnConstant(e, &col, &op, &v));
+  EXPECT_EQ(col, 3u);
+  EXPECT_EQ(op, CompareOp::kGt);
+  // NULL literals never match.
+  ExprPtr n = Expr::Compare(CompareOp::kEq,
+                            Expr::ColumnRef(1, "A", TypeId::kInteger),
+                            Expr::Literal(Value::Null(TypeId::kInteger)));
+  EXPECT_FALSE(MatchColumnConstant(n, &col, &op, &v));
+  // Mixed-column disjunctions don't form an IN-list.
+  std::vector<Value> vals;
+  ExprPtr mixed = Expr::MakeOr(
+      {Expr::Compare(CompareOp::kEq, Expr::ColumnRef(0, "A", TypeId::kInteger),
+                     Expr::Literal(Value::Integer(1))),
+       Expr::Compare(CompareOp::kEq, Expr::ColumnRef(1, "B", TypeId::kInteger),
+                     Expr::Literal(Value::Integer(2)))});
+  EXPECT_FALSE(MatchColumnInList(mixed, &col, &vals));
+}
+
+// --------------------------------------------------------------- rewrites
+class SemanticPredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK(MakeTestSupplierDatabase(&db_)); }
+
+  RewriteResult Rewrite(const std::string& sql) {
+    Binder binder(&db_.catalog());
+    auto bound = binder.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto r = RewritePlan(bound->plan);
+    EXPECT_TRUE(r.ok());
+    // Execute both plans and compare (no host vars in these tests).
+    ExecContext c1;
+    ExecContext c2;
+    auto before = ExecutePlan(bound->plan, db_, &c1);
+    auto after = ExecutePlan(r->plan, db_, &c2);
+    EXPECT_TRUE(before.ok());
+    EXPECT_TRUE(after.ok());
+    EXPECT_TRUE(MultisetEquals(*before, *after)) << sql;
+    return *r;
+  }
+
+  Database db_;
+};
+
+TEST_F(SemanticPredicateTest, ImpliedRangeConjunctDropped) {
+  // CHECK (SNO BETWEEN 1 AND 499) and SNO NOT NULL: the WHERE range is
+  // implied.
+  RewriteResult r = Rewrite(
+      "SELECT SNAME FROM SUPPLIER WHERE SNO BETWEEN 1 AND 499");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kRemoveImpliedPredicate));
+  // The whole Select disappears (all conjuncts implied).
+  EXPECT_EQ(r.plan->ToString().find("Select"), std::string::npos)
+      << r.plan->ToString();
+}
+
+TEST_F(SemanticPredicateTest, NullableColumnKeepsImpliedConjunct) {
+  // SCITY is nullable: CHECK(SCITY IN (...)) is true-interpreted, so a
+  // NULL city passes the CHECK but must still be rejected by the WHERE.
+  RewriteResult r = Rewrite(
+      "SELECT SNO FROM SUPPLIER "
+      "WHERE SCITY IN ('Chicago', 'New York', 'Toronto')");
+  EXPECT_FALSE(r.Applied(RewriteRuleId::kRemoveImpliedPredicate));
+}
+
+TEST_F(SemanticPredicateTest, ContradictionYieldsEmptyPlan) {
+  RewriteResult r = Rewrite("SELECT SNAME FROM SUPPLIER WHERE SNO = 600");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kDetectEmptyResult));
+  ExecStats stats;
+  ExecContext ctx;
+  auto rows = ExecutePlan(r.plan, db_, &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  // The executor must not even scan the table.
+  EXPECT_EQ(ctx.stats.rows_scanned, 0u);
+}
+
+TEST_F(SemanticPredicateTest, ContradictionViaInListCheck) {
+  RewriteResult r =
+      Rewrite("SELECT SNO FROM SUPPLIER WHERE SCITY = 'Paris'");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kDetectEmptyResult));
+}
+
+TEST_F(SemanticPredicateTest, IsNotNullTautologyDropped) {
+  RewriteResult r =
+      Rewrite("SELECT SNAME FROM SUPPLIER WHERE SNO IS NOT NULL");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kRemoveImpliedPredicate));
+}
+
+TEST_F(SemanticPredicateTest, IsNullOnNotNullColumnIsEmpty) {
+  RewriteResult r = Rewrite("SELECT SNAME FROM SUPPLIER WHERE SNO IS NULL");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kDetectEmptyResult));
+}
+
+TEST_F(SemanticPredicateTest, UnrelatedConjunctsSurvive) {
+  RewriteResult r = Rewrite(
+      "SELECT SNAME FROM SUPPLIER WHERE SNO >= 1 AND SCITY = 'Toronto'");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kRemoveImpliedPredicate));
+  // SCITY = 'Toronto' must remain.
+  EXPECT_NE(r.plan->ToString().find("SCITY"), std::string::npos)
+      << r.plan->ToString();
+}
+
+TEST_F(SemanticPredicateTest, WorksUnderJoins) {
+  RewriteResult r = Rewrite(
+      "SELECT S.SNAME, P.PNO FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO AND P.SNO >= 1");
+  EXPECT_TRUE(r.Applied(RewriteRuleId::kRemoveImpliedPredicate));
+  EXPECT_FALSE(r.Applied(RewriteRuleId::kDetectEmptyResult));
+}
+
+TEST_F(SemanticPredicateTest, DisabledByOption) {
+  Binder binder(&db_.catalog());
+  auto bound = binder.BindSql("SELECT SNAME FROM SUPPLIER WHERE SNO = 600");
+  ASSERT_TRUE(bound.ok());
+  RewriteOptions opts;
+  opts.semantic_predicates = false;
+  auto r = RewritePlan(bound->plan, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Applied(RewriteRuleId::kDetectEmptyResult));
+}
+
+}  // namespace
+}  // namespace uniqopt

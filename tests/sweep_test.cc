@@ -1,0 +1,112 @@
+// Parameterized invariant sweeps across analyzer configurations and the
+// whole workload (corpus + generated queries):
+//  - monotonicity: enabling an analyzer ingredient never loses a YES;
+//  - idempotence: rewriting a rewritten plan changes nothing;
+//  - verdict stability: the analyzer's answer is deterministic and
+//    consistent between the Algorithm 1 and combined entry points.
+
+#include <gtest/gtest.h>
+
+#include "analysis/uniqueness.h"
+#include "rewrite/rewriter.h"
+#include "test_util.h"
+#include "workload/query_corpus.h"
+#include "workload/random_query.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+class SweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(CreateSupplierSchema(&db_));
+    SupplierDataOptions data;
+    data.num_suppliers = 30;
+    data.parts_per_supplier = 5;
+    data.num_agents = 15;
+    data.null_fraction = 0.1;
+    ASSERT_OK(PopulateSupplierDatabase(&db_, data));
+  }
+
+  std::vector<PlanPtr> Workload() {
+    std::vector<PlanPtr> plans;
+    Binder binder(&db_.catalog());
+    for (const CorpusQuery& q : DistinctQueryCorpus()) {
+      auto bound = binder.BindSql(q.sql);
+      EXPECT_TRUE(bound.ok()) << q.id;
+      if (bound.ok()) plans.push_back(bound->plan);
+    }
+    RandomQueryOptions qopts;
+    qopts.seed = GetParam();
+    qopts.always_distinct = false;
+    qopts.group_by_probability = 0.2;
+    RandomQueryGenerator gen(qopts);
+    for (int i = 0; i < 80; ++i) {
+      auto bound = binder.BindSql(gen.NextQuery());
+      if (bound.ok()) plans.push_back(bound->plan);
+    }
+    return plans;
+  }
+
+  Database db_;
+};
+
+TEST_P(SweepTest, AnalyzerIngredientsAreMonotone) {
+  // weaker ⊑ stronger configurations; a YES may never disappear.
+  Algorithm1Options weakest;
+  weakest.verbatim_line10 = true;
+  weakest.bind_constants = false;
+  weakest.use_column_equivalence = false;
+  weakest.use_unique_keys = false;
+  Algorithm1Options mid;
+  mid.verbatim_line10 = true;
+  Algorithm1Options full;  // extended line 10, everything on
+  for (const PlanPtr& plan : Workload()) {
+    auto weak = AnalyzeDistinctAlgorithm1(plan, weakest);
+    auto medium = AnalyzeDistinctAlgorithm1(plan, mid);
+    auto strong = AnalyzeDistinctAlgorithm1(plan, full);
+    if (!weak.ok()) continue;  // unsupported shape: all three agree
+    ASSERT_TRUE(medium.ok());
+    ASSERT_TRUE(strong.ok());
+    if (weak->distinct_unnecessary) {
+      EXPECT_TRUE(medium->distinct_unnecessary) << plan->ToString();
+    }
+    if (medium->distinct_unnecessary) {
+      EXPECT_TRUE(strong->distinct_unnecessary) << plan->ToString();
+    }
+    // The FD detector subsumes the strongest Algorithm 1 configuration.
+    if (strong->distinct_unnecessary) {
+      EXPECT_TRUE(AnalyzeDistinctFd(plan).distinct_unnecessary)
+          << plan->ToString();
+    }
+  }
+}
+
+TEST_P(SweepTest, RewriteIsIdempotent) {
+  for (const PlanPtr& plan : Workload()) {
+    auto once = RewritePlan(plan);
+    ASSERT_TRUE(once.ok());
+    auto twice = RewritePlan(once->plan);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_TRUE(twice->applied.empty())
+        << "second rewrite pass still fired "
+        << RewriteRuleIdToString(twice->applied[0].rule) << " on\n"
+        << once->plan->ToString();
+    EXPECT_EQ(twice->plan, once->plan);
+  }
+}
+
+TEST_P(SweepTest, VerdictsAreDeterministic) {
+  for (const PlanPtr& plan : Workload()) {
+    UniquenessVerdict a = AnalyzeDistinct(plan);
+    UniquenessVerdict b = AnalyzeDistinct(plan);
+    EXPECT_EQ(a.distinct_unnecessary, b.distinct_unnecessary);
+    EXPECT_EQ(a.has_distinct, b.has_distinct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepTest, ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace uniqopt
