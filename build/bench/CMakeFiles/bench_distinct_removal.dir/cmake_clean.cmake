@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distinct_removal.dir/bench_distinct_removal.cc.o"
+  "CMakeFiles/bench_distinct_removal.dir/bench_distinct_removal.cc.o.d"
+  "bench_distinct_removal"
+  "bench_distinct_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distinct_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

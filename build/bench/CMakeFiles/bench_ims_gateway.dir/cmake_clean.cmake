@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ims_gateway.dir/bench_ims_gateway.cc.o"
+  "CMakeFiles/bench_ims_gateway.dir/bench_ims_gateway.cc.o.d"
+  "bench_ims_gateway"
+  "bench_ims_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ims_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

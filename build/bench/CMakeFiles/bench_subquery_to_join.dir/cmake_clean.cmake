@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subquery_to_join.dir/bench_subquery_to_join.cc.o"
+  "CMakeFiles/bench_subquery_to_join.dir/bench_subquery_to_join.cc.o.d"
+  "bench_subquery_to_join"
+  "bench_subquery_to_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subquery_to_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

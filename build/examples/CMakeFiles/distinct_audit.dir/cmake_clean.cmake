@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_audit.dir/distinct_audit.cc.o"
+  "CMakeFiles/distinct_audit.dir/distinct_audit.cc.o.d"
+  "distinct_audit"
+  "distinct_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ims_gateway.dir/ims_gateway.cc.o"
+  "CMakeFiles/ims_gateway.dir/ims_gateway.cc.o.d"
+  "ims_gateway"
+  "ims_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ims_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

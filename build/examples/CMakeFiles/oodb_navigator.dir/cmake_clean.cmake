@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_navigator.dir/oodb_navigator.cc.o"
+  "CMakeFiles/oodb_navigator.dir/oodb_navigator.cc.o.d"
+  "oodb_navigator"
+  "oodb_navigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oodb_navigator.
+# This may be replaced when dependencies are built.

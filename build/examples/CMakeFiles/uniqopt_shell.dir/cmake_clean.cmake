@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_shell.dir/uniqopt_shell.cc.o"
+  "CMakeFiles/uniqopt_shell.dir/uniqopt_shell.cc.o.d"
+  "uniqopt_shell"
+  "uniqopt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("expr")
+subdirs("catalog")
+subdirs("parser")
+subdirs("fd")
+subdirs("plan")
+subdirs("analysis")
+subdirs("rewrite")
+subdirs("storage")
+subdirs("exec")
+subdirs("ims")
+subdirs("oodb")
+subdirs("workload")
+subdirs("uniqopt")

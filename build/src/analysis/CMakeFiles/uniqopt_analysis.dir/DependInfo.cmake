@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/algorithm1.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/algorithm1.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/algorithm1.cc.o.d"
+  "/root/repo/src/analysis/implication.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/implication.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/implication.cc.o.d"
+  "/root/repo/src/analysis/properties.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/properties.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/properties.cc.o.d"
+  "/root/repo/src/analysis/shape.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/shape.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/shape.cc.o.d"
+  "/root/repo/src/analysis/subquery.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/subquery.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/subquery.cc.o.d"
+  "/root/repo/src/analysis/uniqueness.cc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/uniqueness.cc.o" "gcc" "src/analysis/CMakeFiles/uniqopt_analysis.dir/uniqueness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/uniqopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uniqopt_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/uniqopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/uniqopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/uniqopt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/uniqopt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uniqopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

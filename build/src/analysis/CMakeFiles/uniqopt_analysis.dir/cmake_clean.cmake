@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_analysis.dir/algorithm1.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/algorithm1.cc.o.d"
+  "CMakeFiles/uniqopt_analysis.dir/implication.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/implication.cc.o.d"
+  "CMakeFiles/uniqopt_analysis.dir/properties.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/properties.cc.o.d"
+  "CMakeFiles/uniqopt_analysis.dir/shape.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/shape.cc.o.d"
+  "CMakeFiles/uniqopt_analysis.dir/subquery.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/subquery.cc.o.d"
+  "CMakeFiles/uniqopt_analysis.dir/uniqueness.cc.o"
+  "CMakeFiles/uniqopt_analysis.dir/uniqueness.cc.o.d"
+  "libuniqopt_analysis.a"
+  "libuniqopt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

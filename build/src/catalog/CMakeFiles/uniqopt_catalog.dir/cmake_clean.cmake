@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_catalog.dir/catalog.cc.o"
+  "CMakeFiles/uniqopt_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/uniqopt_catalog.dir/table_def.cc.o"
+  "CMakeFiles/uniqopt_catalog.dir/table_def.cc.o.d"
+  "libuniqopt_catalog.a"
+  "libuniqopt_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_common.dir/status.cc.o"
+  "CMakeFiles/uniqopt_common.dir/status.cc.o.d"
+  "CMakeFiles/uniqopt_common.dir/string_util.cc.o"
+  "CMakeFiles/uniqopt_common.dir/string_util.cc.o.d"
+  "libuniqopt_common.a"
+  "libuniqopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

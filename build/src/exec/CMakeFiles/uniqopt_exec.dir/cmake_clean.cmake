@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_exec.dir/cost_model.cc.o"
+  "CMakeFiles/uniqopt_exec.dir/cost_model.cc.o.d"
+  "CMakeFiles/uniqopt_exec.dir/operators.cc.o"
+  "CMakeFiles/uniqopt_exec.dir/operators.cc.o.d"
+  "CMakeFiles/uniqopt_exec.dir/planner.cc.o"
+  "CMakeFiles/uniqopt_exec.dir/planner.cc.o.d"
+  "libuniqopt_exec.a"
+  "libuniqopt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_expr.dir/equality.cc.o"
+  "CMakeFiles/uniqopt_expr.dir/equality.cc.o.d"
+  "CMakeFiles/uniqopt_expr.dir/expr.cc.o"
+  "CMakeFiles/uniqopt_expr.dir/expr.cc.o.d"
+  "CMakeFiles/uniqopt_expr.dir/normalize.cc.o"
+  "CMakeFiles/uniqopt_expr.dir/normalize.cc.o.d"
+  "libuniqopt_expr.a"
+  "libuniqopt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

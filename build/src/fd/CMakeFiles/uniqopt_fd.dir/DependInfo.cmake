@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/attribute_set.cc" "src/fd/CMakeFiles/uniqopt_fd.dir/attribute_set.cc.o" "gcc" "src/fd/CMakeFiles/uniqopt_fd.dir/attribute_set.cc.o.d"
+  "/root/repo/src/fd/functional_dependency.cc" "src/fd/CMakeFiles/uniqopt_fd.dir/functional_dependency.cc.o" "gcc" "src/fd/CMakeFiles/uniqopt_fd.dir/functional_dependency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uniqopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_fd.dir/attribute_set.cc.o"
+  "CMakeFiles/uniqopt_fd.dir/attribute_set.cc.o.d"
+  "CMakeFiles/uniqopt_fd.dir/functional_dependency.cc.o"
+  "CMakeFiles/uniqopt_fd.dir/functional_dependency.cc.o.d"
+  "libuniqopt_fd.a"
+  "libuniqopt_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

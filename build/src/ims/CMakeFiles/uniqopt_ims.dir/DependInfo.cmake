@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ims/dli.cc" "src/ims/CMakeFiles/uniqopt_ims.dir/dli.cc.o" "gcc" "src/ims/CMakeFiles/uniqopt_ims.dir/dli.cc.o.d"
+  "/root/repo/src/ims/gateway.cc" "src/ims/CMakeFiles/uniqopt_ims.dir/gateway.cc.o" "gcc" "src/ims/CMakeFiles/uniqopt_ims.dir/gateway.cc.o.d"
+  "/root/repo/src/ims/ims_database.cc" "src/ims/CMakeFiles/uniqopt_ims.dir/ims_database.cc.o" "gcc" "src/ims/CMakeFiles/uniqopt_ims.dir/ims_database.cc.o.d"
+  "/root/repo/src/ims/translator.cc" "src/ims/CMakeFiles/uniqopt_ims.dir/translator.cc.o" "gcc" "src/ims/CMakeFiles/uniqopt_ims.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/uniqopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uniqopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/uniqopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/uniqopt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uniqopt_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/uniqopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/uniqopt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/uniqopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uniqopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

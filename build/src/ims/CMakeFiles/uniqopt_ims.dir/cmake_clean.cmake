@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_ims.dir/dli.cc.o"
+  "CMakeFiles/uniqopt_ims.dir/dli.cc.o.d"
+  "CMakeFiles/uniqopt_ims.dir/gateway.cc.o"
+  "CMakeFiles/uniqopt_ims.dir/gateway.cc.o.d"
+  "CMakeFiles/uniqopt_ims.dir/ims_database.cc.o"
+  "CMakeFiles/uniqopt_ims.dir/ims_database.cc.o.d"
+  "CMakeFiles/uniqopt_ims.dir/translator.cc.o"
+  "CMakeFiles/uniqopt_ims.dir/translator.cc.o.d"
+  "libuniqopt_ims.a"
+  "libuniqopt_ims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_ims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_oodb.dir/navigator.cc.o"
+  "CMakeFiles/uniqopt_oodb.dir/navigator.cc.o.d"
+  "CMakeFiles/uniqopt_oodb.dir/object_store.cc.o"
+  "CMakeFiles/uniqopt_oodb.dir/object_store.cc.o.d"
+  "CMakeFiles/uniqopt_oodb.dir/oo_translator.cc.o"
+  "CMakeFiles/uniqopt_oodb.dir/oo_translator.cc.o.d"
+  "libuniqopt_oodb.a"
+  "libuniqopt_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

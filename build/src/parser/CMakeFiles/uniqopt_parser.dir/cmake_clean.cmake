@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_parser.dir/ast.cc.o"
+  "CMakeFiles/uniqopt_parser.dir/ast.cc.o.d"
+  "CMakeFiles/uniqopt_parser.dir/lexer.cc.o"
+  "CMakeFiles/uniqopt_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/uniqopt_parser.dir/parser.cc.o"
+  "CMakeFiles/uniqopt_parser.dir/parser.cc.o.d"
+  "libuniqopt_parser.a"
+  "libuniqopt_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_plan.dir/binder.cc.o"
+  "CMakeFiles/uniqopt_plan.dir/binder.cc.o.d"
+  "CMakeFiles/uniqopt_plan.dir/plan.cc.o"
+  "CMakeFiles/uniqopt_plan.dir/plan.cc.o.d"
+  "libuniqopt_plan.a"
+  "libuniqopt_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/uniqopt_rewrite.dir/rewriter.cc.o.d"
+  "libuniqopt_rewrite.a"
+  "libuniqopt_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

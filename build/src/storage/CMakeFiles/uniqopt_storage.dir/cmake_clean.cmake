@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_storage.dir/table.cc.o"
+  "CMakeFiles/uniqopt_storage.dir/table.cc.o.d"
+  "libuniqopt_storage.a"
+  "libuniqopt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

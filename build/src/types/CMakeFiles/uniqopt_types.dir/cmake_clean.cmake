@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_types.dir/row.cc.o"
+  "CMakeFiles/uniqopt_types.dir/row.cc.o.d"
+  "CMakeFiles/uniqopt_types.dir/schema.cc.o"
+  "CMakeFiles/uniqopt_types.dir/schema.cc.o.d"
+  "CMakeFiles/uniqopt_types.dir/value.cc.o"
+  "CMakeFiles/uniqopt_types.dir/value.cc.o.d"
+  "libuniqopt_types.a"
+  "libuniqopt_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

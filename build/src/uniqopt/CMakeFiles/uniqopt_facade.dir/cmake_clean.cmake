@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_facade.dir/optimizer.cc.o"
+  "CMakeFiles/uniqopt_facade.dir/optimizer.cc.o.d"
+  "libuniqopt_facade.a"
+  "libuniqopt_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

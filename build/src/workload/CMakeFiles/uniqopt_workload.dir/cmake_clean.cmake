@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqopt_workload.dir/query_corpus.cc.o"
+  "CMakeFiles/uniqopt_workload.dir/query_corpus.cc.o.d"
+  "CMakeFiles/uniqopt_workload.dir/random_query.cc.o"
+  "CMakeFiles/uniqopt_workload.dir/random_query.cc.o.d"
+  "CMakeFiles/uniqopt_workload.dir/supplier_schema.cc.o"
+  "CMakeFiles/uniqopt_workload.dir/supplier_schema.cc.o.d"
+  "libuniqopt_workload.a"
+  "libuniqopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ims_test.dir/ims_test.cc.o"
+  "CMakeFiles/ims_test.dir/ims_test.cc.o.d"
+  "ims_test"
+  "ims_test.pdb"
+  "ims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

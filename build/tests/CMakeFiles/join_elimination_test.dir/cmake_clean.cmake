@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_elimination_test.dir/join_elimination_test.cc.o"
+  "CMakeFiles/join_elimination_test.dir/join_elimination_test.cc.o.d"
+  "join_elimination_test"
+  "join_elimination_test.pdb"
+  "join_elimination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_elimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_translator_test.dir/oo_translator_test.cc.o"
+  "CMakeFiles/oo_translator_test.dir/oo_translator_test.cc.o.d"
+  "oo_translator_test"
+  "oo_translator_test.pdb"
+  "oo_translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

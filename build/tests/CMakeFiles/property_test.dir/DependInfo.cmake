@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ims/CMakeFiles/uniqopt_ims.dir/DependInfo.cmake"
+  "/root/repo/build/src/oodb/CMakeFiles/uniqopt_oodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uniqopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uniqopt/CMakeFiles/uniqopt_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/uniqopt_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/uniqopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uniqopt_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/uniqopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uniqopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/uniqopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/uniqopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/uniqopt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/uniqopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/uniqopt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uniqopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_predicate_test.dir/semantic_predicate_test.cc.o"
+  "CMakeFiles/semantic_predicate_test.dir/semantic_predicate_test.cc.o.d"
+  "semantic_predicate_test"
+  "semantic_predicate_test.pdb"
+  "semantic_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
