@@ -121,4 +121,4 @@ BENCHMARK(BM_FdDetector);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

@@ -121,4 +121,4 @@ BENCHMARK(BM_GeneratedApplicability)->Arg(1)->Arg(2);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

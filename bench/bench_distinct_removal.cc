@@ -87,4 +87,4 @@ BENCHMARK(BM_Example2_DistinctRequired)->Arg(100)->Arg(1000)->Arg(5000);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

@@ -201,4 +201,4 @@ BENCHMARK(BM_GatewayPolicy_UniquenessNested)->Arg(1000)->Arg(5000);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

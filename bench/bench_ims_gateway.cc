@@ -99,4 +99,4 @@ BENCHMARK(BM_Nested_OemQualified)->Arg(100)->Arg(1000)->Arg(5000);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

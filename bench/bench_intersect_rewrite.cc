@@ -86,4 +86,4 @@ BENCHMARK(BM_IntersectAll_RewrittenExists)->Arg(1000)->Arg(10000);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

@@ -77,4 +77,4 @@ BENCHMARK(BM_ParentDriven)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

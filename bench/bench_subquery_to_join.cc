@@ -88,4 +88,4 @@ BENCHMARK(BM_Ex8_HashSemiJoin)->Arg(100)->Arg(500)->Arg(2000);
 }  // namespace bench
 }  // namespace uniqopt
 
-BENCHMARK_MAIN();
+UNIQOPT_BENCH_MAIN();

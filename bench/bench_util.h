@@ -1,13 +1,20 @@
 #ifndef UNIQOPT_BENCH_BENCH_UTIL_H_
 #define UNIQOPT_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
+#include <vector>
 
 #include "common/logging.h"
 #include "exec/planner.h"
+#include "obs/metrics.h"
 #include "plan/binder.h"
 #include "rewrite/rewriter.h"
 #include "storage/table.h"
@@ -75,7 +82,48 @@ inline size_t MustExecute(const PlanPtr& plan, const Database& db,
   return rows->size();
 }
 
+/// Benchmark driver: the standard google-benchmark main plus a
+/// `--metrics-json=<path>` flag that, after the run, dumps the global
+/// metrics registry as JSON — every counter/histogram the benchmarked
+/// code moved (rewrite.rule.*, ims.dli.*, exec.*, ...).
+inline int BenchMain(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<char*> args;
+  constexpr std::string_view kMetricsFlag = "--metrics-json=";
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind(kMetricsFlag, 0) == 0) {
+      metrics_path = std::string(arg.substr(kMetricsFlag.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&bench_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << obs::MetricsRegistry::Global().ToJson() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace uniqopt
+
+#define UNIQOPT_BENCH_MAIN()                            \
+  int main(int argc, char** argv) {                     \
+    return ::uniqopt::bench::BenchMain(argc, argv);     \
+  }                                                     \
+  int main(int, char**)
 
 #endif  // UNIQOPT_BENCH_BENCH_UTIL_H_

@@ -8,20 +8,34 @@
 //   uniqopt> SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM AGENTS;
 //   uniqopt> \q
 //
-// Commands: `EXPLAIN <query>` shows plans without executing;
-// `CREATE TABLE ...` extends the catalog; `\q` quits. Host variables are
-// not supported interactively (use the library API).
+// Commands: `EXPLAIN <query>` shows plans (with the uniqueness proof)
+// without executing; `EXPLAIN ANALYZE <query>` executes with
+// per-operator metering and shows the profile plus the metrics the run
+// moved; `CREATE TABLE ...` extends the catalog; `\metrics` dumps the
+// metrics registry; `\trace on|off` toggles pipeline tracing (spans
+// print as they close); `\q` quits. Host variables are not supported
+// interactively (use the library API).
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "uniqopt/uniqopt.h"
 
 namespace {
 
 using namespace uniqopt;
+
+/// Prints each span as it closes, indented by nesting depth.
+class StdoutTraceSink : public obs::TraceSink {
+ public:
+  void OnSpanEnd(obs::TraceEvent event) override {
+    std::printf("[trace] %s\n", event.ToString().c_str());
+  }
+};
 
 void PrintResult(const PreparedQuery& prepared,
                  const std::vector<Row>& rows, const ExecStats& stats) {
@@ -53,11 +67,14 @@ int Run() {
   Database db;
   if (!MakeTestSupplierDatabase(&db).ok()) return 1;
   Optimizer optimizer(&db);
+  StdoutTraceSink trace_sink;
   std::printf(
       "uniqopt shell — supplier database loaded "
       "(SUPPLIER/PARTS/AGENTS).\n"
-      "Prefix a query with EXPLAIN to see the rewrite trail; \\q "
-      "quits.\n");
+      "EXPLAIN <q> shows the rewrite trail and uniqueness proof; "
+      "EXPLAIN ANALYZE <q> executes\nwith per-operator metering. "
+      "\\metrics dumps counters; \\trace on|off toggles spans; "
+      "\\q quits.\n");
 
   std::string line;
   while (true) {
@@ -67,10 +84,28 @@ int Run() {
     std::string trimmed(StripAsciiWhitespace(line));
     if (trimmed.empty()) continue;
     if (trimmed == "\\q" || EqualsIgnoreCase(trimmed, "quit")) break;
+    if (trimmed == "\\metrics") {
+      std::printf("%s", obs::MetricsRegistry::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\trace on") {
+      obs::Tracer::Global().Enable(&trace_sink);
+      std::printf("tracing on\n");
+      continue;
+    }
+    if (trimmed == "\\trace off") {
+      obs::Tracer::Global().Disable();
+      std::printf("tracing off\n");
+      continue;
+    }
 
     bool explain_only = false;
+    bool explain_analyze = false;
     std::string upper = ToUpperAscii(trimmed);
-    if (upper.rfind("EXPLAIN ", 0) == 0) {
+    if (upper.rfind("EXPLAIN ANALYZE ", 0) == 0) {
+      explain_analyze = true;
+      trimmed = trimmed.substr(16);
+    } else if (upper.rfind("EXPLAIN ", 0) == 0) {
       explain_only = true;
       trimmed = trimmed.substr(8);
     }
@@ -93,6 +128,15 @@ int Run() {
     }
     if (explain_only) {
       std::printf("%s", prepared->Explain().c_str());
+      continue;
+    }
+    if (explain_analyze) {
+      auto report = optimizer.ExplainAnalyze(*prepared);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", report->c_str());
       continue;
     }
     ExecStats stats;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 test suite, plus an ASan/UBSan build of
+# the observability tests (the registry and tracer are the only
+# lock-free-concurrent code in the tree — sanitize them every time).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitizers: ASan/UBSan build of obs + analysis tests =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-asan -j --target obs_test analysis_test
+./build-asan/tests/obs_test
+./build-asan/tests/analysis_test
+
+echo "== all checks passed =="

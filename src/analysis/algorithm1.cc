@@ -2,6 +2,8 @@
 
 #include "expr/equality.h"
 #include "expr/normalize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniqopt {
 
@@ -18,18 +20,27 @@ AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
                                 const AttributeSet& initially_bound,
                                 const AnalysisOptions& options,
                                 std::vector<std::string>* trace,
-                                bool* any_equality_kept) {
+                                bool* any_equality_kept,
+                                ProofTrace* proof) {
   // Lines 6–9: keep only conjuncts that are single atomic Type 1 / Type 2
   // equalities. A conjunct that is a disjunction ("X = 5 OR X = 10") or a
   // non-equality atom is deleted; deletion weakens C, so the final test
   // remains sufficient.
   std::vector<EqualityAtom> kept;
+  std::vector<std::string> kept_text;  // aligned with `kept`, for the proof
+  auto record_conjunct = [proof](const ExprPtr& conj,
+                                 ConjunctDisposition disposition) {
+    if (proof != nullptr) {
+      proof->conjuncts.push_back({conj->ToString(), disposition});
+    }
+  };
   for (const ExprPtr& conj : conjuncts) {
     std::vector<ExprPtr> disjuncts = FlattenOr(conj);
     if (disjuncts.size() > 1) {
       if (trace != nullptr) {
         trace->push_back("  delete disjunctive conjunct: " + conj->ToString());
       }
+      record_conjunct(conj, ConjunctDisposition::kDeletedDisjunction);
       continue;
     }
     if (conj->IsTrueLiteral()) continue;
@@ -39,14 +50,17 @@ AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
         trace->push_back("  delete non-equality conjunct: " +
                          conj->ToString());
       }
+      record_conjunct(conj, ConjunctDisposition::kDeletedNonEquality);
       continue;
     }
     if (atom.type == AtomType::kType1ColumnConstant &&
         !options.bind_constants) {
+      record_conjunct(conj, ConjunctDisposition::kDeletedBySwitch);
       continue;
     }
     if (atom.type == AtomType::kType2ColumnColumn &&
         !options.use_column_equivalence) {
+      record_conjunct(conj, ConjunctDisposition::kDeletedBySwitch);
       continue;
     }
     if (trace != nullptr) {
@@ -55,38 +69,115 @@ AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
           (atom.type == AtomType::kType1ColumnConstant ? "Type 1" : "Type 2") +
           " conjunct: " + conj->ToString());
     }
+    record_conjunct(conj, atom.type == AtomType::kType1ColumnConstant
+                              ? ConjunctDisposition::kKeptType1
+                              : ConjunctDisposition::kKeptType2);
     kept.push_back(atom);
+    if (proof != nullptr) kept_text.push_back(conj->ToString());
   }
   if (any_equality_kept != nullptr) *any_equality_kept = !kept.empty();
+  if (proof != nullptr) {
+    for (size_t pos : initially_bound.ToVector()) {
+      proof->initially_bound.push_back(proof->NameOf(pos));
+    }
+  }
 
   // Line 13–14: V starts as the projection attributes plus every column
   // equated to a constant or host variable.
   AttributeSet bound = initially_bound;
-  for (const EqualityAtom& atom : kept) {
-    if (atom.type == AtomType::kType1ColumnConstant) bound.Add(atom.column);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const EqualityAtom& atom = kept[i];
+    if (atom.type != AtomType::kType1ColumnConstant) continue;
+    if (proof != nullptr && !bound.Contains(atom.column)) {
+      proof->closure_steps.push_back(
+          {atom.column, proof->NameOf(atom.column), kept_text[i], 0});
+    }
+    bound.Add(atom.column);
   }
   // Lines 15–16: transitive closure of V over Type 2 conditions.
   bool changed = true;
+  int round = 0;
   while (changed) {
     changed = false;
-    for (const EqualityAtom& atom : kept) {
+    ++round;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const EqualityAtom& atom = kept[i];
       if (atom.type != AtomType::kType2ColumnColumn) continue;
+      size_t added;
       if (bound.Contains(atom.column) && !bound.Contains(atom.other_column)) {
-        bound.Add(atom.other_column);
-        changed = true;
+        added = atom.other_column;
       } else if (bound.Contains(atom.other_column) &&
                  !bound.Contains(atom.column)) {
-        bound.Add(atom.column);
-        changed = true;
+        added = atom.column;
+      } else {
+        continue;
       }
+      bound.Add(added);
+      changed = true;
+      if (proof != nullptr) {
+        proof->closure_steps.push_back(
+            {added, proof->NameOf(added), kept_text[i], round});
+      }
+    }
+  }
+  if (proof != nullptr) {
+    for (size_t pos : bound.ToVector()) {
+      proof->closure.push_back(proof->NameOf(pos));
     }
   }
   return bound;
 }
 
+namespace {
+
+// Frame display names for a spec shape: position p belongs to the table
+// whose [offset, offset + arity) range contains it.
+std::vector<std::string> ShapeColumnNames(const SpecShape& shape) {
+  std::vector<std::string> names(shape.width);
+  for (const SpecShape::BaseTable& bt : shape.tables) {
+    const Schema& schema = bt.get->schema();
+    for (size_t j = 0; j < schema.num_columns(); ++j) {
+      size_t pos = bt.offset + j;
+      if (pos < names.size()) names[pos] = schema.column(j).QualifiedName();
+    }
+  }
+  return names;
+}
+
+// Records one key-coverage outcome in the proof.
+void RecordKeyOutcome(ProofTrace* proof, const SpecShape::BaseTable& bt,
+                      const KeyConstraint& key, size_t shift,
+                      const AttributeSet& bound, bool covered) {
+  if (proof == nullptr) return;
+  ProofKeyOutcome outcome;
+  outcome.table = bt.get->table().name();
+  outcome.alias = bt.get->alias();
+  outcome.key_name = key.name;
+  outcome.covered = covered;
+  for (size_t col : key.columns) {
+    size_t pos = shift + col;
+    outcome.key_columns.push_back(proof->NameOf(pos));
+    if (!bound.Contains(pos)) {
+      outcome.missing_columns.push_back(proof->NameOf(pos));
+    }
+  }
+  proof->keys.push_back(std::move(outcome));
+}
+
+}  // namespace
+
 Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
                                        const Algorithm1Options& options) {
+  obs::Span span("analysis.algorithm1");
+  obs::MetricsRegistry::Global().GetCounter("analysis.algorithm1.runs")
+      .Increment();
   Algorithm1Result result;
+  ProofTrace* proof = nullptr;
+  if (options.record_proof) {
+    proof = &result.proof;
+    proof->recorded = true;
+    proof->column_names = ShapeColumnNames(shape);
+  }
   // Line 5: C := C_R ∧ C_S ∧ C_{R,S} ∧ T, in CNF. Top-level conjuncts of
   // each Select predicate are CNF-normalized individually so that e.g.
   // `a = b AND (x = 1 OR y = 2)` keeps its useful first conjunct.
@@ -97,6 +188,8 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
       // Predicate too complex to normalize: give up conservatively.
       result.yes = false;
       result.trace.push_back("CNF budget exceeded; answer NO");
+      if (proof != nullptr) proof->conclusion = "NO: CNF budget exceeded";
+      span.AddAttr("answer", "NO");
       return result;
     }
     for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
@@ -112,12 +205,16 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
 
   bool any_kept = false;
   AttributeSet bound = BoundColumnClosure(conjuncts, projection, options,
-                                          &result.trace, &any_kept);
+                                          &result.trace, &any_kept, proof);
   if (!any_kept && options.verbatim_line10) {
     // Line 10 of the published algorithm: C reduced to T ⇒ NO.
     result.yes = false;
     result.bound_columns = bound;
     result.trace.push_back("C = T after deletions; verbatim line 10: NO");
+    if (proof != nullptr) {
+      proof->conclusion = "NO: C = T after deletions (verbatim line 10)";
+    }
+    span.AddAttr("answer", "NO");
     return result;
   }
   result.bound_columns = bound;
@@ -131,6 +228,11 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
       result.yes = false;
       result.trace.push_back("table " + table.name() +
                              " has no declared key: NO");
+      if (proof != nullptr) {
+        proof->conclusion = "NO: table " + table.name() +
+                            " has no declared candidate key";
+      }
+      span.AddAttr("answer", "NO");
       return result;
     }
     bool covered = false;
@@ -138,7 +240,9 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
       if (key.kind == KeyKind::kUnique && !options.use_unique_keys) continue;
       AttributeSet key_set =
           AttributeSet::FromVector(key.columns).Shifted(bt.offset);
-      if (key_set.IsSubsetOf(bound)) {
+      bool this_covered = key_set.IsSubsetOf(bound);
+      RecordKeyOutcome(proof, bt, key, bt.offset, bound, this_covered);
+      if (this_covered) {
         result.trace.push_back("key " + key.name + " of " + table.name() +
                                " covered by V");
         covered = true;
@@ -149,11 +253,24 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
       result.yes = false;
       result.trace.push_back("no candidate key of " + table.name() +
                              " (" + bt.get->alias() + ") is covered: NO");
+      if (proof != nullptr) {
+        proof->conclusion = "NO: no candidate key of " + table.name() + " (" +
+                            bt.get->alias() + ") is covered by V";
+      }
+      span.AddAttr("answer", "NO");
       return result;
     }
   }
   result.yes = true;
   result.trace.push_back("all table keys covered: YES");
+  if (proof != nullptr) {
+    proof->conclusion =
+        "YES: every FROM table has a candidate key covered by V; "
+        "duplicate elimination is unnecessary (Theorem 1)";
+  }
+  obs::MetricsRegistry::Global().GetCounter("analysis.algorithm1.yes")
+      .Increment();
+  span.AddAttr("answer", "YES");
   return result;
 }
 

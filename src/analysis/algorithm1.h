@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/proof.h"
 #include "analysis/properties.h"
 #include "analysis/shape.h"
 #include "common/result.h"
@@ -20,6 +21,10 @@ struct Algorithm1Options : AnalysisOptions {
   /// such as `SELECT DISTINCT * FROM R` are recognized (a sound
   /// strengthening the paper's theorem clearly admits).
   bool verbatim_line10 = false;
+  /// Record a structured ProofTrace (normalization decisions, closure
+  /// steps, per-key outcomes) alongside the flat text trace. Costs a few
+  /// string builds per conjunct; off only for the tightest benchmarks.
+  bool record_proof = true;
 };
 
 /// Outcome of Algorithm 1, with the step-by-step trace the paper walks
@@ -30,6 +35,8 @@ struct Algorithm1Result {
   std::vector<std::string> trace;
   /// The final bound-column set V of the (single) conjunctive component.
   AttributeSet bound_columns;
+  /// Structured proof (populated when options.record_proof).
+  ProofTrace proof;
 
   std::string TraceToString() const;
 };
@@ -43,12 +50,15 @@ struct Algorithm1Result {
 ///
 /// `conjuncts` are the top-level conjuncts of the predicate (each may
 /// still be a disjunction, which gets deleted). Returns the closed set V
-/// and appends trace lines.
+/// and appends trace lines. When `proof` is non-null its conjuncts /
+/// initially_bound / closure_steps / closure fields are filled in
+/// (`proof->column_names` should already hold the frame's display names).
 AttributeSet BoundColumnClosure(const std::vector<ExprPtr>& conjuncts,
                                 const AttributeSet& initially_bound,
                                 const AnalysisOptions& options,
                                 std::vector<std::string>* trace,
-                                bool* any_equality_kept);
+                                bool* any_equality_kept,
+                                ProofTrace* proof = nullptr);
 
 /// Runs Algorithm 1 on a decomposed query specification: returns YES iff
 /// for every FROM table some candidate key is contained in the closure

@@ -3,17 +3,57 @@
 #include "analysis/algorithm1.h"
 #include "analysis/shape.h"
 #include "expr/normalize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniqopt {
 
+std::string SubqueryVerdict::ExplainProof() const {
+  std::string out = "Theorem 2 verdict: ";
+  out += at_most_one_match
+             ? "at most one inner row matches each outer row"
+             : "more than one inner match possible (condition not proven)";
+  out += "\n";
+  if (proof.recorded) {
+    out += proof.ToText();
+  } else {
+    for (const std::string& line : trace) out += line + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Display names for the combined outer ⊕ inner frame.
+std::vector<std::string> CombinedColumnNames(const ExistsNode& node) {
+  std::vector<std::string> names;
+  const Schema& outer = node.outer()->schema();
+  for (size_t i = 0; i < outer.num_columns(); ++i) {
+    names.push_back(outer.column(i).QualifiedName());
+  }
+  const Schema& inner = node.sub()->schema();
+  for (size_t i = 0; i < inner.num_columns(); ++i) {
+    names.push_back(inner.column(i).QualifiedName());
+  }
+  return names;
+}
+
+}  // namespace
+
 Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
     const ExistsNode& node, const AnalysisOptions& options) {
+  obs::Span span("analysis.subquery_theorem2");
+  obs::MetricsRegistry::Global().GetCounter("analysis.subquery.runs")
+      .Increment();
   SubqueryVerdict verdict;
   if (node.negated()) {
     return Status::InvalidArgument(
         "Theorem 2 applies to positive existential subqueries");
   }
   size_t outer_width = node.outer()->schema().num_columns();
+  verdict.proof.recorded = true;
+  verdict.proof.column_names = CombinedColumnNames(node);
+  ProofTrace* proof = &verdict.proof;
 
   // Decompose the inner plan into base tables and inner-local predicates.
   UNIQOPT_ASSIGN_OR_RETURN(SpecShape inner_shape,
@@ -28,6 +68,8 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
     if (!cnf.ok()) {
       verdict.at_most_one_match = false;
       verdict.trace.push_back("CNF budget exceeded; condition not proven");
+      proof->conclusion = "NOT PROVEN: CNF budget exceeded";
+      span.AddAttr("at_most_one_match", false);
       return verdict;
     }
     for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
@@ -37,6 +79,8 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
     if (!cnf.ok()) {
       verdict.at_most_one_match = false;
       verdict.trace.push_back("CNF budget exceeded; condition not proven");
+      proof->conclusion = "NOT PROVEN: CNF budget exceeded";
+      span.AddAttr("at_most_one_match", false);
       return verdict;
     }
     for (const ExprPtr& c : FlattenAnd(*cnf)) conjuncts.push_back(c);
@@ -47,7 +91,7 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
   verdict.trace.push_back("outer columns bound: " +
                           initially_bound.ToString());
   AttributeSet bound = BoundColumnClosure(conjuncts, initially_bound, options,
-                                          &verdict.trace, nullptr);
+                                          &verdict.trace, nullptr, proof);
   verdict.trace.push_back("closure V = " + bound.ToString());
 
   // Every inner base table must have a covered candidate key.
@@ -57,14 +101,34 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
       verdict.at_most_one_match = false;
       verdict.trace.push_back("inner table " + table.name() +
                               " has no declared key");
+      proof->conclusion = "NOT PROVEN: inner table " + table.name() +
+                          " has no declared candidate key";
+      span.AddAttr("at_most_one_match", false);
       return verdict;
     }
     bool covered = false;
     for (const KeyConstraint& key : table.keys()) {
       if (key.kind == KeyKind::kUnique && !options.use_unique_keys) continue;
-      AttributeSet key_set = AttributeSet::FromVector(key.columns)
-                                 .Shifted(outer_width + bt.offset);
-      if (key_set.IsSubsetOf(bound)) {
+      size_t shift = outer_width + bt.offset;
+      AttributeSet key_set =
+          AttributeSet::FromVector(key.columns).Shifted(shift);
+      bool this_covered = key_set.IsSubsetOf(bound);
+      {
+        ProofKeyOutcome outcome;
+        outcome.table = table.name();
+        outcome.alias = bt.get->alias();
+        outcome.key_name = key.name;
+        outcome.covered = this_covered;
+        for (size_t col : key.columns) {
+          size_t pos = shift + col;
+          outcome.key_columns.push_back(proof->NameOf(pos));
+          if (!bound.Contains(pos)) {
+            outcome.missing_columns.push_back(proof->NameOf(pos));
+          }
+        }
+        proof->keys.push_back(std::move(outcome));
+      }
+      if (this_covered) {
         verdict.trace.push_back("key " + key.name + " of inner table " +
                                 table.name() + " covered");
         covered = true;
@@ -75,12 +139,21 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
       verdict.at_most_one_match = false;
       verdict.trace.push_back("no key of inner table " + table.name() +
                               " is bound: more than one match possible");
+      proof->conclusion = "NOT PROVEN: no candidate key of inner table " +
+                          table.name() + " is covered by V";
+      span.AddAttr("at_most_one_match", false);
       return verdict;
     }
   }
   verdict.at_most_one_match = true;
   verdict.trace.push_back(
       "every inner key bound: at most one inner row matches");
+  proof->conclusion =
+      "PROVEN: every inner table's candidate key is bound; at most one "
+      "inner row matches each outer row (Theorem 2)";
+  obs::MetricsRegistry::Global().GetCounter("analysis.subquery.proven")
+      .Increment();
+  span.AddAttr("at_most_one_match", true);
   return verdict;
 }
 

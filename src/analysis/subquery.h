@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/proof.h"
 #include "analysis/properties.h"
 #include "common/result.h"
 #include "plan/plan.h"
@@ -18,6 +19,11 @@ struct SubqueryVerdict {
   /// true, EXISTS ⇔ plain join under ALL semantics.
   bool at_most_one_match = false;
   std::vector<std::string> trace;
+  /// Structured closure/key-coverage proof over the outer ⊕ inner frame.
+  ProofTrace proof;
+
+  /// Multi-line explanation of the Theorem 2 test.
+  std::string ExplainProof() const;
 };
 
 /// Tests Theorem 2's uniqueness condition for `node` (a positive

@@ -2,6 +2,28 @@
 
 namespace uniqopt {
 
+std::string UniquenessVerdict::ExplainProof() const {
+  std::string out = "uniqueness verdict: ";
+  if (!has_distinct) {
+    out += distinct_unnecessary
+               ? "output is duplicate-free (no DISTINCT present)"
+               : "no DISTINCT present";
+  } else {
+    out += distinct_unnecessary ? "DISTINCT is unnecessary"
+                                : "DISTINCT is required (not proven redundant)";
+  }
+  out += "\ndetector: ";
+  out += detector == DetectorKind::kAlgorithm1 ? "Algorithm 1 (paper §4)"
+                                               : "FD/key propagation";
+  out += "\n";
+  if (proof.recorded) {
+    out += proof.ToText();
+  } else {
+    for (const std::string& line : trace) out += line + "\n";
+  }
+  return out;
+}
+
 Result<UniquenessVerdict> AnalyzeDistinctAlgorithm1(
     const PlanPtr& plan, const Algorithm1Options& options) {
   UniquenessVerdict verdict;
@@ -16,6 +38,7 @@ Result<UniquenessVerdict> AnalyzeDistinctAlgorithm1(
                            RunAlgorithm1(shape, options));
   verdict.distinct_unnecessary = result.yes;
   verdict.trace = std::move(result.trace);
+  verdict.proof = std::move(result.proof);
   return verdict;
 }
 

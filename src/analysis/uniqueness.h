@@ -26,6 +26,12 @@ struct UniquenessVerdict {
   bool distinct_unnecessary = false;
   DetectorKind detector = DetectorKind::kAlgorithm1;
   std::vector<std::string> trace;
+  /// Structured proof (Algorithm 1 detector only; `proof.recorded` tells).
+  ProofTrace proof;
+
+  /// Multi-line explanation of why the verdict holds: the structured
+  /// proof when one was recorded, the flat trace otherwise.
+  std::string ExplainProof() const;
 };
 
 /// Tests whether the top-level DISTINCT of `plan` is redundant using the

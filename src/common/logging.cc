@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace uniqopt {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+namespace {
+
+LogLevel ParseThreshold() {
+  const char* env = std::getenv("UNIQOPT_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kWarning;
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return static_cast<LogLevel>(env[0] - '0');
+  }
+  std::string s(env);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warning" || s == "warn") return LogLevel::kWarning;
+  if (s == "error") return LogLevel::kError;
+  if (s == "fatal") return LogLevel::kFatal;
+  return LogLevel::kWarning;
+}
+
+}  // namespace
+
+LogLevel LogThreshold() {
+  static const LogLevel threshold = ParseThreshold();
+  return threshold;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  // Strip the path: "src/analysis/algorithm1.cc" → "algorithm1.cc".
+  const char* base = std::strrchr(file_, '/');
+  base = base != nullptr ? base + 1 : file_;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(level_), base, line_,
+               stream_.str().c_str());
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace uniqopt

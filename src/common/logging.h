@@ -1,29 +1,89 @@
 #ifndef UNIQOPT_COMMON_LOGGING_H_
 #define UNIQOPT_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
 
 namespace uniqopt {
 
+/// Severity levels, ordered. The emission threshold is read once from the
+/// UNIQOPT_LOG_LEVEL environment variable ("debug", "info", "warning",
+/// "error" or a number 0-3); default is kWarning so library internals stay
+/// quiet unless asked. kFatal always emits and aborts the process.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// The effective threshold (cached after the first call).
+LogLevel LogThreshold();
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(LogThreshold());
+}
+
+/// One log statement: accumulates a message and flushes it to stderr on
+/// destruction (end of the full expression). A kFatal message aborts
+/// after flushing — this is the DCHECK failure path.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled (glog's
+/// voidify idiom: `&` binds looser than `<<`).
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Leveled stream logging:
+///   UNIQOPT_LOG(kWarning) << "unexpected state: " << x;
+/// The message expression is not evaluated when the level is disabled.
+#define UNIQOPT_LOG(severity)                                               \
+  !::uniqopt::LogLevelEnabled(::uniqopt::LogLevel::severity)                \
+      ? (void)0                                                             \
+      : ::uniqopt::LogMessageVoidify() &                                    \
+            ::uniqopt::LogMessage(::uniqopt::LogLevel::severity, __FILE__,  \
+                                  __LINE__)                                 \
+                .stream()
+
 /// Internal-invariant check. Unlike assert(), stays on in release builds:
 /// the analyzer must never silently return a wrong uniqueness verdict.
-#define UNIQOPT_DCHECK(condition)                                        \
-  do {                                                                   \
-    if (!(condition)) {                                                  \
-      std::fprintf(stderr, "UNIQOPT_DCHECK failed at %s:%d: %s\n",       \
-                   __FILE__, __LINE__, #condition);                      \
-      std::abort();                                                      \
-    }                                                                    \
+/// Routed through the leveled logger; kFatal keeps the abort semantics.
+#define UNIQOPT_DCHECK(condition)                                           \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::uniqopt::LogMessage(::uniqopt::LogLevel::kFatal, __FILE__,          \
+                            __LINE__)                                       \
+              .stream()                                                     \
+          << "UNIQOPT_DCHECK failed: " #condition;                          \
+    }                                                                       \
   } while (false)
 
-#define UNIQOPT_DCHECK_MSG(condition, msg)                               \
-  do {                                                                   \
-    if (!(condition)) {                                                  \
-      std::fprintf(stderr, "UNIQOPT_DCHECK failed at %s:%d: %s (%s)\n",  \
-                   __FILE__, __LINE__, #condition, msg);                 \
-      std::abort();                                                      \
-    }                                                                    \
+#define UNIQOPT_DCHECK_MSG(condition, msg)                                  \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::uniqopt::LogMessage(::uniqopt::LogLevel::kFatal, __FILE__,          \
+                            __LINE__)                                       \
+              .stream()                                                     \
+          << "UNIQOPT_DCHECK failed: " #condition << " (" << (msg) << ")";  \
+    }                                                                       \
   } while (false)
 
 }  // namespace uniqopt

@@ -52,10 +52,27 @@ bool ExtractEquiPair(const ExprPtr& conjunct, size_t left_width,
 
 class Lowering {
  public:
-  Lowering(const Database& db, const PhysicalOptions& options)
-      : db_(db), options_(options) {}
+  Lowering(const Database& db, const PhysicalOptions& options,
+           ExecProfile* profile)
+      : db_(db), options_(options), profile_(profile) {}
 
+  /// Lowers one plan node; with a profile attached, the node's operator
+  /// (plus any helper operators lowered inline for it, e.g. pushed-down
+  /// filters) is wrapped in a metering ProfileOp. Slots register before
+  /// children are lowered, so the profile lists operators in preorder.
   Result<OperatorPtr> Lower(const PlanPtr& plan) {
+    if (profile_ == nullptr) return LowerNode(plan);
+    size_t slot = profile_->Reserve(depth_);
+    ++depth_;
+    Result<OperatorPtr> lowered = LowerNode(plan);
+    --depth_;
+    if (!lowered.ok()) return lowered;
+    profile_->SetName(slot, (*lowered)->name());
+    return OperatorPtr(new ProfileOp(std::move(*lowered), profile_, slot));
+  }
+
+ private:
+  Result<OperatorPtr> LowerNode(const PlanPtr& plan) {
     switch (plan->kind()) {
       case PlanKind::kGet:
         return LowerGet(*As<GetNode>(plan));
@@ -86,7 +103,6 @@ class Lowering {
     return Status::Internal("unhandled plan kind in lowering");
   }
 
- private:
   Result<OperatorPtr> LowerGet(const GetNode& node) {
     UNIQOPT_ASSIGN_OR_RETURN(const Table* table,
                              db_.GetTable(node.table().name()));
@@ -227,22 +243,26 @@ class Lowering {
 
   const Database& db_;
   const PhysicalOptions& options_;
+  ExecProfile* profile_;
+  int depth_ = 0;
 };
 
 }  // namespace
 
 Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
                                        const Database& db,
-                                       const PhysicalOptions& options) {
-  Lowering lowering(db, options);
+                                       const PhysicalOptions& options,
+                                       ExecProfile* profile) {
+  Lowering lowering(db, options, profile);
   return lowering.Lower(plan);
 }
 
 Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
                                      ExecContext* ctx,
-                                     const PhysicalOptions& options) {
+                                     const PhysicalOptions& options,
+                                     ExecProfile* profile) {
   UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr root,
-                           CreatePhysicalPlan(plan, db, options));
+                           CreatePhysicalPlan(plan, db, options, profile));
   return ExecuteToVector(root.get(), ctx);
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/profile.h"
 #include "plan/plan.h"
 #include "storage/table.h"
 
@@ -27,15 +28,19 @@ struct PhysicalOptions {
   bool predicate_pushdown = true;
 };
 
-/// Lowers a logical plan to an executable operator tree over `db`.
+/// Lowers a logical plan to an executable operator tree over `db`. With
+/// `profile` non-null every lowered plan node is wrapped in a metering
+/// ProfileOp feeding that profile (EXPLAIN ANALYZE).
 Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
                                        const Database& db,
-                                       const PhysicalOptions& options = {});
+                                       const PhysicalOptions& options = {},
+                                       ExecProfile* profile = nullptr);
 
 /// Lower + execute in one step.
 Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
                                      ExecContext* ctx,
-                                     const PhysicalOptions& options = {});
+                                     const PhysicalOptions& options = {},
+                                     ExecProfile* profile = nullptr);
 
 }  // namespace uniqopt
 

@@ -54,6 +54,7 @@ bool DliSession::Matches(const Segment& seg, const Ssa& ssa) const {
 
 DliStatus DliSession::GU(const Ssa& root_ssa) {
   ++stats_.gu_calls;
+  gu_counter_->Increment();
   ++stats_.calls_by_segment[ToUpperAscii(root_ssa.segment)];
   current_ = nullptr;
   parent_ = nullptr;
@@ -66,7 +67,7 @@ DliStatus DliSession::GU(const Ssa& root_ssa) {
       EqualsIgnoreCase(root_ssa.qual->field,
                        root_type.fields[root_type.key_field].name)) {
     Segment* root = db_->FindRoot(root_ssa.qual->value);
-    ++stats_.segments_visited;
+    Visit();
     if (root == nullptr) return DliStatus::kNotFound;
     current_ = root;
     parent_ = root;
@@ -75,7 +76,7 @@ DliStatus DliSession::GU(const Ssa& root_ssa) {
 
   for (Segment* root = db_->FirstRoot(); root != nullptr;
        root = db_->NextRoot(root)) {
-    ++stats_.segments_visited;
+    Visit();
     if (Matches(*root, root_ssa)) {
       current_ = root;
       parent_ = root;
@@ -87,11 +88,12 @@ DliStatus DliSession::GU(const Ssa& root_ssa) {
 
 DliStatus DliSession::GN(const Ssa& root_ssa) {
   ++stats_.gn_calls;
+  gn_counter_->Increment();
   ++stats_.calls_by_segment[ToUpperAscii(root_ssa.segment)];
   if (parent_ == nullptr) return DliStatus::kEndOfDatabase;
   for (Segment* root = db_->NextRoot(parent_); root != nullptr;
        root = db_->NextRoot(root)) {
-    ++stats_.segments_visited;
+    Visit();
     if (Matches(*root, root_ssa)) {
       current_ = root;
       parent_ = root;
@@ -109,6 +111,7 @@ DliStatus DliSession::GN(const Ssa& root_ssa) {
 
 DliStatus DliSession::GNP(const Ssa& child_ssa) {
   ++stats_.gnp_calls;
+  gnp_counter_->Increment();
   ++stats_.calls_by_segment[ToUpperAscii(child_ssa.segment)];
   if (parent_ == nullptr) return DliStatus::kNotFound;
 
@@ -136,7 +139,7 @@ DliStatus DliSession::GNP(const Ssa& child_ssa) {
                        ctype.fields[ctype.key_field].name);
 
   while (cursor != nullptr) {
-    ++stats_.segments_visited;
+    Visit();
     if (key_equality) {
       int c = cursor->KeyValue().Compare(child_ssa.qual->value);
       if (c > 0) break;  // keys only grow from here: not found

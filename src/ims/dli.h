@@ -7,6 +7,7 @@
 
 #include "expr/expr.h"
 #include "ims/ims_database.h"
+#include "obs/metrics.h"
 
 namespace uniqopt {
 namespace ims {
@@ -79,7 +80,19 @@ struct DliCallStats {
 ///    examine every remaining twin.
 class DliSession {
  public:
-  explicit DliSession(const ImsDatabase* db) : db_(db) {}
+  /// Call counts are kept twice: per-session in `stats()` (what one
+  /// program run cost) and as `ims.dli.*` counters in `registry`
+  /// (accumulating across sessions for \metrics and EXPLAIN ANALYZE
+  /// deltas). Tests pass a private registry for isolated deltas.
+  explicit DliSession(const ImsDatabase* db,
+                      obs::MetricsRegistry* registry =
+                          &obs::MetricsRegistry::Global())
+      : db_(db),
+        gu_counter_(&registry->GetCounter("ims.dli.gu_calls")),
+        gn_counter_(&registry->GetCounter("ims.dli.gn_calls")),
+        gnp_counter_(&registry->GetCounter("ims.dli.gnp_calls")),
+        visited_counter_(
+            &registry->GetCounter("ims.dli.segments_visited")) {}
 
   DliStatus GU(const Ssa& root_ssa);
   DliStatus GN(const Ssa& root_ssa);
@@ -95,8 +108,17 @@ class DliSession {
 
  private:
   bool Matches(const Segment& seg, const Ssa& ssa) const;
+  /// One segment examined while positioning/searching.
+  void Visit() {
+    ++stats_.segments_visited;
+    visited_counter_->Increment();
+  }
 
   const ImsDatabase* db_;
+  obs::Counter* gu_counter_;
+  obs::Counter* gn_counter_;
+  obs::Counter* gnp_counter_;
+  obs::Counter* visited_counter_;
   const Segment* current_ = nullptr;
   /// Parentage for GNP (set by GU/GN on a root).
   const Segment* parent_ = nullptr;

@@ -6,6 +6,8 @@
 #include "analysis/shape.h"
 #include "common/string_util.h"
 #include "expr/normalize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniqopt {
 namespace ims {
@@ -290,6 +292,7 @@ Result<DliProgram> TranslatePlan(const ImsDatabase& db, const PlanPtr& plan) {
 
 GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
                          const std::vector<Value>& params) {
+  obs::Span span("ims.run_program");
   GatewayResult result;
   DliSession dli(&db);
   const SegmentTypeDef& root_type = db.def().root();
@@ -371,7 +374,30 @@ GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
         result.rows.end());
   }
   result.stats = dli.stats();
+  span.AddAttr("rows", static_cast<uint64_t>(result.rows.size()));
+  span.AddAttr("gnp_calls",
+               static_cast<uint64_t>(result.stats.gnp_calls));
   return result;
+}
+
+std::string ExplainAnalyzeProgram(const ImsDatabase& db,
+                                  const DliProgram& program,
+                                  const std::vector<Value>& params,
+                                  GatewayResult* result_out) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::CounterSnapshot before = reg.Counters();
+  GatewayResult result = RunProgram(db, program, params);
+  obs::CounterSnapshot after = reg.Counters();
+
+  std::string out = "-- dl/i program --\n" + program.ToString() + "\n";
+  out += "-- dl/i stats --\n  " + result.stats.ToString() + "\n";
+  out += "-- metrics delta --\n";
+  std::string delta = obs::CounterDeltaToText(before, after);
+  out += delta.empty() ? std::string("  (none)\n") : delta;
+  out += "-- result --\n  " + std::to_string(result.rows.size()) +
+         " row(s)\n";
+  if (result_out != nullptr) *result_out = std::move(result);
+  return out;
 }
 
 }  // namespace ims

@@ -85,6 +85,16 @@ Result<DliProgram> TranslatePlan(const ImsDatabase& db, const PlanPtr& plan);
 GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
                          const std::vector<Value>& params = {});
 
+/// EXPLAIN ANALYZE for a gateway program: runs it and reports the
+/// compiled program, the per-run DL/I stats, and the `ims.dli.*`
+/// registry counters the run moved (e.g. `ims.dli.gnp_calls` — the
+/// number Example 10's join→subquery rewrite halves). `result_out`
+/// optionally receives the rows and stats.
+std::string ExplainAnalyzeProgram(const ImsDatabase& db,
+                                  const DliProgram& program,
+                                  const std::vector<Value>& params = {},
+                                  GatewayResult* result_out = nullptr);
+
 }  // namespace ims
 }  // namespace uniqopt
 

@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace uniqopt {
+namespace obs {
+
+namespace {
+
+/// Lock-free monotone update: keep the extremum.
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  constexpr int P = kPrecisionBits;
+  if (value < (uint64_t{1} << P)) return static_cast<size_t>(value);
+  int k = 63 - std::countl_zero(value);  // position of the leading 1; k >= P
+  uint64_t sub = (value >> (k - P)) & ((uint64_t{1} << P) - 1);
+  return ((static_cast<size_t>(k) - P + 1) << P) + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) {
+  constexpr int P = kPrecisionBits;
+  if (index < (size_t{1} << P)) return index;  // exact range
+  int k = static_cast<int>(index >> P) + P - 1;
+  uint64_t sub = index & ((uint64_t{1} << P) - 1);
+  uint64_t low = ((uint64_t{1} << P) + sub) << (k - P);
+  uint64_t width = uint64_t{1} << (k - P);
+  return low + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the ceil(q*n)-th observation (1-based).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      uint64_t mid = BucketMidpoint(i);
+      // Clamp into the observed range so q=0 / q=1 report exact ends.
+      if (mid < min()) mid = min();
+      if (mid > max()) mid = max();
+      return mid;
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::string CounterDeltaToText(const CounterSnapshot& before,
+                               const CounterSnapshot& after,
+                               const std::string& indent) {
+  std::string out;
+  for (const auto& [name, delta] : CounterDelta(before, after)) {
+    out += indent + name + ": +" + std::to_string(delta) + "\n";
+  }
+  return out;
+}
+
+CounterSnapshot CounterDelta(const CounterSnapshot& before,
+                             const CounterSnapshot& after) {
+  CounterSnapshot delta;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    uint64_t prev = it == before.end() ? 0 : it->second;
+    if (value > prev) delta[name] = value - prev;
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+CounterSnapshot MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterSnapshot out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, hist] : histograms_) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " = " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " = {count=" + std::to_string(h->count()) +
+           " min=" + std::to_string(h->min()) +
+           " p50=" + std::to_string(h->Quantile(0.5)) +
+           " p90=" + std::to_string(h->Quantile(0.9)) +
+           " p99=" + std::to_string(h->Quantile(0.99)) +
+           " max=" + std::to_string(h->max()) + "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {";
+    out += "\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": " + std::to_string(h->sum());
+    out += ", \"min\": " + std::to_string(h->min());
+    out += ", \"max\": " + std::to_string(h->max());
+    out += ", \"mean\": " + std::to_string(h->mean());
+    out += ", \"p50\": " + std::to_string(h->Quantile(0.5));
+    out += ", \"p90\": " + std::to_string(h->Quantile(0.9));
+    out += ", \"p99\": " + std::to_string(h->Quantile(0.99));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace uniqopt

@@ -1,0 +1,122 @@
+#ifndef UNIQOPT_OBS_METRICS_H_
+#define UNIQOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uniqopt {
+namespace obs {
+
+/// Monotonic counter. Lock-free; safe to increment from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Value/latency histogram with HDR-style log2 buckets (8 linear
+/// sub-buckets per power of two ⇒ ≤ 12.5% relative quantile error), plus
+/// exact count/sum/min/max. All updates are lock-free atomics, so
+/// recording from concurrent operators or sessions needs no coordination.
+class Histogram {
+ public:
+  static constexpr int kPrecisionBits = 3;  // 2^3 sub-buckets per octave
+  static constexpr size_t kNumBuckets =
+      (64 - kPrecisionBits + 1) << kPrecisionBits;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+
+  /// Quantile estimate by nearest rank over the buckets; `q` in [0, 1].
+  /// Returns the midpoint of the bucket holding the ranked observation
+  /// (exact for values < 2^kPrecisionBits). 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  void Reset();
+
+  /// Maps a value to its bucket and back (bucket midpoint). Exposed for
+  /// tests of the bucketing error bound.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(size_t index);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time counter values, used for delta reporting (EXPLAIN
+/// ANALYZE shows exactly the counters one execution moved).
+using CounterSnapshot = std::map<std::string, uint64_t>;
+
+/// Counters that changed between two snapshots, as `name: +delta` lines.
+std::string CounterDeltaToText(const CounterSnapshot& before,
+                               const CounterSnapshot& after,
+                               const std::string& indent = "  ");
+
+/// The changed counters as a map (new counters count from zero).
+CounterSnapshot CounterDelta(const CounterSnapshot& before,
+                             const CounterSnapshot& after);
+
+/// Process-wide named-metric registry. Lookup is mutex-protected and
+/// returns stable references (hot paths should cache them); the metric
+/// objects themselves are lock-free.
+///
+/// Naming scheme (see DESIGN.md §Observability):
+///   <subsystem>.<object>.<measure>   e.g. ims.dli.gnp_calls,
+///   rewrite.rule.SubqueryToJoin.fired, optimizer.phase.bind.ns
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The default process-wide registry.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; the reference stays valid for the registry's
+  /// lifetime.
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  CounterSnapshot Counters() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Zeroes every metric (names stay registered).
+  void ResetAll();
+
+  /// Human-readable dump, sorted by name.
+  std::string ToText() const;
+  /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
+  ///  mean, p50, p90, p99}}}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_METRICS_H_

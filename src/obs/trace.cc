@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace uniqopt {
+namespace obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+// Per-thread nesting state: each thread has its own span stack, so spans
+// from concurrent sessions never interleave their depth accounting.
+thread_local int tl_depth = 0;
+thread_local uint64_t tl_parent_id = 0;
+
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  std::string out(static_cast<size_t>(depth) * 2, ' ');
+  out += name;
+  out += " (" + std::to_string(duration_ns / 1000) + "us)";
+  for (const auto& [key, value] : attrs) {
+    out += " " + key + "=" + value;
+  }
+  return out;
+}
+
+void CollectingSink::OnSpanEnd(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> CollectingSink::TakeEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::string CollectingSink::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event.ToString() + "\n";
+  }
+  return out;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(TraceSink* sink) {
+  sink_.store(sink, std::memory_order_release);
+  enabled_.store(sink != nullptr, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_release);
+  sink_.store(nullptr, std::memory_order_release);
+}
+
+Span::Span(Tracer& tracer, const char* name) {
+  if (!tracer.enabled()) return;  // inert: no clock read, no allocation
+  active_ = true;
+  tracer_ = &tracer;
+  event_.name = name;
+  event_.start_ns = NowNs();
+  event_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = tl_parent_id;
+  event_.depth = tl_depth;
+  tl_parent_id = event_.id;
+  ++tl_depth;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --tl_depth;
+  tl_parent_id = event_.parent_id;
+  event_.duration_ns = NowNs() - event_.start_ns;
+  TraceSink* sink = tracer_->sink();
+  if (sink != nullptr) sink->OnSpanEnd(std::move(event_));
+}
+
+void Span::AddAttr(const std::string& key, const std::string& value) {
+  if (active_) event_.attrs.emplace_back(key, value);
+}
+
+void Span::AddAttr(const std::string& key, const char* value) {
+  if (active_) event_.attrs.emplace_back(key, std::string(value));
+}
+
+void Span::AddAttr(const std::string& key, uint64_t value) {
+  if (active_) event_.attrs.emplace_back(key, std::to_string(value));
+}
+
+void Span::AddAttr(const std::string& key, int value) {
+  if (active_) event_.attrs.emplace_back(key, std::to_string(value));
+}
+
+void Span::AddAttr(const std::string& key, bool value) {
+  if (active_) event_.attrs.emplace_back(key, value ? "true" : "false");
+}
+
+}  // namespace obs
+}  // namespace uniqopt

@@ -1,0 +1,103 @@
+#ifndef UNIQOPT_OBS_TRACE_H_
+#define UNIQOPT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uniqopt {
+namespace obs {
+
+/// One finished span. Nesting is recoverable two ways: `depth` for quick
+/// indentation, `parent_id` for exact tree reconstruction.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_ns = 0;     // steady-clock, process-relative
+  uint64_t duration_ns = 0;
+  int depth = 0;             // 0 = root span on its thread
+  uint64_t id = 0;           // unique per process
+  uint64_t parent_id = 0;    // 0 = no parent
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  std::string ToString() const;
+};
+
+/// Receives finished spans. Implementations must be thread-safe: spans
+/// end on whatever thread created them.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(TraceEvent event) = 0;
+};
+
+/// Buffers events in memory; the shell's `\trace` and tests drain it.
+class CollectingSink : public TraceSink {
+ public:
+  void OnSpanEnd(TraceEvent event) override;
+
+  /// Returns all buffered events and clears the buffer.
+  std::vector<TraceEvent> TakeEvents();
+
+  /// Renders buffered events as an indented tree without draining them.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Dispatches spans to a sink when enabled. Disabled (the default) makes
+/// Span construction a single relaxed atomic load and nothing else — no
+/// clock reads, no allocation.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Starts routing spans to `sink` (not owned; must outlive tracing).
+  void Enable(TraceSink* sink);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  TraceSink* sink() const { return sink_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<TraceSink*> sink_{nullptr};
+};
+
+/// RAII scoped span:
+///   obs::Span span("optimizer.phase.rewrite");
+///   span.AddAttr("rules_fired", 2);
+/// Records start on construction, emits a TraceEvent to the tracer's sink
+/// on destruction. When tracing is disabled the constructor leaves the
+/// span inert and every other method is a no-op.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(Tracer::Global(), name) {}
+  Span(Tracer& tracer, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void AddAttr(const std::string& key, const std::string& value);
+  void AddAttr(const std::string& key, const char* value);
+  void AddAttr(const std::string& key, uint64_t value);
+  void AddAttr(const std::string& key, int value);
+  void AddAttr(const std::string& key, bool value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_TRACE_H_

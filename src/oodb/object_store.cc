@@ -114,10 +114,12 @@ Result<std::vector<Oid>> NavigationSession::IndexEq(size_t class_id,
   UNIQOPT_ASSIGN_OR_RETURN(const ObjectStore::IndexMap* index,
                            store_->GetIndex(class_id, field));
   ++stats_.index_probes;
+  probes_counter_->Increment();
   std::vector<Oid> out;
   auto [begin, end] = index->equal_range(value);
   for (auto it = begin; it != end; ++it) {
     ++stats_.index_entries;
+    entries_counter_->Increment();
     out.push_back(it->second);
   }
   return out;
@@ -130,10 +132,12 @@ Result<std::vector<Oid>> NavigationSession::IndexRange(size_t class_id,
   UNIQOPT_ASSIGN_OR_RETURN(const ObjectStore::IndexMap* index,
                            store_->GetIndex(class_id, field));
   ++stats_.index_probes;
+  probes_counter_->Increment();
   std::vector<Oid> out;
   for (auto it = index->lower_bound(lo);
        it != index->end() && it->first.Compare(hi) <= 0; ++it) {
     ++stats_.index_entries;
+    entries_counter_->Increment();
     out.push_back(it->second);
   }
   return out;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "types/row.h"
 #include "types/value.h"
 
@@ -108,20 +109,34 @@ struct NavStats {
   std::string ToString() const;
 };
 
-/// A cost-counting view of an ObjectStore.
+/// A cost-counting view of an ObjectStore. Work is counted twice: in
+/// the per-session `stats()` and as accumulating `oodb.nav.*` registry
+/// counters (tests pass a private registry for isolated deltas).
 class NavigationSession {
  public:
-  explicit NavigationSession(const ObjectStore* store) : store_(store) {}
+  explicit NavigationSession(const ObjectStore* store,
+                             obs::MetricsRegistry* registry =
+                                 &obs::MetricsRegistry::Global())
+      : store_(store),
+        derefs_counter_(&registry->GetCounter("oodb.nav.pointer_derefs")),
+        retrieved_counter_(
+            &registry->GetCounter("oodb.nav.objects_retrieved")),
+        probes_counter_(&registry->GetCounter("oodb.nav.index_probes")),
+        entries_counter_(&registry->GetCounter("oodb.nav.index_entries")),
+        peeks_counter_(&registry->GetCounter("oodb.nav.header_peeks")) {}
 
   /// Chases a parent pointer and materializes the target.
   const StoredObject& Deref(Oid oid) {
     ++stats_.pointer_derefs;
+    derefs_counter_->Increment();
     ++stats_.objects_retrieved;
+    retrieved_counter_->Increment();
     return store_->Get(oid);
   }
   /// Materializes an object found via extent or index.
   const StoredObject& Retrieve(Oid oid) {
     ++stats_.objects_retrieved;
+    retrieved_counter_->Increment();
     return store_->Get(oid);
   }
   /// Reads only the parent OID from an object header — cheaper than a
@@ -130,6 +145,7 @@ class NavigationSession {
   /// else).
   Oid PeekParent(Oid oid) {
     ++stats_.header_peeks;
+    peeks_counter_->Increment();
     return store_->Get(oid).parent;
   }
   /// Point probe: all OIDs with field == value.
@@ -143,6 +159,11 @@ class NavigationSession {
 
  private:
   const ObjectStore* store_;
+  obs::Counter* derefs_counter_;
+  obs::Counter* retrieved_counter_;
+  obs::Counter* probes_counter_;
+  obs::Counter* entries_counter_;
+  obs::Counter* peeks_counter_;
   NavStats stats_;
 };
 

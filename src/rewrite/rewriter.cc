@@ -8,6 +8,8 @@
 #include "analysis/uniqueness.h"
 #include "expr/equality.h"
 #include "expr/normalize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniqopt {
 
@@ -173,7 +175,24 @@ class Rewriter {
     return node;
   }
 
+  // Per-rule registry counters: rewrite.rule.<RuleName>.considered is
+  // bumped when a rule's structural precondition matched and the gating
+  // analysis ran, .fired when it transformed the plan, .rejected when the
+  // uniqueness condition (or another semantic gate) failed.
+  static obs::Counter& RuleCounter(RewriteRuleId rule, const char* outcome) {
+    return obs::MetricsRegistry::Global().GetCounter(
+        std::string("rewrite.rule.") + RewriteRuleIdToString(rule) + "." +
+        outcome);
+  }
+  static void Considered(RewriteRuleId rule) {
+    RuleCounter(rule, "considered").Increment();
+  }
+  static void Rejected(RewriteRuleId rule) {
+    RuleCounter(rule, "rejected").Increment();
+  }
+
   void Record(RewriteRuleId rule, std::string description) {
+    RuleCounter(rule, "fired").Increment();
     applied_.push_back({rule, std::move(description)});
   }
 
@@ -181,17 +200,26 @@ class Rewriter {
   Result<PlanPtr> TryRemoveDistinct(const PlanPtr& node) {
     if (const ProjectNode* p = As<ProjectNode>(node);
         p != nullptr && p->mode() == DuplicateMode::kDist) {
+      Considered(RewriteRuleId::kRemoveRedundantDistinct);
+      obs::Span span("rewrite.rule.RemoveRedundantDistinct");
       UniquenessVerdict verdict = AnalyzeDistinct(node, options_.analysis);
+      span.AddAttr("distinct_unnecessary", verdict.distinct_unnecessary);
+      span.AddAttr("detector", verdict.detector == DetectorKind::kAlgorithm1
+                                   ? "algorithm1"
+                                   : "fd_propagation");
       if (verdict.distinct_unnecessary) {
         Record(RewriteRuleId::kRemoveRedundantDistinct,
                "DISTINCT removed (uniqueness condition holds)");
         return ProjectNode::Make(p->input(), DuplicateMode::kAll,
                                  p->columns());
       }
+      Rejected(RewriteRuleId::kRemoveRedundantDistinct);
       return node;
     }
     if (const SetOpNode* s = As<SetOpNode>(node);
         s != nullptr && s->mode() == DuplicateMode::kDist) {
+      Considered(RewriteRuleId::kRemoveRedundantDistinct);
+      obs::Span span("rewrite.rule.RemoveRedundantDistinct");
       DerivedProperties left = DeriveProperties(s->left(), options_.analysis);
       DerivedProperties right =
           DeriveProperties(s->right(), options_.analysis);
@@ -199,12 +227,14 @@ class Rewriter {
           s->op() == SetOpAlgebra::kIntersect
               ? (left.IsDuplicateFree() || right.IsDuplicateFree())
               : left.IsDuplicateFree();
+      span.AddAttr("distinct_unnecessary", equivalent);
       if (equivalent) {
         Record(RewriteRuleId::kRemoveRedundantDistinct,
                "set-op DISTINCT ≡ ALL (operand duplicate-free)");
         return SetOpNode::Make(s->op(), DuplicateMode::kAll, s->left(),
                                s->right());
       }
+      Rejected(RewriteRuleId::kRemoveRedundantDistinct);
     }
     return node;
   }
@@ -224,19 +254,25 @@ class Rewriter {
 
     // Theorem 2: at most one inner match ⇒ plain join, mode preserved.
     if (options_.subquery_to_join) {
+      Considered(RewriteRuleId::kSubqueryToJoin);
+      obs::Span span("rewrite.rule.SubqueryToJoin");
       Result<SubqueryVerdict> verdict =
           TestSubqueryAtMostOneMatch(*exists, options_.analysis);
+      span.AddAttr("at_most_one_match",
+                   verdict.ok() && verdict->at_most_one_match);
       if (verdict.ok() && verdict->at_most_one_match) {
         Record(RewriteRuleId::kSubqueryToJoin,
                "EXISTS converted to join (Theorem 2: inner key bound)");
         return rebuild_as_join(project->mode());
       }
+      Rejected(RewriteRuleId::kSubqueryToJoin);
     }
     // Already-DISTINCT projection: the Dist/Dist equivalence noted after
     // Theorem 2 always allows the conversion.
     if ((options_.subquery_to_distinct_join ||
          options_.starburst_always_join) &&
         project->mode() == DuplicateMode::kDist) {
+      Considered(RewriteRuleId::kSubqueryToDistinctJoin);
       Record(RewriteRuleId::kSubqueryToDistinctJoin,
              "EXISTS under π_Dist converted to join");
       return rebuild_as_join(DuplicateMode::kDist);
@@ -244,14 +280,20 @@ class Rewriter {
     // Corollary 1: outer block duplicate-free ⇒ DISTINCT join.
     if (options_.subquery_to_distinct_join &&
         project->mode() == DuplicateMode::kAll) {
+      Considered(RewriteRuleId::kSubqueryToDistinctJoin);
+      obs::Span span("rewrite.rule.SubqueryToDistinctJoin");
       PlanPtr outer_projection = ProjectNode::Make(
           exists->outer(), DuplicateMode::kAll, project->columns());
-      if (IsProvablyDuplicateFree(outer_projection, options_.analysis)) {
+      bool outer_unique =
+          IsProvablyDuplicateFree(outer_projection, options_.analysis);
+      span.AddAttr("outer_duplicate_free", outer_unique);
+      if (outer_unique) {
         Record(RewriteRuleId::kSubqueryToDistinctJoin,
                "EXISTS converted to DISTINCT join (Corollary 1: outer "
                "duplicate-free)");
         return rebuild_as_join(DuplicateMode::kDist);
       }
+      Rejected(RewriteRuleId::kSubqueryToDistinctJoin);
     }
     // Starburst baseline: force the conversion via a DISTINCT join even
     // without a uniqueness proof (always sound for ALL-mode outer blocks
@@ -274,6 +316,13 @@ class Rewriter {
                          ? options_.intersect_to_exists
                          : options_.intersect_all_to_exists;
       if (!enabled) return node;
+      RewriteRuleId rule = setop->mode() == DuplicateMode::kDist
+                               ? RewriteRuleId::kIntersectToExists
+                               : RewriteRuleId::kIntersectAllToExists;
+      Considered(rule);
+      obs::Span span("rewrite.rule.IntersectToExists");
+      span.AddAttr("left_duplicate_free", left.IsDuplicateFree());
+      span.AddAttr("right_duplicate_free", right.IsDuplicateFree());
       const char* what = setop->mode() == DuplicateMode::kDist
                              ? "INTERSECT (Theorem 3)"
                              : "INTERSECT ALL (Corollary 2)";
@@ -299,11 +348,13 @@ class Rewriter {
         return ExistsNode::Make(setop->right(), setop->left(),
                                 std::move(corr), /*negated=*/false);
       }
+      Rejected(rule);
       return node;
     }
 
     // EXCEPT [ALL] → NOT EXISTS when the left operand is duplicate-free.
     if (!options_.except_to_not_exists) return node;
+    Considered(RewriteRuleId::kExceptToNotExists);
     if (left.IsDuplicateFree()) {
       ExprPtr corr = MakeNullSafeCorrelation(setop->left()->schema(),
                                              setop->right()->schema());
@@ -312,6 +363,7 @@ class Rewriter {
       return ExistsNode::Make(setop->left(), setop->right(), std::move(corr),
                               /*negated=*/true);
     }
+    Rejected(RewriteRuleId::kExceptToNotExists);
     return node;
   }
 
@@ -326,7 +378,9 @@ class Rewriter {
     // The correlation must be exactly the null-safe tuple equality.
     ExprPtr expected = MakeNullSafeCorrelation(left, right);
     if (!exists->correlation()->Equals(*expected)) return node;
+    Considered(RewriteRuleId::kExistsToIntersect);
     if (!IsProvablyDuplicateFree(exists->outer(), options_.analysis)) {
+      Rejected(RewriteRuleId::kExistsToIntersect);
       return node;
     }
     Result<PlanPtr> setop =
@@ -353,6 +407,7 @@ class Rewriter {
         return node;
       }
     }
+    Considered(RewriteRuleId::kEliminateGroupByOnKey);
     DerivedProperties props =
         DeriveProperties(agg->input(), options_.analysis);
     AttributeSet group_set =
@@ -362,7 +417,10 @@ class Rewriter {
     for (const AttributeSet& key : props.keys) {
       covers_key = covers_key || key.IsSubsetOf(closure);
     }
-    if (!covers_key) return node;
+    if (!covers_key) {
+      Rejected(RewriteRuleId::kEliminateGroupByOnKey);
+      return node;
+    }
     std::vector<size_t> columns = agg->group_columns();
     for (const AggregateItem& item : agg->aggregates()) {
       columns.push_back(item.arg_column);
@@ -385,6 +443,7 @@ class Rewriter {
     if (select->predicate()->IsFalseLiteral()) return node;  // already done
     Result<SpecShape> shape_result = ExtractProductShape(select->input());
     if (!shape_result.ok()) return node;
+    Considered(RewriteRuleId::kRemoveImpliedPredicate);
     const SpecShape& shape = *shape_result;
     const Schema& schema = select->input()->schema();
 
@@ -483,7 +542,10 @@ class Rewriter {
              "empty");
       return SelectNode::Make(select->input(), FalseLiteral());
     }
-    if (!changed) return node;
+    if (!changed) {
+      Rejected(RewriteRuleId::kRemoveImpliedPredicate);
+      return node;
+    }
     Record(RewriteRuleId::kRemoveImpliedPredicate,
            "dropped WHERE conjunct(s) implied by CHECK constraints");
     if (kept.empty()) return select->input();
@@ -506,6 +568,7 @@ class Rewriter {
     // conservative.
     if (!shape.exists_filters.empty()) return node;
 
+    Considered(RewriteRuleId::kJoinElimination);
     for (size_t victim_idx = 0; victim_idx < shape.tables.size();
          ++victim_idx) {
       const SpecShape::BaseTable& victim = shape.tables[victim_idx];
@@ -560,6 +623,7 @@ class Rewriter {
       return EliminateTable(*project, shape, victim_idx, pairs,
                             representative);
     }
+    Rejected(RewriteRuleId::kJoinElimination);
     return node;
   }
 
@@ -727,13 +791,21 @@ class Rewriter {
                          /*negated=*/false);
     // Valid unconditionally for π_Dist; for π_All the discarded side must
     // match at most once (Theorem 2 read right-to-left).
+    Considered(RewriteRuleId::kJoinToSubquery);
+    obs::Span span("rewrite.rule.JoinToSubquery");
     if (project->mode() == DuplicateMode::kAll) {
       Result<SubqueryVerdict> verdict = TestSubqueryAtMostOneMatch(
           *As<ExistsNode>(exists), options_.analysis);
-      if (!verdict.ok() || !verdict->at_most_one_match) return node;
+      span.AddAttr("at_most_one_match",
+                   verdict.ok() && verdict->at_most_one_match);
+      if (!verdict.ok() || !verdict->at_most_one_match) {
+        Rejected(RewriteRuleId::kJoinToSubquery);
+        return node;
+      }
       Record(RewriteRuleId::kJoinToSubquery,
              "join converted to EXISTS (Theorem 2: discarded side unique)");
     } else {
+      span.AddAttr("mode", "distinct");
       Record(RewriteRuleId::kJoinToSubquery,
              "DISTINCT join converted to EXISTS");
     }
@@ -749,10 +821,14 @@ class Rewriter {
 
 Result<RewriteResult> RewritePlan(const PlanPtr& plan,
                                   const RewriteOptions& options) {
+  obs::Span span("rewrite.plan");
+  obs::MetricsRegistry::Global().GetCounter("rewrite.plans").Increment();
   Rewriter rewriter(options);
   RewriteResult result;
   UNIQOPT_ASSIGN_OR_RETURN(result.plan, rewriter.Transform(plan));
   result.applied = rewriter.TakeApplied();
+  span.AddAttr("rewrites_applied",
+               static_cast<uint64_t>(result.applied.size()));
   return result;
 }
 

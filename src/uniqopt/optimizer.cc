@@ -1,8 +1,46 @@
 #include "uniqopt/optimizer.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parser/parser.h"
 
 namespace uniqopt {
+
+namespace {
+
+/// One optimizer phase: a trace span plus an
+/// `optimizer.phase.<name>.ns` latency histogram sample. The histogram
+/// records unconditionally (atomics only); the span is zero-cost when
+/// tracing is off.
+class Phase {
+ public:
+  explicit Phase(const char* name)
+      : name_(name),
+        span_((std::string("optimizer.phase.") + name).c_str()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~Phase() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    obs::MetricsRegistry::Global()
+        .GetHistogram(std::string("optimizer.phase.") + name_ + ".ns")
+        .Record(ns);
+  }
+
+  obs::Span& span() { return span_; }
+
+ private:
+  const char* name_;
+  obs::Span span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 std::string PreparedQuery::Explain() const {
   std::string out = "SQL: " + sql + "\n";
@@ -28,21 +66,56 @@ std::string PreparedQuery::Explain() const {
            " (est. rows=" + std::to_string(chosen_estimate.rows) +
            ", cost=" + std::to_string(chosen_estimate.cost) + ")\n";
   }
+  out += "-- uniqueness analysis --\n";
+  out += analysis.ExplainProof();
   return out;
 }
 
 Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
-  Binder binder(&db_->catalog());
-  UNIQOPT_ASSIGN_OR_RETURN(BoundQuery bound, binder.BindSql(sql));
-  UNIQOPT_ASSIGN_OR_RETURN(RewriteResult rewritten,
-                           RewritePlan(bound.plan, rewrite_options_));
+  obs::Span prepare_span("optimizer.prepare");
+  obs::MetricsRegistry::Global()
+      .GetCounter("optimizer.queries_prepared")
+      .Increment();
+
+  QueryPtr parsed;
+  {
+    Phase phase("parse");
+    UNIQOPT_ASSIGN_OR_RETURN(parsed, ParseQuery(sql));
+  }
+  BoundQuery bound;
+  {
+    Phase phase("bind");
+    Binder binder(&db_->catalog());
+    UNIQOPT_ASSIGN_OR_RETURN(bound, binder.Bind(*parsed));
+    phase.span().AddAttr(
+        "host_vars", static_cast<uint64_t>(bound.host_vars.size()));
+  }
   PreparedQuery out;
+  {
+    // Standalone DISTINCT analysis of the bound plan: the verdict (and
+    // its proof) ride along on the PreparedQuery for EXPLAIN, whatever
+    // the rewriter later decides to do with it.
+    Phase phase("analyze");
+    out.analysis = AnalyzeDistinct(bound.plan, rewrite_options_.analysis);
+    phase.span().AddAttr("has_distinct", out.analysis.has_distinct);
+    phase.span().AddAttr("distinct_unnecessary",
+                         out.analysis.distinct_unnecessary);
+  }
+  RewriteResult rewritten;
+  {
+    Phase phase("rewrite");
+    UNIQOPT_ASSIGN_OR_RETURN(rewritten,
+                             RewritePlan(bound.plan, rewrite_options_));
+    phase.span().AddAttr(
+        "rewrites_applied", static_cast<uint64_t>(rewritten.applied.size()));
+  }
   out.sql = sql;
   out.original_plan = std::move(bound.plan);
   out.optimized_plan = std::move(rewritten.plan);
   out.rewrites = std::move(rewritten.applied);
   out.host_vars = std::move(bound.host_vars);
   if (use_cost_model_) {
+    Phase phase("cost");
     CostEstimator estimator(db_);
     std::vector<PlanAlternative> alternatives =
         StandardAlternatives(out.original_plan, out.optimized_plan);
@@ -52,6 +125,7 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
     out.chosen_physical = alternatives[best].physical;
     out.chosen_label = alternatives[best].label;
     out.chosen_estimate = alternatives[best].estimate;
+    phase.span().AddAttr("chosen", out.chosen_label);
   }
   return out;
 }
@@ -59,7 +133,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
 Result<std::vector<Row>> Optimizer::Execute(
     const PreparedQuery& query,
     const std::vector<std::pair<std::string, Value>>& params,
-    const PhysicalOptions& physical, ExecStats* stats) const {
+    const PhysicalOptions& physical, ExecStats* stats,
+    ExecProfile* profile) const {
   ExecContext ctx;
   ctx.params.resize(query.host_vars.size());
   std::vector<bool> bound(query.host_vars.size(), false);
@@ -85,11 +160,59 @@ Result<std::vector<Row>> Optimizer::Execute(
   }
   const PhysicalOptions& effective =
       query.cost_based ? query.chosen_physical : physical;
+  Phase phase("execute");
+  obs::MetricsRegistry::Global()
+      .GetCounter("optimizer.queries_executed")
+      .Increment();
   UNIQOPT_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      ExecutePlan(query.optimized_plan, *db_, &ctx, effective));
+      ExecutePlan(query.optimized_plan, *db_, &ctx, effective, profile));
   if (stats != nullptr) *stats = ctx.stats;
+  // Mirror the per-execution work counters into the registry so they
+  // accumulate across queries (\metrics, bench --metrics-json).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("exec.rows_scanned").Increment(ctx.stats.rows_scanned);
+  reg.GetCounter("exec.rows_sorted").Increment(ctx.stats.rows_sorted);
+  reg.GetCounter("exec.sort_comparisons")
+      .Increment(ctx.stats.sort_comparisons);
+  reg.GetCounter("exec.hash_probes").Increment(ctx.stats.hash_probes);
+  reg.GetCounter("exec.hash_build_rows")
+      .Increment(ctx.stats.hash_build_rows);
+  reg.GetCounter("exec.inner_loop_rows")
+      .Increment(ctx.stats.inner_loop_rows);
+  reg.GetCounter("exec.rows_output").Increment(ctx.stats.rows_output);
+  phase.span().AddAttr("rows", static_cast<uint64_t>(rows.size()));
   return rows;
+}
+
+Result<std::string> Optimizer::ExplainAnalyze(
+    const PreparedQuery& query,
+    const std::vector<std::pair<std::string, Value>>& params,
+    const PhysicalOptions& physical) const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::CounterSnapshot before = reg.Counters();
+  ExecProfile profile;
+  ExecStats stats;
+  auto start = std::chrono::steady_clock::now();
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                           Execute(query, params, physical, &stats,
+                                   &profile));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  uint64_t total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+  obs::CounterSnapshot after = reg.Counters();
+
+  std::string out = query.Explain();
+  out += "-- execution profile --\n";
+  out += profile.ToText();
+  out += "-- executor stats --\n  " + stats.ToString() + "\n";
+  out += "-- metrics delta --\n";
+  std::string delta = obs::CounterDeltaToText(before, after);
+  out += delta.empty() ? std::string("  (none)\n") : delta;
+  out += "-- result --\n  " + std::to_string(rows.size()) + " row(s) in " +
+         std::to_string(total_us) + "us\n";
+  return out;
 }
 
 Result<std::vector<Row>> Optimizer::Query(

@@ -22,6 +22,9 @@ struct PreparedQuery {
   PlanPtr optimized_plan;
   std::vector<AppliedRewrite> rewrites;
   std::vector<HostVariable> host_vars;
+  /// DISTINCT analysis of the bound (pre-rewrite) plan, proof included;
+  /// EXPLAIN renders it via UniquenessVerdict::ExplainProof().
+  UniquenessVerdict analysis;
   /// Filled by cost-based preparation: the physical strategy selected
   /// for `optimized_plan`, its label, and the estimate that won.
   bool cost_based = false;
@@ -53,11 +56,22 @@ class Optimizer {
 
   /// Executes a prepared query's optimized plan. `params` supplies host
   /// variables by name (case-insensitive); all declared host variables
-  /// must be bound.
+  /// must be bound. With `profile` non-null, every operator is metered
+  /// into it (rows in/out and time per operator).
   Result<std::vector<Row>> Execute(
       const PreparedQuery& query,
       const std::vector<std::pair<std::string, Value>>& params = {},
-      const PhysicalOptions& physical = {}, ExecStats* stats = nullptr) const;
+      const PhysicalOptions& physical = {}, ExecStats* stats = nullptr,
+      ExecProfile* profile = nullptr) const;
+
+  /// EXPLAIN ANALYZE: executes the prepared query with per-operator
+  /// metering and reports the plans/rewrites, the operator profile, the
+  /// executor work counters, and the registry counters this execution
+  /// moved (e.g. ims.dli.* for gateway programs run in the same scope).
+  Result<std::string> ExplainAnalyze(
+      const PreparedQuery& query,
+      const std::vector<std::pair<std::string, Value>>& params = {},
+      const PhysicalOptions& physical = {}) const;
 
   /// One-shot convenience: Prepare + Execute.
   Result<std::vector<Row>> Query(

@@ -239,6 +239,154 @@ TEST_F(AnalysisTest, SubqueryManyMatchesExample8) {
   EXPECT_FALSE(verdict->at_most_one_match);
 }
 
+// ---------------------------------------------------------------------
+// Structured proof rendering (ExplainProof) for the paper's worked
+// examples: the proof must name the dispositions, the closure steps,
+// and the candidate-key coverage that justify each verdict.
+
+TEST_F(AnalysisTest, Example1ProofShowsKeyCoverage) {
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'");
+  ASSERT_NE(plan, nullptr);
+  auto verdict = AnalyzeDistinctAlgorithm1(plan);
+  ASSERT_TRUE(verdict.ok());
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("DISTINCT is unnecessary"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("Algorithm 1"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("keep (Type 1): P.COLOR"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("keep (Type 2): S.SNO = P.SNO"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("pk_SUPPLIER_sno of SUPPLIER (S) {S.SNO}: covered"),
+            std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("pk_PARTS_sno_pno of PARTS (P)"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("Theorem 1"), std::string::npos) << proof;
+}
+
+TEST_F(AnalysisTest, Example2ProofNamesMissingColumns) {
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'");
+  ASSERT_NE(plan, nullptr);
+  auto verdict = AnalyzeDistinctAlgorithm1(plan);
+  ASSERT_TRUE(verdict.ok());
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("DISTINCT is required"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("NOT covered"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("conclusion: NO"), std::string::npos) << proof;
+}
+
+TEST_F(AnalysisTest, Example4And5ProofWalksClosure) {
+  // Example 5 traces Algorithm 1 over Example 4's query: the projected
+  // columns seed V, the host variable binds P.SNO (Type 1), and both
+  // keys end up covered.
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P "
+      "WHERE P.SNO = :SUPPLIER_NO AND S.SNO = P.SNO");
+  ASSERT_NE(plan, nullptr);
+  auto verdict = AnalyzeDistinctAlgorithm1(plan);
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(verdict->proof.recorded);
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("keep (Type 1): P.SNO = :SUPPLIER_NO"),
+            std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("initially bound: {S.SNO"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("+ P.SNO via P.SNO = :SUPPLIER_NO (Type 1)"),
+            std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("pk_PARTS_sno_pno of PARTS (P) {P.SNO, P.PNO}: "
+                       "covered"),
+            std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("conclusion: YES"), std::string::npos) << proof;
+  // Structured fields, not just the rendering: one covered key per
+  // FROM table (coverage short-circuits a table's remaining keys).
+  EXPECT_EQ(verdict->proof.keys.size(), 2u);
+  for (const ProofKeyOutcome& key : verdict->proof.keys) {
+    EXPECT_TRUE(key.covered) << key.key_name;
+  }
+}
+
+TEST_F(AnalysisTest, Example6ProofUsesUniqueConstraintKey) {
+  // The UNIQUE constraint on OEM_PNO is a candidate key; projecting it
+  // proves uniqueness without touching the primary key.
+  PlanPtr plan = Bind(
+      "SELECT DISTINCT P.OEM_PNO, P.PNAME FROM PARTS P "
+      "WHERE P.COLOR = 'RED'");
+  ASSERT_NE(plan, nullptr);
+  auto verdict = AnalyzeDistinctAlgorithm1(plan);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->distinct_unnecessary);
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("uq_PARTS_oem_pno of PARTS (P) {P.OEM_PNO}: covered"),
+            std::string::npos)
+      << proof;
+}
+
+TEST_F(AnalysisTest, Example7SubqueryProofProven) {
+  PlanPtr plan = Bind(
+      "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S "
+      "WHERE S.SNAME = :SUPPLIER_NAME AND EXISTS "
+      "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART_NO)");
+  ASSERT_NE(plan, nullptr);
+  const ProjectNode* project = As<ProjectNode>(plan);
+  ASSERT_NE(project, nullptr);
+  const ExistsNode* exists = As<ExistsNode>(project->input());
+  ASSERT_NE(exists, nullptr);
+  auto verdict = TestSubqueryAtMostOneMatch(*exists);
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(verdict->proof.recorded);
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("at most one inner row"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("pk_PARTS_sno_pno"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("conclusion: PROVEN"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("Theorem 2"), std::string::npos) << proof;
+}
+
+TEST_F(AnalysisTest, Example8SubqueryProofNotProven) {
+  PlanPtr plan = Bind(
+      "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS "
+      "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')");
+  ASSERT_NE(plan, nullptr);
+  const ProjectNode* project = As<ProjectNode>(plan);
+  ASSERT_NE(project, nullptr);
+  const ExistsNode* exists = As<ExistsNode>(project->input());
+  ASSERT_NE(exists, nullptr);
+  auto verdict = TestSubqueryAtMostOneMatch(*exists);
+  ASSERT_TRUE(verdict.ok());
+  std::string proof = verdict->ExplainProof();
+  EXPECT_NE(proof.find("more than one inner match possible"),
+            std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("conclusion: NOT PROVEN"), std::string::npos)
+      << proof;
+  EXPECT_NE(proof.find("missing"), std::string::npos) << proof;
+}
+
+TEST_F(AnalysisTest, Example9IntersectProofFallsBackToFdDetector) {
+  // Algorithm 1 does not handle set operators; the combined analyzer's
+  // FD detector proves the INTERSECT's DISTINCT redundant and the proof
+  // says which detector spoke.
+  PlanPtr plan = Bind(
+      "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' "
+      "INTERSECT "
+      "SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'");
+  ASSERT_NE(plan, nullptr);
+  UniquenessVerdict verdict = AnalyzeDistinct(plan);
+  EXPECT_TRUE(verdict.distinct_unnecessary);
+  std::string proof = verdict.ExplainProof();
+  EXPECT_NE(proof.find("FD/key propagation"), std::string::npos) << proof;
+  EXPECT_NE(proof.find("DISTINCT is unnecessary"), std::string::npos)
+      << proof;
+}
+
 TEST_F(AnalysisTest, DerivePropertiesProductKeys) {
   PlanPtr plan = Bind(
       "SELECT S.SNO, P.SNO, P.PNO FROM SUPPLIER S, PARTS P");
