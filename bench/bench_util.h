@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "exec/planner.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "plan/binder.h"
 #include "rewrite/rewriter.h"
@@ -84,8 +85,12 @@ inline size_t MustExecute(const PlanPtr& plan, const Database& db,
 
 /// Benchmark driver: the standard google-benchmark main plus a
 /// `--metrics-json=<path>` flag that, after the run, dumps the global
-/// metrics registry as JSON — every counter/histogram the benchmarked
-/// code moved (rewrite.rule.*, ims.dli.*, exec.*, ...).
+/// metrics registry — every counter/histogram the benchmarked code
+/// moved (rewrite.rule.*, ims.dli.*, exec.*, ...) — in the stable
+/// export schema of obs::ToMetricsJson. bench/baselines/*.json and
+/// scripts/bench_compare.py consume exactly this schema, and the
+/// Prometheus exporter renders from the same MetricSample snapshot, so
+/// the gate and the exporters cannot drift apart.
 inline int BenchMain(int argc, char** argv) {
   std::string metrics_path;
   std::vector<char*> args;
@@ -112,7 +117,8 @@ inline int BenchMain(int argc, char** argv) {
                    metrics_path.c_str());
       return 1;
     }
-    out << obs::MetricsRegistry::Global().ToJson() << "\n";
+    out << obs::ToMetricsJson(
+        obs::SnapshotMetrics(obs::MetricsRegistry::Global()));
   }
   return 0;
 }

@@ -13,15 +13,26 @@
 // per-operator metering and shows the profile plus the metrics the run
 // moved; `CREATE TABLE ...` extends the catalog; `\metrics` dumps the
 // metrics registry; `\trace on|off` toggles pipeline tracing (spans
-// print as they close); `\q` quits. Host variables are not supported
-// interactively (use the library API).
+// print as they close and are buffered for `\export`); `\history`
+// shows the query flight recorder; `\slow [ms]` sets/queries the
+// slow-query threshold; `\serve <port>` starts the HTTP observability
+// endpoint (GET /metrics, /trace, /queries); `\export
+// [trace|metrics|queries] <file>` dumps the corresponding payload;
+// `\q` quits. Host variables are not supported interactively (use the
+// library API).
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
+#include "obs/export.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "uniqopt/uniqopt.h"
 
@@ -29,13 +40,36 @@ namespace {
 
 using namespace uniqopt;
 
-/// Prints each span as it closes, indented by nesting depth.
-class StdoutTraceSink : public obs::TraceSink {
+/// Prints each span as it closes (indented by nesting depth) and keeps
+/// a bounded buffer behind `\export trace` and GET /trace.
+class ShellTraceSink : public obs::TraceSink {
  public:
+  static constexpr size_t kMaxBufferedEvents = 100000;
+
   void OnSpanEnd(obs::TraceEvent event) override {
-    std::printf("[trace] %s\n", event.ToString().c_str());
+    if (echo_) std::printf("[trace] %s\n", event.ToString().c_str());
+    buffer_.OnSpanEnd(std::move(event));
+    buffer_.TrimTo(kMaxBufferedEvents);
   }
+
+  void set_echo(bool echo) { echo_ = echo; }
+  obs::CollectingSink* buffer() { return &buffer_; }
+
+ private:
+  bool echo_ = true;
+  obs::CollectingSink buffer_;
 };
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  std::printf("wrote %zu bytes to %s\n", content.size(), path.c_str());
+  return true;
+}
 
 void PrintResult(const PreparedQuery& prepared,
                  const std::vector<Row>& rows, const ExecStats& stats) {
@@ -67,14 +101,18 @@ int Run() {
   Database db;
   if (!MakeTestSupplierDatabase(&db).ok()) return 1;
   Optimizer optimizer(&db);
-  StdoutTraceSink trace_sink;
+  ShellTraceSink trace_sink;
+  obs::HttpEndpoint endpoint(trace_sink.buffer());
   std::printf(
       "uniqopt shell — supplier database loaded "
       "(SUPPLIER/PARTS/AGENTS).\n"
       "EXPLAIN <q> shows the rewrite trail and uniqueness proof; "
       "EXPLAIN ANALYZE <q> executes\nwith per-operator metering. "
-      "\\metrics dumps counters; \\trace on|off toggles spans; "
-      "\\q quits.\n");
+      "\\metrics dumps counters; \\trace on|off toggles spans;\n"
+      "\\history shows the flight recorder; \\slow [ms] sets the "
+      "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
+      "(/metrics /trace /queries);\n\\export [trace|metrics|queries] "
+      "<file> dumps a payload; \\q quits.\n");
 
   std::string line;
   while (true) {
@@ -96,6 +134,83 @@ int Run() {
     if (trimmed == "\\trace off") {
       obs::Tracer::Global().Disable();
       std::printf("tracing off\n");
+      continue;
+    }
+    if (trimmed == "\\history") {
+      std::printf("%s", obs::QueryRecorder::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\slow" || trimmed.rfind("\\slow ", 0) == 0) {
+      obs::QueryRecorder& recorder = obs::QueryRecorder::Global();
+      if (trimmed == "\\slow") {
+        uint64_t ms = recorder.slow_threshold_ns() / 1000000;
+        std::printf("slow threshold: %llu ms%s\n",
+                    static_cast<unsigned long long>(ms),
+                    ms == 0 ? " (disabled; \\slow <ms> to set)" : "");
+        for (const obs::QueryRecord& r : recorder.SlowQueries()) {
+          std::printf("%s", r.ToString().c_str());
+        }
+        continue;
+      }
+      std::string arg(StripAsciiWhitespace(trimmed.substr(6)));
+      char* end = nullptr;
+      unsigned long long ms = std::strtoull(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || arg.empty()) {
+        std::printf("usage: \\slow [<milliseconds>]\n");
+        continue;
+      }
+      recorder.SetSlowThresholdNs(static_cast<uint64_t>(ms) * 1000000);
+      std::printf("slow threshold set to %llu ms\n", ms);
+      continue;
+    }
+    if (trimmed.rfind("\\serve", 0) == 0) {
+      if (endpoint.serving()) {
+        std::printf("already serving on 127.0.0.1:%u\n", endpoint.port());
+        continue;
+      }
+      std::string arg(StripAsciiWhitespace(
+          trimmed.size() > 6 ? trimmed.substr(6) : ""));
+      char* end = nullptr;
+      unsigned long port = std::strtoul(arg.c_str(), &end, 10);
+      if (arg.empty() || end == nullptr || *end != '\0' || port > 65535) {
+        std::printf("usage: \\serve <port>\n");
+        continue;
+      }
+      Status st = endpoint.Start(static_cast<uint16_t>(port));
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "serving on 127.0.0.1:%u — try: curl localhost:%u/metrics\n",
+          endpoint.port(), endpoint.port());
+      continue;
+    }
+    if (trimmed.rfind("\\export", 0) == 0) {
+      std::vector<std::string> args;
+      for (const std::string& piece :
+           Split(trimmed.size() > 7 ? trimmed.substr(8) : "", ' ')) {
+        if (!piece.empty()) args.push_back(piece);
+      }
+      std::string kind = args.size() == 2 ? args[0] : "trace";
+      std::string path = args.size() == 2  ? args[1]
+                         : args.size() == 1 ? args[0]
+                                            : "";
+      if (path.empty()) {
+        std::printf("usage: \\export [trace|metrics|queries] <file>\n");
+        continue;
+      }
+      if (kind == "trace") {
+        WriteFile(path,
+                  obs::ToChromeTraceJson(trace_sink.buffer()->Events()));
+      } else if (kind == "metrics") {
+        WriteFile(path, obs::ToPrometheusText(obs::SnapshotMetrics(
+                            obs::MetricsRegistry::Global())));
+      } else if (kind == "queries") {
+        WriteFile(path, obs::QueryRecorder::Global().ToJson());
+      } else {
+        std::printf("usage: \\export [trace|metrics|queries] <file>\n");
+      }
       continue;
     }
 

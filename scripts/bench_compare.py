@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Diff a benchmark --metrics-json dump against a checked-in baseline.
+
+Both files use the stable export schema emitted by obs::ToMetricsJson
+(bench_util.h --metrics-json and the Prometheus exporter render from the
+same snapshot):
+
+    {"metrics": [
+      {"name": "...", "type": "counter", "value": 3},
+      {"name": "...", "type": "histogram", "count": ..., "sum": ...,
+       "min": ..., "max": ..., "mean": ..., "p50": ..., "p90": ...,
+       "p99": ..., "buckets": [{"le": ..., "count": ...}, ...]}]}
+
+Two regression classes fail the gate (exit code 1):
+
+ * latency: a `.ns` histogram whose p50 grew by more than
+   --latency-tolerance percent over baseline (histograms with a baseline
+   p50 under --min-latency-ns are skipped as noise);
+ * rewrite counts: a `rewrite.rule.<Rule>.fired` counter whose firing
+   ratio (fired / considered, iteration-count invariant) dropped by more
+   than --ratio-tolerance percent, or that stopped firing entirely while
+   the baseline had firings.
+
+Missing-in-current metrics that the baseline gates on are regressions
+too: a deleted counter must be removed from the baseline deliberately.
+"""
+
+import argparse
+import fnmatch
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        raise SystemExit(
+            f"{path}: not a stable-schema metrics dump (no 'metrics' key)")
+    out = {}
+    for m in doc["metrics"]:
+        out[m["name"]] = m
+    return out
+
+
+def histogram_latency(metric):
+    """Representative latency of a histogram sample: p50, mean fallback."""
+    if metric.get("count", 0) == 0:
+        return None
+    p50 = metric.get("p50", 0)
+    return p50 if p50 > 0 else metric.get("mean", 0)
+
+
+def firing_ratio(metrics, fired_name):
+    """fired / considered for a rewrite.rule counter, None if unknowable."""
+    fired = metrics[fired_name]["value"]
+    considered_name = fired_name.replace(".fired", ".considered")
+    considered = metrics.get(considered_name, {}).get("value", 0)
+    if considered == 0:
+        return None
+    return fired / considered
+
+
+def compare(baseline, current, args):
+    regressions = []
+    checked = {"latency": 0, "rewrite": 0}
+
+    for name, base in sorted(baseline.items()):
+        if base.get("type") != "histogram" or not name.endswith(".ns"):
+            continue
+        base_lat = histogram_latency(base)
+        if base_lat is None or base_lat < args.min_latency_ns:
+            continue
+        cur = current.get(name)
+        if cur is None:
+            regressions.append(
+                f"latency {name}: present in baseline, missing in current")
+            continue
+        cur_lat = histogram_latency(cur)
+        if cur_lat is None:
+            regressions.append(
+                f"latency {name}: baseline has samples, current has none")
+            continue
+        checked["latency"] += 1
+        limit = base_lat * (1 + args.latency_tolerance / 100.0)
+        if cur_lat > limit:
+            regressions.append(
+                f"latency {name}: p50 {cur_lat:.0f}ns > {limit:.0f}ns "
+                f"(baseline {base_lat:.0f}ns + {args.latency_tolerance}%)")
+
+    for name, base in sorted(baseline.items()):
+        if base.get("type") != "counter":
+            continue
+        if not fnmatch.fnmatch(name, "rewrite.rule.*.fired"):
+            continue
+        if base["value"] == 0:
+            continue
+        cur = current.get(name)
+        if cur is None:
+            regressions.append(
+                f"rewrite {name}: fired in baseline, missing in current")
+            continue
+        checked["rewrite"] += 1
+        if cur["value"] == 0:
+            regressions.append(
+                f"rewrite {name}: fired {base['value']}x in baseline, "
+                f"stopped firing")
+            continue
+        base_ratio = firing_ratio(baseline, name)
+        cur_ratio = firing_ratio(current, name)
+        if base_ratio is None or cur_ratio is None:
+            continue  # no considered counter: can't normalize iterations
+        floor = base_ratio * (1 - args.ratio_tolerance / 100.0)
+        if cur_ratio < floor:
+            regressions.append(
+                f"rewrite {name}: firing ratio {cur_ratio:.3f} < "
+                f"{floor:.3f} (baseline {base_ratio:.3f} - "
+                f"{args.ratio_tolerance}%)")
+
+    return checked, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--latency-tolerance", type=float, default=50.0,
+                        help="max p50 growth in percent (default 50)")
+    parser.add_argument("--ratio-tolerance", type=float, default=10.0,
+                        help="max firing-ratio drop in percent (default 10)")
+    parser.add_argument("--min-latency-ns", type=float, default=500.0,
+                        help="skip histograms with baseline p50 below this")
+    parser.add_argument("--summary", default=None,
+                        help="write a JSON verdict summary to this path")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    checked, regressions = compare(baseline, current, args)
+
+    print(f"bench_compare: {args.current} vs {args.baseline}")
+    print(f"  checked {checked['latency']} latency histogram(s), "
+          f"{checked['rewrite']} rewrite counter(s)")
+    for r in regressions:
+        print(f"  REGRESSION: {r}")
+    verdict = "FAIL" if regressions else "OK"
+    print(f"  verdict: {verdict}")
+
+    if args.summary:
+        with open(args.summary, "w") as f:
+            json.dump(
+                {
+                    "baseline": args.baseline,
+                    "current": args.current,
+                    "checked": checked,
+                    "regressions": regressions,
+                    "ok": not regressions,
+                },
+                f,
+                indent=2,
+            )
+            f.write("\n")
+
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

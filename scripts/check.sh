@@ -1,10 +1,27 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 test suite, plus an ASan/UBSan build of
-# the observability tests (the registry and tracer are the only
-# lock-free-concurrent code in the tree — sanitize them every time).
+# the observability tests (the registry, tracer and flight recorder are
+# the concurrent code in the tree — sanitize them every time).
+#
+# Optional modes:
+#   --tsan        additionally build & run the concurrent obs tests
+#                 under ThreadSanitizer
+#   --bench-gate  run the gated benchmarks with --metrics-json, compare
+#                 against bench/baselines/*.json via
+#                 scripts/bench_compare.py, and write BENCH_pr2.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+RUN_TSAN=0
+RUN_BENCH_GATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    --bench-gate) RUN_BENCH_GATE=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
@@ -16,8 +33,64 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   >/dev/null
-cmake --build build-asan -j --target obs_test analysis_test
+cmake --build build-asan -j --target obs_test analysis_test \
+  export_test recorder_test http_endpoint_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
+./build-asan/tests/export_test
+./build-asan/tests/recorder_test
+./build-asan/tests/http_endpoint_test
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    >/dev/null
+  cmake --build build-tsan -j --target obs_test recorder_test
+  ./build-tsan/tests/obs_test
+  ./build-tsan/tests/recorder_test
+fi
+
+if [[ "$RUN_BENCH_GATE" == 1 ]]; then
+  echo "== bench gate: run benchmarks vs bench/baselines =="
+  cmake --build build -j --target \
+    bench_distinct_removal bench_ims_gateway bench_analyzer
+  mkdir -p build/bench-gate
+  gate_ok=1
+  summaries=()
+  for bench in bench_distinct_removal bench_ims_gateway bench_analyzer; do
+    current="build/bench-gate/${bench}.json"
+    summary="build/bench-gate/${bench}.summary.json"
+    "./build/bench/${bench}" --benchmark_min_time=0.05 \
+      --metrics-json="$current" >/dev/null
+    if ! python3 scripts/bench_compare.py \
+        --baseline "bench/baselines/${bench}.json" \
+        --current "$current" \
+        --summary "$summary"; then
+      gate_ok=0
+    fi
+    summaries+=("$summary")
+  done
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr2.json
+import json, sys
+benches = {}
+ok = True
+for path in sys.argv[1:]:
+    with open(path) as f:
+        s = json.load(f)
+    name = path.rsplit("/", 1)[-1].removesuffix(".summary.json")
+    benches[name] = s
+    ok = ok and s["ok"]
+json.dump({"gate": "bench_compare", "ok": ok, "benches": benches},
+          sys.stdout, indent=2)
+sys.stdout.write("\n")
+EOF
+  echo "bench gate summary written to BENCH_pr2.json"
+  if [[ "$gate_ok" != 1 ]]; then
+    echo "== bench gate FAILED =="
+    exit 1
+  fi
+fi
 
 echo "== all checks passed =="

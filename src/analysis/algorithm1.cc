@@ -171,6 +171,9 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
   obs::Span span("analysis.algorithm1");
   obs::MetricsRegistry::Global().GetCounter("analysis.algorithm1.runs")
       .Increment();
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("analysis.algorithm1.ns");
+  obs::ScopedLatencyTimer timer(&latency);
   Algorithm1Result result;
   ProofTrace* proof = nullptr;
   if (options.record_proof) {

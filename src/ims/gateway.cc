@@ -1,5 +1,7 @@
 #include "ims/gateway.h"
 
+#include "obs/metrics.h"
+
 namespace uniqopt {
 namespace ims {
 
@@ -84,6 +86,9 @@ namespace {
 /// join strategy's emit-per-match loop.
 GatewayResult RunSupplierProbe(const ImsDatabase& db, const Ssa& part_ssa,
                                bool stop_at_first) {
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("ims.gateway.run.ns");
+  obs::ScopedLatencyTimer timer(&latency);
   GatewayResult result;
   DliSession dli(&db);
   Ssa supplier = Ssa::Unqualified("SUPPLIER");

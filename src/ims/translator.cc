@@ -1,12 +1,14 @@
 #include "ims/translator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "analysis/shape.h"
 #include "common/string_util.h"
 #include "expr/normalize.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace uniqopt {
@@ -290,9 +292,31 @@ Result<DliProgram> TranslatePlan(const ImsDatabase& db, const PlanPtr& plan) {
   return program;
 }
 
+namespace {
+
+/// One-line program summary for the flight recorder (\history shows it
+/// next to SQL text from the relational path).
+std::string ProgramSummary(const DliProgram& program) {
+  std::string out = "dl/i program: root";
+  if (program.root_qual.has_value()) out += "(qualified)";
+  for (const ChildStep& step : program.steps) {
+    out += step.exists_only ? " exists:" : " emit:";
+    out += step.segment;
+  }
+  out += " -> " + Join(program.layout, "+");
+  if (program.distinct) out += " distinct";
+  return out;
+}
+
+}  // namespace
+
 GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
                          const std::vector<Value>& params) {
   obs::Span span("ims.run_program");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("ims.gateway.run.ns");
+  obs::ScopedLatencyTimer timer(&latency);
+  auto run_start = std::chrono::steady_clock::now();
   GatewayResult result;
   DliSession dli(&db);
   const SegmentTypeDef& root_type = db.def().root();
@@ -377,6 +401,21 @@ GatewayResult RunProgram(const ImsDatabase& db, const DliProgram& program,
   span.AddAttr("rows", static_cast<uint64_t>(result.rows.size()));
   span.AddAttr("gnp_calls",
                static_cast<uint64_t>(result.stats.gnp_calls));
+
+  obs::QueryRecord rec;
+  rec.source = "ims.gateway";
+  rec.query = ProgramSummary(program);
+  rec.plan_hash = obs::FingerprintPlanText(program.ToString());
+  rec.rows_out = result.rows.size();
+  rec.rows_scanned =
+      static_cast<uint64_t>(result.stats.segments_visited);
+  rec.proof_summary = result.stats.ToString();
+  rec.total_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - run_start)
+          .count());
+  rec.phase_ns.emplace_back("run", rec.total_ns);
+  obs::QueryRecorder::Global().Record(std::move(rec));
   return result;
 }
 

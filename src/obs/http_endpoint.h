@@ -1,0 +1,69 @@
+#ifndef UNIQOPT_OBS_HTTP_ENDPOINT_H_
+#define UNIQOPT_OBS_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace uniqopt {
+namespace obs {
+
+/// Minimal blocking HTTP/1.1 observability endpoint: one listener
+/// thread, one request per connection, loopback only. Serves
+///
+///   GET /metrics   Prometheus text exposition of the metrics registry
+///   GET /trace     Chrome trace-event JSON of the attached trace sink
+///   GET /queries   flight-recorder history as JSON
+///   GET /          plain-text index
+///
+/// This is an operational plane for scrapes and debugging, not a web
+/// server: no keep-alive, no TLS, bounded request size. Started from
+/// the shell's \serve or embedded by a host process.
+class HttpEndpoint {
+ public:
+  /// `sink` (optional) backs /trace; `recorder` defaults to the global
+  /// flight recorder.
+  explicit HttpEndpoint(CollectingSink* sink = nullptr,
+                        QueryRecorder* recorder = nullptr);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 ⇒ kernel-assigned, see port()) and
+  /// starts the listener thread.
+  Status Start(uint16_t port);
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+  /// The bound port (resolved when Start was given 0).
+  uint16_t port() const { return port_; }
+
+  /// Renders the response body for `path` — the exact payloads the
+  /// routes serve, exposed for file dumps (\export) and tests.
+  /// Unknown paths yield an empty string.
+  std::string RenderPath(const std::string& path) const;
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  CollectingSink* sink_;
+  QueryRecorder* recorder_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> serving_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_HTTP_ENDPOINT_H_

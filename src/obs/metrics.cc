@@ -1,9 +1,43 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
 
 namespace uniqopt {
 namespace obs {
+
+namespace {
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+    return true;
+  }
+  if (first) return false;
+  return (c >= '0' && c <= '9') || c == '.' || c == ':';
+}
+
+}  // namespace
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsMetricNameChar(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+std::string CanonicalMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out = name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!IsMetricNameChar(out[i], /*first=*/false)) out[i] = '_';
+  }
+  if (!IsMetricNameChar(out[0], /*first=*/true)) out[0] = '_';
+  return out;
+}
 
 namespace {
 
@@ -42,6 +76,29 @@ uint64_t Histogram::BucketMidpoint(size_t index) {
   return low + width / 2;
 }
 
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  constexpr int P = kPrecisionBits;
+  if (index < (size_t{1} << P)) return index;  // exact range
+  int k = static_cast<int>(index >> P) + P - 1;
+  uint64_t sub = index & ((uint64_t{1} << P) - 1);
+  uint64_t low = ((uint64_t{1} << P) + sub) << (k - P);
+  uint64_t width = uint64_t{1} << (k - P);
+  return low + width - 1;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::CumulativeBuckets()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t running = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    running += n;
+    out.emplace_back(BucketUpperBound(i), running);
+  }
+  return out;
+}
+
 void Histogram::Record(uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -69,8 +126,10 @@ uint64_t Histogram::Quantile(double q) const {
   if (n == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Nearest-rank: the ceil(q*n)-th observation (1-based).
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  // Nearest-rank: the ceil(q*n)-th observation (1-based). The clamps
+  // make the n == 1 case exact for every q and keep q = 0 well-defined.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
   if (rank < 1) rank = 1;
   if (rank > n) rank = n;
   uint64_t seen = 0;
@@ -121,18 +180,46 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+/// Registration-time name check: an invalid name is canonicalized (and
+/// warned about once) instead of poisoning the export plane.
+std::string ValidatedName(const std::string& name) {
+  if (IsValidMetricName(name)) return name;
+  std::string fixed = CanonicalMetricName(name);
+  UNIQOPT_LOG(kWarning) << "invalid metric name \"" << name
+                        << "\" registered as \"" << fixed << "\"";
+  return fixed;
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Counter>& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return *slot;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(ValidatedName(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::unique_ptr<Histogram>& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>();
-  return *slot;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(ValidatedName(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 CounterSnapshot MetricsRegistry::Counters() const {
@@ -221,6 +308,28 @@ std::string MetricsRegistry::ToJson() const {
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
+}
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* histogram)
+    : histogram_(histogram), start_ns_(NowNs()) {}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (histogram_ != nullptr) histogram_->Record(ElapsedNs());
+}
+
+uint64_t ScopedLatencyTimer::ElapsedNs() const {
+  return NowNs() - start_ns_;
 }
 
 }  // namespace obs

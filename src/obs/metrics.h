@@ -25,6 +25,17 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Metric (and span) names use the dotted `<subsystem>.<object>.<measure>`
+/// scheme. A name is valid when it maps onto a Prometheus-legal name
+/// after the exporter replaces dots with underscores:
+/// `[a-zA-Z_][a-zA-Z0-9_.:]*`.
+bool IsValidMetricName(const std::string& name);
+
+/// The closest valid name: every illegal character becomes '_' (with a
+/// leading '_' when the first character is illegal). Identity on valid
+/// names.
+std::string CanonicalMetricName(const std::string& name);
+
 /// Value/latency histogram with HDR-style log2 buckets (8 linear
 /// sub-buckets per power of two ⇒ ≤ 12.5% relative quantile error), plus
 /// exact count/sum/min/max. All updates are lock-free atomics, so
@@ -55,6 +66,14 @@ class Histogram {
   /// tests of the bucketing error bound.
   static size_t BucketIndex(uint64_t value);
   static uint64_t BucketMidpoint(size_t index);
+  /// Largest value that lands in bucket `index` (the bucket's inclusive
+  /// upper bound — the `le` boundary Prometheus exposition uses).
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// Occupied buckets as (inclusive upper bound, cumulative count),
+  /// ascending; the Prometheus exporter appends the implicit +Inf bucket
+  /// (= count()). Empty histogram ⇒ empty vector.
+  std::vector<std::pair<uint64_t, uint64_t>> CumulativeBuckets() const;
 
  private:
   std::atomic<uint64_t> count_{0};
@@ -94,12 +113,18 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   /// Finds or creates; the reference stays valid for the registry's
-  /// lifetime.
+  /// lifetime. Names are validated on first registration: an invalid
+  /// name (see IsValidMetricName) is canonicalized with a warning, so
+  /// every registered metric exports cleanly.
   Counter& GetCounter(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
   CounterSnapshot Counters() const;
   std::vector<std::string> HistogramNames() const;
+  /// The histogram registered under `name`, or nullptr. Unlike
+  /// GetHistogram this never creates — exporters snapshot without
+  /// mutating the registry.
+  const Histogram* FindHistogram(const std::string& name) const;
 
   /// Zeroes every metric (names stay registered).
   void ResetAll();
@@ -114,6 +139,24 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records wall time from construction to destruction, in nanoseconds,
+/// into a histogram. For latency metrics on paths benchmarks gate on
+/// (scripts/bench_compare.py compares the `.ns` histograms' p50).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram);
+  ~ScopedLatencyTimer();
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  /// Nanoseconds elapsed so far.
+  uint64_t ElapsedNs() const;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
 };
 
 }  // namespace obs

@@ -1,0 +1,199 @@
+#include "obs/recorder.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace uniqopt {
+namespace obs {
+
+uint64_t FingerprintPlanText(const std::string& canonical_plan_text) {
+  // FNV-1a, 64-bit: stable across runs (unlike std::hash), cheap, and
+  // good enough to treat equal hashes as equal plans in practice.
+  uint64_t h = UINT64_C(0xcbf29ce484222325);
+  for (char c : canonical_plan_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= UINT64_C(0x100000001b3);
+  }
+  return h;
+}
+
+std::string QueryRecord::ToString() const {
+  char hash_buf[32];
+  std::snprintf(hash_buf, sizeof(hash_buf), "%016llx",
+                static_cast<unsigned long long>(plan_hash));
+  std::string out = "#" + std::to_string(id) + " [" + source + "] " +
+                    (ok ? "ok" : "ERROR") + " " +
+                    std::to_string(total_ns / 1000) + "us  " + query + "\n";
+  if (!ok) {
+    out += "    error: " + error + "\n";
+    return out;
+  }
+  out += "    plan_hash=" + std::string(hash_buf) +
+         " rows_out=" + std::to_string(rows_out);
+  if (rows_scanned > 0) {
+    out += " rows_scanned=" + std::to_string(rows_scanned);
+  }
+  out += "\n";
+  if (!phase_ns.empty()) {
+    out += "    phases:";
+    for (const auto& [phase, ns] : phase_ns) {
+      out += " " + phase + "=" + std::to_string(ns / 1000) + "us";
+    }
+    out += "\n";
+  }
+  if (!rewrites.empty()) {
+    for (const auto& [rule, description] : rewrites) {
+      out += "    rewrite " + rule + ": " + description + "\n";
+    }
+  } else {
+    out += "    rewrites: none\n";
+  }
+  if (!proof_summary.empty()) {
+    out += "    analysis: " + proof_summary + "\n";
+  }
+  return out;
+}
+
+QueryRecorder::QueryRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+QueryRecorder& QueryRecorder::Global() {
+  static QueryRecorder* recorder = new QueryRecorder();
+  return *recorder;
+}
+
+void QueryRecorder::Record(QueryRecord record) {
+  uint64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
+  bool slow = threshold > 0 && record.total_ns >= threshold;
+  uint64_t slow_id = 0;
+  uint64_t slow_ns = record.total_ns;
+  std::string slow_source, slow_query;
+  if (slow) {
+    slow_source = record.source;
+    slow_query = record.query;
+  }
+  {
+    // The id is assigned under the ring lock so snapshot order (oldest
+    // first) always agrees with id order, even with concurrent writers.
+    std::lock_guard<std::mutex> lock(mu_);
+    record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    slow_id = record.id;
+    total_.fetch_add(1, std::memory_order_relaxed);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+    } else {
+      ring_[head_] = std::move(record);
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+  if (slow) {
+    UNIQOPT_LOG(kWarning) << "slow query #" << slow_id << " ["
+                          << slow_source << "] " << slow_ns / 1000000
+                          << "ms >= " << threshold / 1000000
+                          << "ms: " << slow_query;
+    MetricsRegistry::Global().GetCounter("recorder.slow_queries")
+        .Increment();
+  }
+}
+
+std::vector<QueryRecord> QueryRecorder::SnapshotLocked() const {
+  std::vector<QueryRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<QueryRecord> QueryRecorder::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+std::vector<QueryRecord> QueryRecorder::SlowQueries() const {
+  uint64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
+  std::vector<QueryRecord> out;
+  if (threshold == 0) return out;
+  for (QueryRecord& r : History()) {
+    if (r.total_ns >= threshold) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void QueryRecorder::SetCapacity(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> ordered = SnapshotLocked();
+  if (ordered.size() > capacity) {
+    ordered.erase(ordered.begin(),
+                  ordered.end() - static_cast<ptrdiff_t>(capacity));
+  }
+  capacity_ = capacity;
+  ring_ = std::move(ordered);
+  head_ = 0;
+}
+
+void QueryRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  // Ids keep counting (never reused); the total restarts so that
+  // "retained of recorded" reads relative to the last clear.
+  total_.store(0, std::memory_order_relaxed);
+}
+
+std::string QueryRecorder::ToText() const {
+  std::vector<QueryRecord> records = History();
+  if (records.empty()) return "(no queries recorded)\n";
+  std::string out;
+  for (const QueryRecord& r : records) out += r.ToString();
+  out += "(" + std::to_string(records.size()) + " of " +
+         std::to_string(total_recorded()) + " recorded queries retained)\n";
+  return out;
+}
+
+std::string QueryRecorder::ToJson() const {
+  std::vector<QueryRecord> records = History();
+  std::string out = "{\"queries\": [";
+  bool first = true;
+  for (const QueryRecord& r : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char hash_buf[32];
+    std::snprintf(hash_buf, sizeof(hash_buf), "%016llx",
+                  static_cast<unsigned long long>(r.plan_hash));
+    out += "  {\"id\": " + std::to_string(r.id) + ", ";
+    out += "\"source\": \"" + JsonEscape(r.source) + "\", ";
+    out += "\"query\": \"" + JsonEscape(r.query) + "\", ";
+    out += "\"ok\": " + std::string(r.ok ? "true" : "false") + ", ";
+    if (!r.ok) out += "\"error\": \"" + JsonEscape(r.error) + "\", ";
+    out += "\"plan_hash\": \"" + std::string(hash_buf) + "\", ";
+    out += "\"total_ns\": " + std::to_string(r.total_ns) + ", ";
+    out += "\"rows_out\": " + std::to_string(r.rows_out) + ", ";
+    out += "\"rows_scanned\": " + std::to_string(r.rows_scanned) + ", ";
+    out += "\"phases\": {";
+    bool pfirst = true;
+    for (const auto& [phase, ns] : r.phase_ns) {
+      if (!pfirst) out += ", ";
+      pfirst = false;
+      out += "\"" + JsonEscape(phase) + "\": " + std::to_string(ns);
+    }
+    out += "}, \"rewrites\": [";
+    bool rfirst = true;
+    for (const auto& [rule, description] : r.rewrites) {
+      if (!rfirst) out += ", ";
+      rfirst = false;
+      out += "{\"rule\": \"" + JsonEscape(rule) + "\", \"description\": \"" +
+             JsonEscape(description) + "\"}";
+    }
+    out += "], \"analysis\": \"" + JsonEscape(r.proof_summary) + "\"}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace uniqopt

@@ -15,11 +15,20 @@ uint64_t NowNs() {
 }
 
 std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_thread_id{1};
 
 // Per-thread nesting state: each thread has its own span stack, so spans
 // from concurrent sessions never interleave their depth accounting.
 thread_local int tl_depth = 0;
 thread_local uint64_t tl_parent_id = 0;
+thread_local uint64_t tl_thread_id = 0;
+
+uint64_t ThreadId() {
+  if (tl_thread_id == 0) {
+    tl_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tl_thread_id;
+}
 
 }  // namespace
 
@@ -43,6 +52,19 @@ std::vector<TraceEvent> CollectingSink::TakeEvents() {
   std::vector<TraceEvent> out;
   out.swap(events_);
   return out;
+}
+
+std::vector<TraceEvent> CollectingSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void CollectingSink::TrimTo(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() > max_events) {
+    events_.erase(events_.begin(),
+                  events_.end() - static_cast<ptrdiff_t>(max_events));
+  }
 }
 
 std::string CollectingSink::ToText() const {
@@ -78,6 +100,7 @@ Span::Span(Tracer& tracer, const char* name) {
   event_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   event_.parent_id = tl_parent_id;
   event_.depth = tl_depth;
+  event_.tid = ThreadId();
   tl_parent_id = event_.id;
   ++tl_depth;
 }

@@ -20,6 +20,7 @@ struct TraceEvent {
   int depth = 0;             // 0 = root span on its thread
   uint64_t id = 0;           // unique per process
   uint64_t parent_id = 0;    // 0 = no parent
+  uint64_t tid = 0;          // small sequential per-thread id (trace lanes)
   std::vector<std::pair<std::string, std::string>> attrs;
 
   std::string ToString() const;
@@ -41,8 +42,16 @@ class CollectingSink : public TraceSink {
   /// Returns all buffered events and clears the buffer.
   std::vector<TraceEvent> TakeEvents();
 
+  /// Copies the buffered events without draining them (exporters render
+  /// repeatedly from a live buffer).
+  std::vector<TraceEvent> Events() const;
+
   /// Renders buffered events as an indented tree without draining them.
   std::string ToText() const;
+
+  /// Drops events beyond the newest `max_events` (the shell's \serve
+  /// keeps a bounded buffer alive indefinitely).
+  void TrimTo(size_t max_events);
 
  private:
   mutable std::mutex mu_;

@@ -1,7 +1,35 @@
 #include "oodb/navigator.h"
 
+#include <chrono>
+
+#include "obs/recorder.h"
+
 namespace uniqopt {
 namespace oodb {
+
+namespace {
+
+/// Flight-recorder entry for one navigation strategy run: the OODB
+/// sessions log through the same plane as the relational optimizer.
+void RecordStrategy(const char* strategy, const StrategyResult& result,
+                    std::chrono::steady_clock::time_point start) {
+  obs::QueryRecord rec;
+  rec.source = "oodb.nav";
+  rec.query = strategy;
+  rec.plan_hash = obs::FingerprintPlanText(strategy);
+  rec.rows_out = result.rows.size();
+  rec.rows_scanned =
+      static_cast<uint64_t>(result.stats.objects_retrieved);
+  rec.proof_summary = result.stats.ToString();
+  rec.total_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  rec.phase_ns.emplace_back("navigate", rec.total_ns);
+  obs::QueryRecorder::Global().Record(std::move(rec));
+}
+
+}  // namespace
 
 Result<std::unique_ptr<ObjectStore>> BuildSupplierObjectStore(
     const Database& relational) {
@@ -77,6 +105,7 @@ Result<std::unique_ptr<ObjectStore>> BuildSupplierObjectStore(
 StrategyResult ChildDrivenSuppliersForPart(const ObjectStore& store,
                                            int64_t part_no, int64_t sno_lo,
                                            int64_t sno_hi) {
+  auto start = std::chrono::steady_clock::now();
   StrategyResult result;
   NavigationSession nav(&store);
   size_t parts_id = *store.ClassId("Parts");
@@ -94,12 +123,14 @@ StrategyResult ChildDrivenSuppliersForPart(const ObjectStore& store,
     }
   }
   result.stats = nav.stats();
+  RecordStrategy("child-driven suppliers-for-part", result, start);
   return result;
 }
 
 StrategyResult ParentDrivenSuppliersForPart(const ObjectStore& store,
                                             int64_t part_no, int64_t sno_lo,
                                             int64_t sno_hi) {
+  auto start = std::chrono::steady_clock::now();
   StrategyResult result;
   NavigationSession nav(&store);
   size_t supplier_id = *store.ClassId("Supplier");
@@ -127,6 +158,7 @@ StrategyResult ParentDrivenSuppliersForPart(const ObjectStore& store,
     }
   }
   result.stats = nav.stats();
+  RecordStrategy("parent-driven suppliers-for-part", result, start);
   return result;
 }
 

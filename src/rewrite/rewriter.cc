@@ -823,6 +823,9 @@ Result<RewriteResult> RewritePlan(const PlanPtr& plan,
                                   const RewriteOptions& options) {
   obs::Span span("rewrite.plan");
   obs::MetricsRegistry::Global().GetCounter("rewrite.plans").Increment();
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("rewrite.plan.ns");
+  obs::ScopedLatencyTimer timer(&latency);
   Rewriter rewriter(options);
   RewriteResult result;
   UNIQOPT_ASSIGN_OR_RETURN(result.plan, rewriter.Transform(plan));

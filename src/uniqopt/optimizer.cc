@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 
@@ -14,11 +15,16 @@ namespace {
 /// One optimizer phase: a trace span plus an
 /// `optimizer.phase.<name>.ns` latency histogram sample. The histogram
 /// records unconditionally (atomics only); the span is zero-cost when
-/// tracing is off.
+/// tracing is off. With `phase_sink` non-null the elapsed time is also
+/// appended there — that is how PreparedQuery carries its per-phase
+/// latencies to the flight recorder.
 class Phase {
  public:
-  explicit Phase(const char* name)
+  explicit Phase(const char* name,
+                 std::vector<std::pair<std::string, uint64_t>>* phase_sink =
+                     nullptr)
       : name_(name),
+        phase_sink_(phase_sink),
         span_((std::string("optimizer.phase.") + name).c_str()),
         start_(std::chrono::steady_clock::now()) {}
 
@@ -30,15 +36,43 @@ class Phase {
     obs::MetricsRegistry::Global()
         .GetHistogram(std::string("optimizer.phase.") + name_ + ".ns")
         .Record(ns);
+    if (phase_sink_ != nullptr) phase_sink_->emplace_back(name_, ns);
   }
 
   obs::Span& span() { return span_; }
 
  private:
   const char* name_;
+  std::vector<std::pair<std::string, uint64_t>>* phase_sink_;
   obs::Span span_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// One-line verdict of the uniqueness analysis for the recorder.
+std::string AnalysisSummary(const UniquenessVerdict& v) {
+  if (!v.has_distinct) return "no DISTINCT at plan top";
+  std::string detector = v.detector == DetectorKind::kAlgorithm1
+                             ? "algorithm1"
+                             : "fd-propagation";
+  if (v.distinct_unnecessary) {
+    return "DISTINCT proven redundant (" + detector + ")";
+  }
+  return "DISTINCT retained (unproven by " + detector + ")";
+}
+
+/// Emits the record for a failed prepare/execute so \history shows
+/// erroring queries alongside successful ones.
+void RecordFailure(const std::string& sql, const Status& status,
+                   std::vector<std::pair<std::string, uint64_t>> phases) {
+  obs::QueryRecord rec;
+  rec.source = "optimizer";
+  rec.query = sql;
+  rec.ok = false;
+  rec.error = status.ToString();
+  rec.phase_ns = std::move(phases);
+  for (const auto& [name, ns] : rec.phase_ns) rec.total_ns += ns;
+  obs::QueryRecorder::Global().Record(std::move(rec));
+}
 
 }  // namespace
 
@@ -77,25 +111,35 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
       .GetCounter("optimizer.queries_prepared")
       .Increment();
 
+  PreparedQuery out;
   QueryPtr parsed;
   {
-    Phase phase("parse");
-    UNIQOPT_ASSIGN_OR_RETURN(parsed, ParseQuery(sql));
+    Phase phase("parse", &out.phase_ns);
+    auto r = ParseQuery(sql);
+    if (!r.ok()) {
+      RecordFailure(sql, r.status(), std::move(out.phase_ns));
+      return r.status();
+    }
+    parsed = std::move(*r);
   }
   BoundQuery bound;
   {
-    Phase phase("bind");
+    Phase phase("bind", &out.phase_ns);
     Binder binder(&db_->catalog());
-    UNIQOPT_ASSIGN_OR_RETURN(bound, binder.Bind(*parsed));
+    auto r = binder.Bind(*parsed);
+    if (!r.ok()) {
+      RecordFailure(sql, r.status(), std::move(out.phase_ns));
+      return r.status();
+    }
+    bound = std::move(*r);
     phase.span().AddAttr(
         "host_vars", static_cast<uint64_t>(bound.host_vars.size()));
   }
-  PreparedQuery out;
   {
     // Standalone DISTINCT analysis of the bound plan: the verdict (and
     // its proof) ride along on the PreparedQuery for EXPLAIN, whatever
     // the rewriter later decides to do with it.
-    Phase phase("analyze");
+    Phase phase("analyze", &out.phase_ns);
     out.analysis = AnalyzeDistinct(bound.plan, rewrite_options_.analysis);
     phase.span().AddAttr("has_distinct", out.analysis.has_distinct);
     phase.span().AddAttr("distinct_unnecessary",
@@ -103,9 +147,13 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   }
   RewriteResult rewritten;
   {
-    Phase phase("rewrite");
-    UNIQOPT_ASSIGN_OR_RETURN(rewritten,
-                             RewritePlan(bound.plan, rewrite_options_));
+    Phase phase("rewrite", &out.phase_ns);
+    auto r = RewritePlan(bound.plan, rewrite_options_);
+    if (!r.ok()) {
+      RecordFailure(sql, r.status(), std::move(out.phase_ns));
+      return r.status();
+    }
+    rewritten = std::move(*r);
     phase.span().AddAttr(
         "rewrites_applied", static_cast<uint64_t>(rewritten.applied.size()));
   }
@@ -115,7 +163,7 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   out.rewrites = std::move(rewritten.applied);
   out.host_vars = std::move(bound.host_vars);
   if (use_cost_model_) {
-    Phase phase("cost");
+    Phase phase("cost", &out.phase_ns);
     CostEstimator estimator(db_);
     std::vector<PlanAlternative> alternatives =
         StandardAlternatives(out.original_plan, out.optimized_plan);
@@ -127,6 +175,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
     out.chosen_estimate = alternatives[best].estimate;
     phase.span().AddAttr("chosen", out.chosen_label);
   }
+  out.plan_hash =
+      obs::FingerprintPlanText(out.optimized_plan->ToString());
   return out;
 }
 
@@ -149,25 +199,58 @@ Result<std::vector<Row>> Optimizer::Execute(
       }
     }
     if (!found) {
-      return Status::InvalidArgument("unknown host variable: " + name);
+      Status st = Status::InvalidArgument("unknown host variable: " + name);
+      RecordFailure(query.sql, st, query.phase_ns);
+      return st;
     }
   }
   for (size_t i = 0; i < bound.size(); ++i) {
     if (!bound[i]) {
-      return Status::InvalidArgument("host variable not bound: :" +
-                                     query.host_vars[i].name);
+      Status st = Status::InvalidArgument("host variable not bound: :" +
+                                          query.host_vars[i].name);
+      RecordFailure(query.sql, st, query.phase_ns);
+      return st;
     }
   }
   const PhysicalOptions& effective =
       query.cost_based ? query.chosen_physical : physical;
-  Phase phase("execute");
-  obs::MetricsRegistry::Global()
-      .GetCounter("optimizer.queries_executed")
-      .Increment();
-  UNIQOPT_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      ExecutePlan(query.optimized_plan, *db_, &ctx, effective, profile));
+  obs::QueryRecord rec;
+  rec.source = "optimizer";
+  rec.query = query.sql;
+  rec.plan_hash = query.plan_hash;
+  rec.phase_ns = query.phase_ns;
+  for (const AppliedRewrite& r : query.rewrites) {
+    rec.rewrites.emplace_back(RewriteRuleIdToString(r.rule), r.description);
+  }
+  rec.proof_summary = AnalysisSummary(query.analysis);
+  std::vector<Row> rows;
+  Status exec_status;
+  {
+    // The Phase destructor appends the execute timing to rec.phase_ns,
+    // so failure recording must wait until the block closes.
+    Phase phase("execute", &rec.phase_ns);
+    obs::MetricsRegistry::Global()
+        .GetCounter("optimizer.queries_executed")
+        .Increment();
+    auto r = ExecutePlan(query.optimized_plan, *db_, &ctx, effective,
+                         profile);
+    if (r.ok()) {
+      rows = std::move(*r);
+      phase.span().AddAttr("rows", static_cast<uint64_t>(rows.size()));
+    } else {
+      exec_status = r.status();
+    }
+  }
+  if (!exec_status.ok()) {
+    RecordFailure(query.sql, exec_status, std::move(rec.phase_ns));
+    return exec_status;
+  }
   if (stats != nullptr) *stats = ctx.stats;
+  rec.rows_out = rows.size();
+  rec.rows_scanned = ctx.stats.rows_scanned;
+  if (profile != nullptr) rec.profile_text = profile->ToText();
+  for (const auto& [name, ns] : rec.phase_ns) rec.total_ns += ns;
+  obs::QueryRecorder::Global().Record(std::move(rec));
   // Mirror the per-execution work counters into the registry so they
   // accumulate across queries (\metrics, bench --metrics-json).
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -181,7 +264,6 @@ Result<std::vector<Row>> Optimizer::Execute(
   reg.GetCounter("exec.inner_loop_rows")
       .Increment(ctx.stats.inner_loop_rows);
   reg.GetCounter("exec.rows_output").Increment(ctx.stats.rows_output);
-  phase.span().AddAttr("rows", static_cast<uint64_t>(rows.size()));
   return rows;
 }
 

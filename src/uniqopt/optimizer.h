@@ -2,6 +2,7 @@
 #define UNIQOPT_UNIQOPT_OPTIMIZER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/uniqueness.h"
@@ -31,6 +32,11 @@ struct PreparedQuery {
   PhysicalOptions chosen_physical;
   std::string chosen_label;
   PlanEstimate chosen_estimate;
+  /// Flight-recorder payload: per-phase preparation latencies in
+  /// pipeline order, and the FNV-1a fingerprint of the optimized plan's
+  /// canonical printed form (equal hash ⇒ structurally equal plan).
+  std::vector<std::pair<std::string, uint64_t>> phase_ns;
+  uint64_t plan_hash = 0;
 
   /// EXPLAIN-style report: both plans and the rewrite audit trail.
   std::string Explain() const;

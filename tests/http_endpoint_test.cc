@@ -1,0 +1,185 @@
+// Tests for the HTTP observability endpoint: a real loopback socket
+// round-trip per route, the Prometheus lint on a served /metrics page,
+// JSON validity of /trace and /queries, and the 404/405 error paths.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/http_endpoint.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace uniqopt {
+namespace {
+
+/// Sends `request` to 127.0.0.1:`port` and returns the full response.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port,
+                    "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+class HttpEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().GetCounter("exec.rows").Increment(5);
+    obs::MetricsRegistry::Global()
+        .GetHistogram("optimizer.phase.parse.ns")
+        .Record(1234);
+    recorder_.SetCapacity(8);
+    obs::QueryRecord rec;
+    rec.source = "optimizer";
+    rec.query = "SELECT SNO FROM SUPPLIER";
+    rec.plan_hash = obs::FingerprintPlanText("Scan SUPPLIER");
+    rec.ok = true;
+    recorder_.Record(std::move(rec));
+
+    obs::Tracer::Global().Enable(&sink_);
+    { obs::Span span("optimizer.prepare"); }
+    obs::Tracer::Global().Disable();
+
+    endpoint_ = std::make_unique<obs::HttpEndpoint>(&sink_, &recorder_);
+    ASSERT_OK(endpoint_->Start(0));
+    ASSERT_TRUE(endpoint_->serving());
+    ASSERT_NE(endpoint_->port(), 0);
+  }
+
+  void TearDown() override { endpoint_->Stop(); }
+
+  obs::CollectingSink sink_;
+  obs::QueryRecorder recorder_;
+  std::unique_ptr<obs::HttpEndpoint> endpoint_;
+};
+
+TEST_F(HttpEndpointTest, MetricsRouteServesLintedPrometheusText) {
+  std::string response = Get(endpoint_->port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  std::string body = Body(response);
+  Status lint = obs::LintPrometheusText(body);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << body;
+  EXPECT_NE(body.find("exec_rows_total"), std::string::npos);
+  EXPECT_NE(body.find("optimizer_phase_parse_ns_count"),
+            std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, TraceRouteServesValidChromeTraceJson) {
+  std::string response = Get(endpoint_->port(), "/trace");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("optimizer.prepare"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, QueriesRouteServesRecorderJson) {
+  std::string response = Get(endpoint_->port(), "/queries");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("SELECT SNO FROM SUPPLIER"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, IndexListsRoutes) {
+  std::string response = Get(endpoint_->port(), "/");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, UnknownPathIs404) {
+  std::string response = Get(endpoint_->port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, NonGetMethodIs405) {
+  std::string response = RawRequest(
+      endpoint_->port(),
+      "POST /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, QueryStringIsIgnoredForRouting) {
+  std::string response = Get(endpoint_->port(), "/metrics?x=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, StopIsIdempotentAndRestartable) {
+  uint16_t first_port = endpoint_->port();
+  endpoint_->Stop();
+  endpoint_->Stop();
+  EXPECT_FALSE(endpoint_->serving());
+  ASSERT_OK(endpoint_->Start(0));
+  EXPECT_TRUE(endpoint_->serving());
+  // A fresh scrape works after restart (port may differ).
+  std::string response = Get(endpoint_->port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  (void)first_port;
+}
+
+TEST_F(HttpEndpointTest, DoubleStartFails) {
+  EXPECT_FALSE(endpoint_->Start(0).ok());
+}
+
+TEST(HttpEndpointRenderTest, RenderPathMatchesRoutes) {
+  obs::CollectingSink sink;
+  obs::QueryRecorder recorder;
+  obs::HttpEndpoint endpoint(&sink, &recorder);
+  EXPECT_FALSE(endpoint.RenderPath("/").empty());
+  EXPECT_FALSE(endpoint.RenderPath("/metrics").empty() &&
+               !obs::SnapshotMetrics(obs::MetricsRegistry::Global())
+                    .empty());
+  EXPECT_TRUE(endpoint.RenderPath("/bogus").empty());
+  Status trace_valid = obs::ValidateJson(endpoint.RenderPath("/trace"));
+  EXPECT_TRUE(trace_valid.ok()) << trace_valid.ToString();
+  Status queries_valid =
+      obs::ValidateJson(endpoint.RenderPath("/queries"));
+  EXPECT_TRUE(queries_valid.ok()) << queries_valid.ToString();
+}
+
+}  // namespace
+}  // namespace uniqopt

@@ -158,6 +158,109 @@ TEST(HistogramTest, ConcurrentRecordsAreLossless) {
   EXPECT_EQ(h.max(), static_cast<uint64_t>(kThreads * kPerThread - 1));
 }
 
+TEST(HistogramTest, EmptyHistogramEdgeCases) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 0u) << "q=" << q;
+  }
+  EXPECT_TRUE(h.CumulativeBuckets().empty());
+}
+
+TEST(HistogramTest, SingleSampleQuantiles) {
+  obs::Histogram h;
+  h.Record(42);
+  // With one observation every quantile is that observation (values
+  // below 2^kPrecisionBits octaves are bucket-exact).
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 42u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  ASSERT_EQ(h.CumulativeBuckets().size(), 1u);
+  EXPECT_GE(h.CumulativeBuckets()[0].first, 42u);
+  EXPECT_EQ(h.CumulativeBuckets()[0].second, 1u);
+}
+
+TEST(HistogramTest, ResetRestoresEmptyState) {
+  obs::Histogram h;
+  h.Record(7);
+  h.Record(1000000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_TRUE(h.CumulativeBuckets().empty());
+  // And the histogram is fully usable again.
+  h.Record(9);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 9u);
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreInclusiveAndOrdered) {
+  // A value must never exceed its bucket's upper bound, and bounds must
+  // strictly increase (they become Prometheus `le` boundaries).
+  for (uint64_t v : {0ull, 1ull, 7ull, 8ull, 100ull, 12345ull,
+                     (1ull << 30) + 17}) {
+    size_t idx = obs::Histogram::BucketIndex(v);
+    EXPECT_LE(v, obs::Histogram::BucketUpperBound(idx)) << "value " << v;
+    if (idx > 0) {
+      EXPECT_LT(obs::Histogram::BucketUpperBound(idx - 1),
+                obs::Histogram::BucketUpperBound(idx));
+    }
+  }
+}
+
+TEST(RegistryTest, ResetAllIsolatesTests) {
+  // The pattern tests use for isolation: move metrics, ResetAll, and
+  // subsequent readings start from zero without re-registration races.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("iso.count").Increment(5);
+  registry.GetHistogram("iso.ns").Record(100);
+  registry.ResetAll();
+  registry.GetCounter("iso.count").Increment(1);
+  EXPECT_EQ(registry.GetCounter("iso.count").value(), 1u);
+  EXPECT_EQ(registry.GetHistogram("iso.ns").count(), 0u);
+}
+
+TEST(MetricNameTest, ValidatesDottedScheme) {
+  EXPECT_TRUE(obs::IsValidMetricName("ims.dli.gnp_calls"));
+  EXPECT_TRUE(obs::IsValidMetricName("rewrite.rule.SubqueryToJoin.fired"));
+  EXPECT_TRUE(obs::IsValidMetricName("_private"));
+  EXPECT_TRUE(obs::IsValidMetricName("a:b"));
+  EXPECT_FALSE(obs::IsValidMetricName(""));
+  EXPECT_FALSE(obs::IsValidMetricName("9starts.with.digit"));
+  EXPECT_FALSE(obs::IsValidMetricName("has space"));
+  EXPECT_FALSE(obs::IsValidMetricName("has-dash"));
+  EXPECT_FALSE(obs::IsValidMetricName("tab\tchar"));
+}
+
+TEST(MetricNameTest, CanonicalizationMapsIllegalCharsToUnderscore) {
+  EXPECT_EQ(obs::CanonicalMetricName("ims.dli.gn_calls"),
+            "ims.dli.gn_calls");
+  EXPECT_EQ(obs::CanonicalMetricName("has space"), "has_space");
+  EXPECT_EQ(obs::CanonicalMetricName("has-dash"), "has_dash");
+  EXPECT_EQ(obs::CanonicalMetricName("9lead"), "_lead");
+  EXPECT_EQ(obs::CanonicalMetricName(""), "_");
+}
+
+TEST(MetricNameTest, RegistrationCanonicalizesInvalidNames) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("bad name-here").Increment(2);
+  // The metric is stored (and exported) under the canonical name; the
+  // invalid spelling resolves to the same counter.
+  EXPECT_EQ(registry.Counters().count("bad_name_here"), 1u);
+  EXPECT_EQ(registry.Counters().count("bad name-here"), 0u);
+  registry.GetCounter("bad_name_here").Increment(1);
+  EXPECT_EQ(registry.GetCounter("bad name-here").value(), 3u);
+}
+
 TEST(TraceTest, SpanNestingAndAttributes) {
   obs::CollectingSink sink;
   obs::Tracer::Global().Enable(&sink);

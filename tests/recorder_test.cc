@@ -1,0 +1,249 @@
+// Tests for the query flight recorder: ring-buffer bounds and eviction,
+// slow-query tracking, plan fingerprints, the records the optimizer and
+// gateway layers emit, and — the load-bearing guarantee — that a
+// concurrent workload (writers optimizing queries while a reader drains
+// \history) stays consistent and retains the last K queries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "test_util.h"
+#include "uniqopt/optimizer.h"
+#include "workload/query_corpus.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+obs::QueryRecord MakeRecord(const std::string& query, uint64_t total_ns) {
+  obs::QueryRecord rec;
+  rec.source = "test";
+  rec.query = query;
+  rec.total_ns = total_ns;
+  return rec;
+}
+
+TEST(RecorderTest, RetainsLastKOldestFirst) {
+  obs::QueryRecorder recorder(4);
+  for (int i = 1; i <= 10; ++i) {
+    recorder.Record(MakeRecord("q" + std::to_string(i), 100));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  std::vector<obs::QueryRecord> history = recorder.History();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history[0].query, "q7");
+  EXPECT_EQ(history[3].query, "q10");
+  // Ids are assigned monotonically and survive eviction.
+  EXPECT_EQ(history[0].id + 3, history[3].id);
+}
+
+TEST(RecorderTest, SetCapacityKeepsNewest) {
+  obs::QueryRecorder recorder(8);
+  for (int i = 1; i <= 6; ++i) {
+    recorder.Record(MakeRecord("q" + std::to_string(i), 100));
+  }
+  recorder.SetCapacity(2);
+  std::vector<obs::QueryRecord> history = recorder.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].query, "q5");
+  EXPECT_EQ(history[1].query, "q6");
+  // Growing again keeps the retained records and admits new ones.
+  recorder.SetCapacity(4);
+  recorder.Record(MakeRecord("q7", 100));
+  EXPECT_EQ(recorder.History().size(), 3u);
+}
+
+TEST(RecorderTest, SlowQueriesHonorThreshold) {
+  obs::QueryRecorder recorder;
+  recorder.SetSlowThresholdNs(1000000);  // 1ms
+  recorder.Record(MakeRecord("fast", 500));
+  recorder.Record(MakeRecord("slow1", 2000000));
+  recorder.Record(MakeRecord("fast2", 999999));
+  recorder.Record(MakeRecord("slow2", 1000000));
+  std::vector<obs::QueryRecord> slow = recorder.SlowQueries();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query, "slow1");
+  EXPECT_EQ(slow[1].query, "slow2");
+  // Threshold 0 disables slow tracking entirely.
+  recorder.SetSlowThresholdNs(0);
+  EXPECT_TRUE(recorder.SlowQueries().empty());
+}
+
+TEST(RecorderTest, ClearResetsHistoryNotIds) {
+  obs::QueryRecorder recorder;
+  recorder.Record(MakeRecord("a", 1));
+  uint64_t first_id = recorder.History()[0].id;
+  recorder.Clear();
+  EXPECT_TRUE(recorder.History().empty());
+  recorder.Record(MakeRecord("b", 1));
+  EXPECT_GT(recorder.History()[0].id, first_id);
+}
+
+TEST(FingerprintTest, StableAndDiscriminating) {
+  const std::string plan = "Distinct\n  Scan SUPPLIER\n";
+  EXPECT_EQ(obs::FingerprintPlanText(plan), obs::FingerprintPlanText(plan));
+  EXPECT_NE(obs::FingerprintPlanText(plan),
+            obs::FingerprintPlanText("Scan SUPPLIER\n"));
+  EXPECT_NE(obs::FingerprintPlanText(""), 0u);
+}
+
+class RecorderIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(MakeTestSupplierDatabase(&db_));
+    optimizer_ = std::make_unique<Optimizer>(&db_);
+    obs::QueryRecorder::Global().Clear();
+  }
+
+  Database db_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+TEST_F(RecorderIntegrationTest, ExecuteRecordsPlanHashAndVerdicts) {
+  // Example 1: DISTINCT provably redundant, so the record must carry
+  // the RemoveRedundantDistinct verdict and the optimized plan's hash.
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      optimizer_->Prepare("SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, "
+                          "PARTS P WHERE S.SNO = P.SNO"));
+  ASSERT_OK(optimizer_->Execute(prepared).status());
+
+  std::vector<obs::QueryRecord> history =
+      obs::QueryRecorder::Global().History();
+  ASSERT_EQ(history.size(), 1u);
+  const obs::QueryRecord& rec = history[0];
+  EXPECT_EQ(rec.source, "optimizer");
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.plan_hash,
+            obs::FingerprintPlanText(prepared.optimized_plan->ToString()));
+  EXPECT_NE(rec.plan_hash, 0u);
+  bool saw_distinct_removal = false;
+  for (const auto& [rule, description] : rec.rewrites) {
+    if (rule == "RemoveRedundantDistinct") saw_distinct_removal = true;
+  }
+  EXPECT_TRUE(saw_distinct_removal);
+  EXPECT_NE(rec.proof_summary.find("redundant"), std::string::npos)
+      << rec.proof_summary;
+  // The pipeline phases all landed, execute last.
+  ASSERT_FALSE(rec.phase_ns.empty());
+  EXPECT_EQ(rec.phase_ns.front().first, "parse");
+  EXPECT_EQ(rec.phase_ns.back().first, "execute");
+  EXPECT_GT(rec.total_ns, 0u);
+  EXPECT_GT(rec.rows_out, 0u);
+}
+
+TEST_F(RecorderIntegrationTest, FailuresAreRecordedWithError) {
+  EXPECT_FALSE(optimizer_->Prepare("SELECT FROM WHERE").ok());
+  std::vector<obs::QueryRecord> history =
+      obs::QueryRecorder::Global().History();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_FALSE(history[0].ok);
+  EXPECT_FALSE(history[0].error.empty());
+}
+
+TEST_F(RecorderIntegrationTest, EqualQueriesShareAPlanHash) {
+  const std::string sql =
+      "SELECT SNO FROM SUPPLIER WHERE SNO = 1";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery a, optimizer_->Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery b, optimizer_->Prepare(sql));
+  EXPECT_EQ(a.plan_hash, b.plan_hash);
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery c,
+      optimizer_->Prepare("SELECT SNO FROM SUPPLIER WHERE SNO = 2"));
+  EXPECT_NE(a.plan_hash, c.plan_hash);
+}
+
+// The ISSUE acceptance test: 4 writer threads run the workload corpus
+// through the optimizer while a reader drains history/slow/json
+// concurrently. Afterwards the recorder must have seen every query and
+// retain exactly the last K with intact plan hashes.
+TEST_F(RecorderIntegrationTest, ConcurrentWorkloadKeepsLastK) {
+  constexpr int kThreads = 4;
+  constexpr size_t kCapacity = 32;
+  obs::QueryRecorder& recorder = obs::QueryRecorder::Global();
+  recorder.SetCapacity(kCapacity);
+
+  // Corpus queries without host variables execute cleanly end-to-end.
+  std::vector<std::string> sqls;
+  for (const CorpusQuery& q : DistinctQueryCorpus()) {
+    if (q.sql.find(':') == std::string::npos) sqls.push_back(q.sql);
+  }
+  ASSERT_GE(sqls.size(), 4u);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> executed{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<obs::QueryRecord> snapshot = recorder.History();
+      EXPECT_LE(snapshot.size(), kCapacity);
+      // Snapshots are consistent: ids strictly increase oldest→newest
+      // and every record is fully formed (no torn writes).
+      for (size_t i = 1; i < snapshot.size(); ++i) {
+        EXPECT_LT(snapshot[i - 1].id, snapshot[i].id);
+      }
+      for (const obs::QueryRecord& rec : snapshot) {
+        EXPECT_FALSE(rec.query.empty());
+        if (rec.ok && rec.source == "optimizer") {
+          EXPECT_NE(rec.plan_hash, 0u);
+        }
+      }
+      (void)recorder.SlowQueries();
+      (void)recorder.ToJson();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      // Each thread gets its own optimizer; they share db_ read-only
+      // and the process-global recorder.
+      Optimizer optimizer(&db_);
+      // Two passes over the corpus per thread: with 4 writers that
+      // guarantees more records than kCapacity, so eviction happens.
+      for (size_t i = 0; i < 2 * sqls.size(); ++i) {
+        const std::string& sql = sqls[(i + t) % sqls.size()];
+        auto prepared = optimizer.Prepare(sql);
+        ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+        auto rows = optimizer.Execute(*prepared);
+        ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(executed.load(), 2 * kThreads * sqls.size());
+  EXPECT_EQ(recorder.total_recorded(), executed.load());
+  std::vector<obs::QueryRecord> history = recorder.History();
+  ASSERT_EQ(history.size(), kCapacity);
+  // The retained window is exactly the last K ids, in order: ids are
+  // consecutive and a probe recorded now gets the very next id, so
+  // history.back() was the newest record overall.
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_EQ(history[i - 1].id + 1, history[i].id);
+  }
+  recorder.Record(MakeRecord("probe", 0));
+  EXPECT_EQ(recorder.History().back().id, history.back().id + 1);
+  Optimizer verify_optimizer(&db_);
+  for (const obs::QueryRecord& rec : history) {
+    ASSERT_TRUE(rec.ok) << rec.error;
+    auto reprepared = verify_optimizer.Prepare(rec.query);
+    ASSERT_TRUE(reprepared.ok());
+    EXPECT_EQ(rec.plan_hash, reprepared->plan_hash) << rec.query;
+  }
+  recorder.Clear();
+  recorder.SetCapacity(obs::QueryRecorder::kDefaultCapacity);
+}
+
+}  // namespace
+}  // namespace uniqopt
