@@ -18,6 +18,8 @@
 // slow-query threshold; `\serve <port>` starts the HTTP observability
 // endpoint (GET /metrics, /trace, /queries); `\export
 // [trace|metrics|queries] <file>` dumps the corresponding payload;
+// `\verify <query>` prepares the query and runs the post-optimization
+// static verifier (plan lint, proof checker, null-semantics audit);
 // `\q` quits. Host variables are not supported interactively (use the
 // library API).
 
@@ -112,7 +114,8 @@ int Run() {
       "\\history shows the flight recorder; \\slow [ms] sets the "
       "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
       "(/metrics /trace /queries);\n\\export [trace|metrics|queries] "
-      "<file> dumps a payload; \\q quits.\n");
+      "<file> dumps a payload; \\verify <q> runs the plan verifier;\n"
+      "\\q quits.\n");
 
   std::string line;
   while (true) {
@@ -211,6 +214,23 @@ int Run() {
       } else {
         std::printf("usage: \\export [trace|metrics|queries] <file>\n");
       }
+      continue;
+    }
+    if (trimmed.rfind("\\verify ", 0) == 0) {
+      std::string sql(StripAsciiWhitespace(trimmed.substr(8)));
+      if (sql.empty()) {
+        std::printf("usage: \\verify <query>\n");
+        continue;
+      }
+      auto prepared = optimizer.Prepare(sql);
+      if (!prepared.ok()) {
+        std::printf("error: %s\n", prepared.status().ToString().c_str());
+        continue;
+      }
+      verify::VerifyReport report = prepared->verified
+                                        ? prepared->verification
+                                        : optimizer.Verify(*prepared);
+      std::printf("%s", report.ToString().c_str());
       continue;
     }
 

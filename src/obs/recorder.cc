@@ -54,6 +54,9 @@ std::string QueryRecord::ToString() const {
   if (!proof_summary.empty()) {
     out += "    analysis: " + proof_summary + "\n";
   }
+  if (!verify_summary.empty()) {
+    out += "    verify: " + verify_summary + "\n";
+  }
   return out;
 }
 
@@ -189,7 +192,10 @@ std::string QueryRecorder::ToJson() const {
       out += "{\"rule\": \"" + JsonEscape(rule) + "\", \"description\": \"" +
              JsonEscape(description) + "\"}";
     }
-    out += "], \"analysis\": \"" + JsonEscape(r.proof_summary) + "\"}";
+    out += "], \"analysis\": \"" + JsonEscape(r.proof_summary) + "\", ";
+    out += "\"verify\": \"" + JsonEscape(r.verify_summary) + "\", ";
+    out +=
+        "\"verify_violations\": " + std::to_string(r.verify_violations) + "}";
   }
   out += first ? "]}\n" : "\n]}\n";
   return out;

@@ -28,6 +28,10 @@ struct QueryRecord {
   std::vector<std::pair<std::string, std::string>> rewrites;
   /// One-line summary of the uniqueness analysis / ProofTrace verdict.
   std::string proof_summary;
+  /// One-line rollup of the post-optimization verifier (empty when the
+  /// verifier did not run for this query).
+  std::string verify_summary;
+  uint64_t verify_violations = 0;
   uint64_t rows_out = 0;
   uint64_t rows_scanned = 0;
   /// Per-operator profile text when the run was metered (EXPLAIN

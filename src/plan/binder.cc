@@ -548,8 +548,8 @@ Result<BoundQuery> Binder::Bind(const Query& query) {
   for (size_t i = 0; i < query.ops.size(); ++i) {
     UNIQOPT_ASSIGN_OR_RETURN(PlanPtr rhs,
                              impl.BindSpec(*query.specs[i + 1], empty));
-    SetOpAlgebra alg;
-    DuplicateMode mode;
+    SetOpAlgebra alg = SetOpAlgebra::kIntersect;
+    DuplicateMode mode = DuplicateMode::kDist;
     switch (query.ops[i]) {
       case SetOpKind::kIntersect:
         alg = SetOpAlgebra::kIntersect;

@@ -191,9 +191,11 @@ class Rewriter {
     RuleCounter(rule, "rejected").Increment();
   }
 
-  void Record(RewriteRuleId rule, std::string description) {
+  void Record(RewriteRuleId rule, std::string description,
+              RewriteEvidence evidence) {
     RuleCounter(rule, "fired").Increment();
-    applied_.push_back({rule, std::move(description)});
+    evidence.condition_proven = true;
+    applied_.push_back({rule, std::move(description), std::move(evidence)});
   }
 
   // §5.1: π_Dist → π_All; ∩/−_Dist → ∩/−_All.
@@ -208,10 +210,17 @@ class Rewriter {
                                    ? "algorithm1"
                                    : "fd_propagation");
       if (verdict.distinct_unnecessary) {
+        PlanPtr after =
+            ProjectNode::Make(p->input(), DuplicateMode::kAll, p->columns());
+        RewriteEvidence evidence;
+        evidence.before = node;
+        evidence.after = after;
+        evidence.proof = verdict.proof;
+        evidence.facts = verdict.trace;
         Record(RewriteRuleId::kRemoveRedundantDistinct,
-               "DISTINCT removed (uniqueness condition holds)");
-        return ProjectNode::Make(p->input(), DuplicateMode::kAll,
-                                 p->columns());
+               "DISTINCT removed (uniqueness condition holds)",
+               std::move(evidence));
+        return after;
       }
       Rejected(RewriteRuleId::kRemoveRedundantDistinct);
       return node;
@@ -229,10 +238,18 @@ class Rewriter {
               : left.IsDuplicateFree();
       span.AddAttr("distinct_unnecessary", equivalent);
       if (equivalent) {
+        Result<PlanPtr> after = SetOpNode::Make(s->op(), DuplicateMode::kAll,
+                                                s->left(), s->right());
+        if (!after.ok()) return after;
+        RewriteEvidence evidence;
+        evidence.before = node;
+        evidence.after = *after;
+        evidence.facts = {"left operand: " + left.ToString(),
+                          "right operand: " + right.ToString()};
         Record(RewriteRuleId::kRemoveRedundantDistinct,
-               "set-op DISTINCT ≡ ALL (operand duplicate-free)");
-        return SetOpNode::Make(s->op(), DuplicateMode::kAll, s->left(),
-                               s->right());
+               "set-op DISTINCT ≡ ALL (operand duplicate-free)",
+               std::move(evidence));
+        return *after;
       }
       Rejected(RewriteRuleId::kRemoveRedundantDistinct);
     }
@@ -261,9 +278,16 @@ class Rewriter {
       span.AddAttr("at_most_one_match",
                    verdict.ok() && verdict->at_most_one_match);
       if (verdict.ok() && verdict->at_most_one_match) {
+        PlanPtr after = rebuild_as_join(project->mode());
+        RewriteEvidence evidence;
+        evidence.before = project->input();  // the ExistsNode the proof covers
+        evidence.after = after;
+        evidence.proof = verdict->proof;
+        evidence.facts = verdict->trace;
         Record(RewriteRuleId::kSubqueryToJoin,
-               "EXISTS converted to join (Theorem 2: inner key bound)");
-        return rebuild_as_join(project->mode());
+               "EXISTS converted to join (Theorem 2: inner key bound)",
+               std::move(evidence));
+        return after;
       }
       Rejected(RewriteRuleId::kSubqueryToJoin);
     }
@@ -273,9 +297,16 @@ class Rewriter {
          options_.starburst_always_join) &&
         project->mode() == DuplicateMode::kDist) {
       Considered(RewriteRuleId::kSubqueryToDistinctJoin);
+      PlanPtr after = rebuild_as_join(DuplicateMode::kDist);
+      RewriteEvidence evidence;
+      evidence.before = project->input();
+      evidence.after = after;
+      evidence.facts = {
+          "projection is DISTINCT: the Dist/Dist equivalence after "
+          "Theorem 2 holds unconditionally"};
       Record(RewriteRuleId::kSubqueryToDistinctJoin,
-             "EXISTS under π_Dist converted to join");
-      return rebuild_as_join(DuplicateMode::kDist);
+             "EXISTS under π_Dist converted to join", std::move(evidence));
+      return after;
     }
     // Corollary 1: outer block duplicate-free ⇒ DISTINCT join.
     if (options_.subquery_to_distinct_join &&
@@ -288,10 +319,18 @@ class Rewriter {
           IsProvablyDuplicateFree(outer_projection, options_.analysis);
       span.AddAttr("outer_duplicate_free", outer_unique);
       if (outer_unique) {
+        PlanPtr after = rebuild_as_join(DuplicateMode::kDist);
+        RewriteEvidence evidence;
+        evidence.before = project->input();
+        evidence.after = after;
+        evidence.facts = {
+            "outer projection duplicate-free (Corollary 1): " +
+            DeriveProperties(outer_projection, options_.analysis).ToString()};
         Record(RewriteRuleId::kSubqueryToDistinctJoin,
                "EXISTS converted to DISTINCT join (Corollary 1: outer "
-               "duplicate-free)");
-        return rebuild_as_join(DuplicateMode::kDist);
+               "duplicate-free)",
+               std::move(evidence));
+        return after;
       }
       Rejected(RewriteRuleId::kSubqueryToDistinctJoin);
     }
@@ -329,24 +368,34 @@ class Rewriter {
       if (left.IsDuplicateFree()) {
         ExprPtr corr = MakeNullSafeCorrelation(setop->left()->schema(),
                                                setop->right()->schema());
-        Record(setop->mode() == DuplicateMode::kDist
-                   ? RewriteRuleId::kIntersectToExists
-                   : RewriteRuleId::kIntersectAllToExists,
+        PlanPtr after = ExistsNode::Make(setop->left(), setop->right(),
+                                         std::move(corr), /*negated=*/false);
+        RewriteEvidence evidence;
+        evidence.before = node;
+        evidence.after = after;
+        evidence.facts = {"left operand duplicate-free (Theorem 3): " +
+                          left.ToString()};
+        Record(rule,
                std::string(what) + " converted to EXISTS (left operand "
-                                   "duplicate-free)");
-        return ExistsNode::Make(setop->left(), setop->right(),
-                                std::move(corr), /*negated=*/false);
+                                   "duplicate-free)",
+               std::move(evidence));
+        return after;
       }
       if (right.IsDuplicateFree()) {
         ExprPtr corr = MakeNullSafeCorrelation(setop->right()->schema(),
                                                setop->left()->schema());
-        Record(setop->mode() == DuplicateMode::kDist
-                   ? RewriteRuleId::kIntersectToExists
-                   : RewriteRuleId::kIntersectAllToExists,
+        PlanPtr after = ExistsNode::Make(setop->right(), setop->left(),
+                                         std::move(corr), /*negated=*/false);
+        RewriteEvidence evidence;
+        evidence.before = node;
+        evidence.after = after;
+        evidence.facts = {"right operand duplicate-free (Theorem 3): " +
+                          right.ToString()};
+        Record(rule,
                std::string(what) + " converted to EXISTS (right operand "
-                                   "duplicate-free; operands swapped)");
-        return ExistsNode::Make(setop->right(), setop->left(),
-                                std::move(corr), /*negated=*/false);
+                                   "duplicate-free; operands swapped)",
+               std::move(evidence));
+        return after;
       }
       Rejected(rule);
       return node;
@@ -358,10 +407,16 @@ class Rewriter {
     if (left.IsDuplicateFree()) {
       ExprPtr corr = MakeNullSafeCorrelation(setop->left()->schema(),
                                              setop->right()->schema());
+      PlanPtr after = ExistsNode::Make(setop->left(), setop->right(),
+                                       std::move(corr), /*negated=*/true);
+      RewriteEvidence evidence;
+      evidence.before = node;
+      evidence.after = after;
+      evidence.facts = {"left operand duplicate-free: " + left.ToString()};
       Record(RewriteRuleId::kExceptToNotExists,
-             "EXCEPT converted to NOT EXISTS (left operand duplicate-free)");
-      return ExistsNode::Make(setop->left(), setop->right(), std::move(corr),
-                              /*negated=*/true);
+             "EXCEPT converted to NOT EXISTS (left operand duplicate-free)",
+             std::move(evidence));
+      return after;
     }
     Rejected(RewriteRuleId::kExceptToNotExists);
     return node;
@@ -387,9 +442,17 @@ class Rewriter {
         SetOpNode::Make(SetOpAlgebra::kIntersect, DuplicateMode::kDist,
                         exists->outer(), exists->sub());
     if (!setop.ok()) return node;
+    RewriteEvidence evidence;
+    evidence.before = node;
+    evidence.after = *setop;
+    evidence.facts = {
+        "outer block duplicate-free: " +
+            DeriveProperties(exists->outer(), options_.analysis).ToString(),
+        "correlation is the exact null-safe tuple equality"};
     Record(RewriteRuleId::kExistsToIntersect,
            "null-safe EXISTS converted to INTERSECT (outer "
-           "duplicate-free)");
+           "duplicate-free)",
+           std::move(evidence));
     return *setop;
   }
 
@@ -425,11 +488,19 @@ class Rewriter {
     for (const AggregateItem& item : agg->aggregates()) {
       columns.push_back(item.arg_column);
     }
+    PlanPtr after = ProjectNode::Make(agg->input(), DuplicateMode::kAll,
+                                      std::move(columns));
+    RewriteEvidence evidence;
+    evidence.before = node;
+    evidence.after = after;
+    evidence.facts = {"group-column closure " + closure.ToString() +
+                      " covers a derived key of the input: " +
+                      props.ToString()};
     Record(RewriteRuleId::kEliminateGroupByOnKey,
            "GROUP BY on a key: single-row groups, aggregation replaced "
-           "by projection");
-    return ProjectNode::Make(agg->input(), DuplicateMode::kAll,
-                             std::move(columns));
+           "by projection",
+           std::move(evidence));
+    return after;
   }
 
   // §7 extension: simplify the conjuncts of a selection against the
@@ -537,19 +608,37 @@ class Rewriter {
       kept.push_back(conj);
     }
     if (contradiction) {
+      PlanPtr after = SelectNode::Make(select->input(), FalseLiteral());
+      RewriteEvidence evidence;
+      evidence.before = node;
+      evidence.after = after;
+      evidence.facts = {
+          "a WHERE conjunct is contradicted by a CHECK constraint; no row "
+          "can satisfy the selection"};
       Record(RewriteRuleId::kDetectEmptyResult,
              "WHERE conjunct contradicts a CHECK constraint: result is "
-             "empty");
-      return SelectNode::Make(select->input(), FalseLiteral());
+             "empty",
+             std::move(evidence));
+      return after;
     }
     if (!changed) {
       Rejected(RewriteRuleId::kRemoveImpliedPredicate);
       return node;
     }
+    PlanPtr after = kept.empty()
+                        ? select->input()
+                        : SelectNode::Make(select->input(),
+                                           Expr::MakeAnd(std::move(kept)));
+    RewriteEvidence evidence;
+    evidence.before = node;
+    evidence.after = after;
+    evidence.facts = {
+        "dropped conjunct(s) are implied by CHECK constraints on NOT NULL "
+        "columns (true for every storable row)"};
     Record(RewriteRuleId::kRemoveImpliedPredicate,
-           "dropped WHERE conjunct(s) implied by CHECK constraints");
-    if (kept.empty()) return select->input();
-    return SelectNode::Make(select->input(), Expr::MakeAnd(std::move(kept)));
+           "dropped WHERE conjunct(s) implied by CHECK constraints",
+           std::move(evidence));
+    return after;
   }
 
   // §7 extension: drop a table joined only through a declared foreign
@@ -620,7 +709,7 @@ class Rewriter {
       if (!MatchesForeignKey(shape, victim, pairs, &representative)) {
         continue;
       }
-      return EliminateTable(*project, shape, victim_idx, pairs,
+      return EliminateTable(node, *project, shape, victim_idx, pairs,
                             representative);
     }
     Rejected(RewriteRuleId::kJoinElimination);
@@ -697,8 +786,8 @@ class Rewriter {
   }
 
   Result<PlanPtr> EliminateTable(
-      const ProjectNode& project, const SpecShape& shape, size_t victim_idx,
-      const std::vector<std::pair<size_t, size_t>>& pairs,
+      const PlanPtr& node, const ProjectNode& project, const SpecShape& shape,
+      size_t victim_idx, const std::vector<std::pair<size_t, size_t>>& pairs,
       const std::map<size_t, size_t>& representative) {
     const SpecShape::BaseTable& victim = shape.tables[victim_idx];
     size_t begin = victim.offset;
@@ -751,11 +840,21 @@ class Rewriter {
     }
     std::vector<size_t> new_columns;
     for (size_t col : project.columns()) new_columns.push_back(mapping[col]);
+    PlanPtr after = ProjectNode::Make(std::move(plan), project.mode(),
+                                      std::move(new_columns));
+    RewriteEvidence evidence;
+    evidence.before = node;
+    evidence.after = after;
+    evidence.facts = {
+        "NOT NULL foreign key onto a candidate key of " +
+            victim.get->table().name() +
+            " guarantees exactly one match per referencing row",
+        "victim contributes no projection columns and no other predicates"};
     Record(RewriteRuleId::kJoinElimination,
            "eliminated join with " + victim.get->table().name() +
-               " (inclusion dependency guarantees exactly one match)");
-    return ProjectNode::Make(std::move(plan), project.mode(),
-                             std::move(new_columns));
+               " (inclusion dependency guarantees exactly one match)",
+           std::move(evidence));
+    return after;
   }
 
   // §6: π_d[A ⊆ left](σ[C](L × R)) → π_d[A](Exists(σ[C_L](L), R, rest)).
@@ -802,15 +901,30 @@ class Rewriter {
         Rejected(RewriteRuleId::kJoinToSubquery);
         return node;
       }
+      PlanPtr after = ProjectNode::Make(exists, project->mode(),
+                                        project->columns());
+      RewriteEvidence evidence;
+      evidence.before = node;
+      evidence.after = exists;
+      evidence.proof = verdict->proof;
+      evidence.facts = verdict->trace;
       Record(RewriteRuleId::kJoinToSubquery,
-             "join converted to EXISTS (Theorem 2: discarded side unique)");
-    } else {
-      span.AddAttr("mode", "distinct");
-      Record(RewriteRuleId::kJoinToSubquery,
-             "DISTINCT join converted to EXISTS");
+             "join converted to EXISTS (Theorem 2: discarded side unique)",
+             std::move(evidence));
+      return after;
     }
-    return ProjectNode::Make(std::move(exists), project->mode(),
-                             project->columns());
+    span.AddAttr("mode", "distinct");
+    PlanPtr after = ProjectNode::Make(exists, project->mode(),
+                                      project->columns());
+    RewriteEvidence evidence;
+    evidence.before = node;
+    evidence.after = exists;
+    evidence.facts = {
+        "projection is DISTINCT: the join-to-EXISTS direction of the "
+        "Dist/Dist equivalence holds unconditionally"};
+    Record(RewriteRuleId::kJoinToSubquery,
+           "DISTINCT join converted to EXISTS", std::move(evidence));
+    return after;
   }
 
   const RewriteOptions& options_;

@@ -97,9 +97,34 @@ struct RewriteOptions {
   int max_iterations_per_node = 8;
 };
 
+/// Soundness evidence attached to every applied rewrite: the node the
+/// rule consumed and produced plus the proof (or derived facts) that
+/// discharged the gating theorem's precondition. The post-optimization
+/// verifier (src/verify/) re-checks this evidence with an independent
+/// reference implementation; a rewrite without evidence is itself a
+/// verifier violation.
+struct RewriteEvidence {
+  /// The subtree the rule matched (pre-image). For subquery→join rules
+  /// this is the ExistsNode the Theorem 2 proof talks about.
+  PlanPtr before;
+  /// The subtree the rule produced. For set-op→EXISTS rules this is the
+  /// ExistsNode whose correlation the null-semantics audit inspects.
+  PlanPtr after;
+  /// Closure/key-coverage proof when the gating analysis recorded one
+  /// (Algorithm 1 for DISTINCT removal, Theorem 2 for subquery→join).
+  ProofTrace proof;
+  /// Human-readable facts for gates without a structured proof, e.g.
+  /// "left operand duplicate-free: derived key {0}".
+  std::vector<std::string> facts;
+  /// True when the rule's semantic precondition was positively proven
+  /// (every fired rewrite must set this; the verifier enforces it).
+  bool condition_proven = false;
+};
+
 struct AppliedRewrite {
   RewriteRuleId rule;
   std::string description;
+  RewriteEvidence evidence;
 };
 
 struct RewriteResult {

@@ -102,6 +102,10 @@ std::string PreparedQuery::Explain() const {
   }
   out += "-- uniqueness analysis --\n";
   out += analysis.ExplainProof();
+  if (verified) {
+    out += "-- verification --\n";
+    out += verification.ToString();
+  }
   return out;
 }
 
@@ -175,9 +179,28 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
     out.chosen_estimate = alternatives[best].estimate;
     phase.span().AddAttr("chosen", out.chosen_label);
   }
+  if (verify_plans_) {
+    // After cost selection: verify the plan that will actually execute.
+    Phase phase("verify", &out.phase_ns);
+    out.verification = Verify(out);
+    out.verified = true;
+    phase.span().AddAttr(
+        "violations",
+        static_cast<uint64_t>(out.verification.violations.size()));
+  }
   out.plan_hash =
       obs::FingerprintPlanText(out.optimized_plan->ToString());
   return out;
+}
+
+verify::VerifyReport Optimizer::Verify(const PreparedQuery& query) const {
+  verify::VerifyInput input;
+  input.original = query.original_plan;
+  input.optimized = query.optimized_plan;
+  input.rewrites = &query.rewrites;
+  input.analysis = &query.analysis;
+  input.options = rewrite_options_.analysis;
+  return verify::VerifyPlan(input);
 }
 
 Result<std::vector<Row>> Optimizer::Execute(
@@ -223,6 +246,10 @@ Result<std::vector<Row>> Optimizer::Execute(
     rec.rewrites.emplace_back(RewriteRuleIdToString(r.rule), r.description);
   }
   rec.proof_summary = AnalysisSummary(query.analysis);
+  if (query.verified) {
+    rec.verify_summary = query.verification.Summary();
+    rec.verify_violations = query.verification.violations.size();
+  }
   std::vector<Row> rows;
   Status exec_status;
   {

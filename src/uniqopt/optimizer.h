@@ -12,8 +12,20 @@
 #include "plan/binder.h"
 #include "rewrite/rewriter.h"
 #include "storage/table.h"
+#include "verify/verify.h"
 
 namespace uniqopt {
+
+/// Whether Prepare runs the post-optimization verifier automatically.
+/// Debug and test builds (the CMake default, UNIQOPT_VERIFY_PLANS=ON)
+/// verify every plan; builds configured with -DUNIQOPT_VERIFY_PLANS=OFF
+/// leave it to the sweep tests, Optimizer::set_verify_plans(true), or
+/// an explicit Verify() call.
+#if defined(UNIQOPT_VERIFY_PLANS_DEFAULT) && UNIQOPT_VERIFY_PLANS_DEFAULT == 0
+inline constexpr bool kVerifyPlansByDefault = false;
+#else
+inline constexpr bool kVerifyPlansByDefault = true;
+#endif
 
 /// A fully prepared query: logical plan before/after rewriting, the
 /// rewrites that fired, and the host-variable signature.
@@ -37,6 +49,10 @@ struct PreparedQuery {
   /// canonical printed form (equal hash ⇒ structurally equal plan).
   std::vector<std::pair<std::string, uint64_t>> phase_ns;
   uint64_t plan_hash = 0;
+  /// Post-optimization static verification (plan lint, proof checker,
+  /// null-semantics audit). `verified` tells whether the pass ran.
+  bool verified = false;
+  verify::VerifyReport verification;
 
   /// EXPLAIN-style report: both plans and the rewrite audit trail.
   std::string Explain() const;
@@ -88,6 +104,16 @@ class Optimizer {
   /// Runs the DISTINCT analysis without rewriting (diagnostics).
   Result<UniquenessVerdict> AnalyzeSql(const std::string& sql) const;
 
+  /// Runs the post-optimization verifier over an already-prepared query
+  /// (the shell's \verify, and anyone who prepared with auto-verify
+  /// off). Prepare calls this internally when verify_plans() is set.
+  verify::VerifyReport Verify(const PreparedQuery& query) const;
+
+  /// Toggles automatic verification inside Prepare (defaults to
+  /// kVerifyPlansByDefault: on in debug builds, off in release).
+  void set_verify_plans(bool on) { verify_plans_ = on; }
+  bool verify_plans() const { return verify_plans_; }
+
   Database* database() const { return db_; }
   const RewriteOptions& rewrite_options() const { return rewrite_options_; }
 
@@ -95,6 +121,7 @@ class Optimizer {
   Database* db_;
   RewriteOptions rewrite_options_;
   bool use_cost_model_ = false;
+  bool verify_plans_ = kVerifyPlansByDefault;
 };
 
 }  // namespace uniqopt

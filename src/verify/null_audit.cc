@@ -1,0 +1,178 @@
+#include "verify/null_audit.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uniqopt {
+namespace verify {
+
+namespace {
+
+void AddViolation(VerifyReport* report, std::string code, std::string message,
+                  std::string context = {}) {
+  Violation v;
+  v.analyzer = Analyzer::kNullAudit;
+  v.code = std::move(code);
+  v.message = std::move(message);
+  v.context = std::move(context);
+  report->violations.push_back(std::move(v));
+}
+
+void FlattenConjunct(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : e->children()) FlattenConjunct(c, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// A column pair (i, n + i) matched in either operand order.
+std::optional<size_t> MatchColumnPair(const ExprPtr& l, const ExprPtr& r,
+                                      size_t outer_width) {
+  if (l->kind() != ExprKind::kColumnRef || r->kind() != ExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+  size_t a = l->column_index();
+  size_t b = r->column_index();
+  if (a > b) std::swap(a, b);
+  if (a < outer_width && b == outer_width + a) return a;
+  return std::nullopt;
+}
+
+/// `e` is `x IS NULL` over a single column; returns that column.
+std::optional<size_t> MatchIsNullColumn(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kIsNull || e->num_children() != 1 ||
+      e->child(0)->kind() != ExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+  return e->child(0)->column_index();
+}
+
+/// `e` is the null-safe disjunct pair
+///   (L.i IS NULL AND R.i IS NULL) OR L.i = R.i
+/// (branches and operands in either order); returns i.
+std::optional<size_t> MatchNullSafePair(const ExprPtr& e,
+                                        size_t outer_width) {
+  if (e->kind() != ExprKind::kOr || e->num_children() != 2) {
+    return std::nullopt;
+  }
+  for (size_t eq_side = 0; eq_side < 2; ++eq_side) {
+    const ExprPtr& eq = e->child(eq_side);
+    const ExprPtr& both_null = e->child(1 - eq_side);
+    if (eq->kind() != ExprKind::kComparison ||
+        eq->compare_op() != CompareOp::kEq) {
+      continue;
+    }
+    std::optional<size_t> pair =
+        MatchColumnPair(eq->child(0), eq->child(1), outer_width);
+    if (!pair.has_value()) continue;
+    if (both_null->kind() != ExprKind::kAnd ||
+        both_null->num_children() != 2) {
+      continue;
+    }
+    std::optional<size_t> null_a = MatchIsNullColumn(both_null->child(0));
+    std::optional<size_t> null_b = MatchIsNullColumn(both_null->child(1));
+    if (!null_a.has_value() || !null_b.has_value()) continue;
+    size_t lo = std::min(*null_a, *null_b);
+    size_t hi = std::max(*null_a, *null_b);
+    if (lo == *pair && hi == outer_width + *pair) return pair;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void AuditCorrelation(const ExistsNode& exists, const std::string& origin,
+                      VerifyReport* report) {
+  ++report->correlations_audited;
+  const Schema& outer = exists.outer()->schema();
+  const Schema& sub = exists.sub()->schema();
+  size_t n = outer.num_columns();
+  if (sub.num_columns() != n) {
+    AddViolation(report, "correlation-width-mismatch",
+                 origin + ": tuple-equality correlation over operands of "
+                          "different widths",
+                 exists.correlation()->ToString());
+    return;
+  }
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjunct(exists.correlation(), &conjuncts);
+  std::vector<bool> covered(n, false);
+  for (const ExprPtr& conj : conjuncts) {
+    // A TRUE conjunct is vacuous, not unsound; the per-column coverage
+    // check below still catches an incomplete tuple equality.
+    if (conj->IsTrueLiteral()) continue;
+    // Null-safe shape: always sound.
+    if (std::optional<size_t> i = MatchNullSafePair(conj, n)) {
+      covered[*i] = true;
+      continue;
+    }
+    // Plain equality: sound only when neither side can be NULL
+    // (footnote 1); otherwise rows carrying NULLs silently drop out of
+    // the set operation's result.
+    if (conj->kind() == ExprKind::kComparison &&
+        conj->compare_op() == CompareOp::kEq) {
+      std::optional<size_t> i =
+          MatchColumnPair(conj->child(0), conj->child(1), n);
+      if (i.has_value()) {
+        if (outer.column(*i).nullable || sub.column(*i).nullable) {
+          AddViolation(
+              report, "plain-eq-on-nullable",
+              origin + ": column " + outer.column(*i).QualifiedName() +
+                  " compared with plain = but Theorem 3 requires the "
+                  "null-safe =! (a side is nullable)",
+              conj->ToString());
+        }
+        covered[*i] = true;
+        continue;
+      }
+    }
+    AddViolation(report, "malformed-correlation-conjunct",
+                 origin + ": correlation conjunct is neither a column-wise "
+                          "equality nor the null-safe =! shape",
+                 conj->ToString());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!covered[i]) {
+      AddViolation(report, "missing-correlation-column",
+                   origin + ": column " + outer.column(i).QualifiedName() +
+                       " has no correlation conjunct — the tuple equality "
+                       "is incomplete",
+                   exists.correlation()->ToString());
+    }
+  }
+}
+
+void AuditNullSemantics(const VerifyInput& input, VerifyReport* report) {
+  if (input.rewrites == nullptr) return;
+  for (const AppliedRewrite& r : *input.rewrites) {
+    switch (r.rule) {
+      case RewriteRuleId::kIntersectToExists:
+      case RewriteRuleId::kIntersectAllToExists:
+      case RewriteRuleId::kExceptToNotExists: {
+        if (r.evidence.after == nullptr) continue;  // lint reports this
+        const ExistsNode* exists = As<ExistsNode>(r.evidence.after);
+        if (exists == nullptr) continue;  // proof checker reports this
+        AuditCorrelation(*exists, RewriteRuleIdToString(r.rule), report);
+        break;
+      }
+      case RewriteRuleId::kExistsToIntersect: {
+        // The converse rule *consumed* a null-safe EXISTS; auditing the
+        // consumed subtree proves the precondition matcher honest.
+        if (r.evidence.before == nullptr) continue;
+        const ExistsNode* exists = As<ExistsNode>(r.evidence.before);
+        if (exists == nullptr) continue;
+        AuditCorrelation(*exists, RewriteRuleIdToString(r.rule), report);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace verify
+}  // namespace uniqopt

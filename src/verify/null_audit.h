@@ -1,0 +1,34 @@
+#ifndef UNIQOPT_VERIFY_NULL_AUDIT_H_
+#define UNIQOPT_VERIFY_NULL_AUDIT_H_
+
+#include "verify/verify.h"
+
+namespace uniqopt {
+namespace verify {
+
+/// Theorem 3 null-semantics audit. The set-operation rewrites
+/// (INTERSECT [ALL] → EXISTS, EXCEPT [ALL] → NOT EXISTS) and their
+/// converse compare tuples under the paper's null-safe `=!` operator —
+/// NULL matches NULL — while WHERE-clause equality is 3VL `=` where
+/// NULL matches nothing. The audit walks every rewriter-generated
+/// correlation predicate and flags
+///  - a plain `=` over a column pair where either side is nullable
+///    (rows with NULLs would silently vanish from the set operation's
+///    result);
+///  - a column pair with no correlation conjunct at all;
+///  - conjuncts that are neither the plain-equality nor the null-safe
+///    `(L IS NULL AND R IS NULL) OR L = R` shape.
+/// Only evidence-carrying rewrites are audited: user-written EXISTS
+/// subqueries legitimately use 3VL `=` and are out of scope.
+/// Appends findings to `report`.
+void AuditNullSemantics(const VerifyInput& input, VerifyReport* report);
+
+/// Audits one EXISTS correlation against the Theorem 3 tuple-equality
+/// contract. Exposed for tests.
+void AuditCorrelation(const ExistsNode& exists, const std::string& origin,
+                      VerifyReport* report);
+
+}  // namespace verify
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_VERIFY_NULL_AUDIT_H_

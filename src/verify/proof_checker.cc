@@ -1,0 +1,466 @@
+#include "verify/proof_checker.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/shape.h"
+
+namespace uniqopt {
+namespace verify {
+
+namespace {
+
+void AddViolation(VerifyReport* report, std::string code, std::string message,
+                  std::string context = {}) {
+  Violation v;
+  v.analyzer = Analyzer::kProofChecker;
+  v.code = std::move(code);
+  v.message = std::move(message);
+  v.context = std::move(context);
+  report->violations.push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation. Deliberately naive and self-contained: it
+// flattens conjunctions itself, classifies atoms by direct ExprKind
+// inspection (no shared ClassifyAtom, no CNF normalizer), and closes
+// with a quadratic fixpoint. Its deductive power is a subset of the
+// production Algorithm 1 (which CNF-normalizes nested predicates
+// first), so reference-YES must imply production-YES; the converse
+// holds on the conjunctive WHERE clauses this grammar produces.
+// ---------------------------------------------------------------------------
+
+void FlattenConjunct(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : e->children()) FlattenConjunct(c, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+struct RefAtom {
+  bool is_type2 = false;
+  size_t column = 0;
+  size_t other_column = 0;  // Type 2 only
+};
+
+std::optional<RefAtom> ClassifyReferenceAtom(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kComparison ||
+      e->compare_op() != CompareOp::kEq || e->num_children() != 2) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = e->child(0);
+  const ExprPtr& r = e->child(1);
+  bool l_col = l->kind() == ExprKind::kColumnRef;
+  bool r_col = r->kind() == ExprKind::kColumnRef;
+  bool l_const =
+      l->kind() == ExprKind::kLiteral || l->kind() == ExprKind::kHostVar;
+  bool r_const =
+      r->kind() == ExprKind::kLiteral || r->kind() == ExprKind::kHostVar;
+  RefAtom atom;
+  if (l_col && r_col) {
+    atom.is_type2 = true;
+    atom.column = l->column_index();
+    atom.other_column = r->column_index();
+    return atom;
+  }
+  if (l_col && r_const) {
+    atom.column = l->column_index();
+    return atom;
+  }
+  if (r_col && l_const) {
+    atom.column = r->column_index();
+    return atom;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AttributeSet ReferenceClosure(const std::vector<ExprPtr>& conjuncts,
+                              const AttributeSet& initially_bound,
+                              const AnalysisOptions& options,
+                              bool* any_equality_kept) {
+  std::vector<ExprPtr> flat;
+  for (const ExprPtr& c : conjuncts) FlattenConjunct(c, &flat);
+  std::vector<RefAtom> atoms;
+  for (const ExprPtr& c : flat) {
+    if (c->IsTrueLiteral()) continue;
+    std::optional<RefAtom> atom = ClassifyReferenceAtom(c);
+    if (!atom.has_value()) continue;
+    if (!atom->is_type2 && !options.bind_constants) continue;
+    if (atom->is_type2 && !options.use_column_equivalence) continue;
+    atoms.push_back(*atom);
+  }
+  if (any_equality_kept != nullptr) *any_equality_kept = !atoms.empty();
+
+  AttributeSet bound = initially_bound;
+  for (const RefAtom& atom : atoms) {
+    if (!atom.is_type2) bound.Add(atom.column);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const RefAtom& atom : atoms) {
+      if (!atom.is_type2) continue;
+      if (bound.Contains(atom.column) && !bound.Contains(atom.other_column)) {
+        bound.Add(atom.other_column);
+        changed = true;
+      } else if (bound.Contains(atom.other_column) &&
+                 !bound.Contains(atom.column)) {
+        bound.Add(atom.column);
+        changed = true;
+      }
+    }
+  }
+  return bound;
+}
+
+namespace {
+
+/// Exhaustive key-coverage scan: every FROM table of `shape` must have
+/// at least one candidate key whose (shifted by `extra_shift`) columns
+/// all lie in `bound`. Unlike the production loop there is no early
+/// exit — every key of every table is tested.
+bool AllTablesKeyCovered(const SpecShape& shape, const AttributeSet& bound,
+                         const Algorithm1Options& options,
+                         size_t extra_shift) {
+  bool all_covered = true;
+  for (const SpecShape::BaseTable& bt : shape.tables) {
+    const TableDef& table = bt.get->table();
+    bool covered = false;
+    for (const KeyConstraint& key : table.keys()) {
+      if (key.kind == KeyKind::kUnique && !options.use_unique_keys) continue;
+      bool key_covered = true;
+      for (size_t col : key.columns) {
+        key_covered =
+            key_covered && bound.Contains(extra_shift + bt.offset + col);
+      }
+      covered = covered || key_covered;
+    }
+    all_covered = all_covered && covered;
+  }
+  return all_covered;
+}
+
+/// Reference Algorithm 1: YES iff the closure of the projection
+/// attributes under the specification's equalities covers a candidate
+/// key of every FROM table. nullopt when the plan is not a
+/// select-project-product specification the reference can decompose.
+std::optional<bool> ReferenceAlgorithm1(const PlanPtr& projection,
+                                        const Algorithm1Options& options) {
+  Result<SpecShape> shape = ExtractSpecShape(projection);
+  if (!shape.ok()) return std::nullopt;
+  AttributeSet initially =
+      AttributeSet::FromVector(shape->project->columns());
+  bool any_kept = false;
+  AttributeSet bound =
+      ReferenceClosure(shape->predicates, initially, options, &any_kept);
+  if (!any_kept && options.verbatim_line10) return false;
+  return AllTablesKeyCovered(*shape, bound, options, /*extra_shift=*/0);
+}
+
+/// Reference Theorem 2: with every outer column bound, the closure over
+/// the correlation plus the inner block's own predicates must cover a
+/// candidate key of every inner table — then at most one inner row can
+/// match each outer row. nullopt when the inner block is not
+/// decomposable.
+std::optional<bool> ReferenceTheorem2(const ExistsNode& exists,
+                                      const Algorithm1Options& options) {
+  if (exists.negated()) return std::nullopt;
+  size_t outer_width = exists.outer()->schema().num_columns();
+  Result<SpecShape> inner = ExtractProductShape(exists.sub());
+  if (!inner.ok()) return std::nullopt;
+  std::vector<ExprPtr> conjuncts;
+  for (const ExprPtr& pred : inner->predicates) {
+    conjuncts.push_back(ShiftColumns(pred, outer_width));
+  }
+  conjuncts.push_back(exists.correlation());
+  AttributeSet bound = ReferenceClosure(
+      conjuncts, AttributeSet::AllUpTo(outer_width), options, nullptr);
+  return AllTablesKeyCovered(*inner, bound, options, outer_width);
+}
+
+/// Reference GROUP-BY-on-key: with the group columns bound, the closure
+/// over the input's predicates must cover a key of every input table,
+/// i.e. each group holds exactly one row.
+std::optional<bool> ReferenceGroupOnKey(const AggregateNode& agg,
+                                        const Algorithm1Options& options) {
+  Result<SpecShape> shape = ExtractProductShape(agg.input());
+  if (!shape.ok()) return std::nullopt;
+  AttributeSet bound =
+      ReferenceClosure(shape->predicates,
+                       AttributeSet::FromVector(agg.group_columns()), options,
+                       nullptr);
+  return AllTablesKeyCovered(*shape, bound, options, /*extra_shift=*/0);
+}
+
+}  // namespace
+
+bool ReferenceDuplicateFree(const PlanPtr& plan,
+                            const Algorithm1Options& options) {
+  switch (plan->kind()) {
+    case PlanKind::kGet: {
+      const TableDef& table = As<GetNode>(plan)->table();
+      for (const KeyConstraint& key : table.keys()) {
+        if (key.kind == KeyKind::kUnique && !options.use_unique_keys) {
+          continue;
+        }
+        return true;
+      }
+      return false;
+    }
+    case PlanKind::kSelect:
+      // A selection only removes rows; key-freeness of the input holds.
+      // (The reference forgoes harvesting new constants here — weaker
+      // than production, still sound.)
+      return ReferenceDuplicateFree(As<SelectNode>(plan)->input(), options);
+    case PlanKind::kProject: {
+      const ProjectNode& proj = *As<ProjectNode>(plan);
+      if (proj.mode() == DuplicateMode::kDist) return true;
+      return ReferenceAlgorithm1(plan, options).value_or(false);
+    }
+    case PlanKind::kProduct:
+      // Distinct pairs of distinct rows are distinct.
+      return ReferenceDuplicateFree(As<ProductNode>(plan)->left(), options) &&
+             ReferenceDuplicateFree(As<ProductNode>(plan)->right(), options);
+    case PlanKind::kExists:
+      // A semi/anti join filters the outer rows.
+      return ReferenceDuplicateFree(As<ExistsNode>(plan)->outer(), options);
+    case PlanKind::kSetOp: {
+      const SetOpNode& setop = *As<SetOpNode>(plan);
+      if (setop.mode() == DuplicateMode::kDist) return true;
+      // ∩_All / −_All output multiplicities are bounded by the left
+      // operand's.
+      return ReferenceDuplicateFree(setop.left(), options);
+    }
+    case PlanKind::kAggregate:
+      // The group columns key the output; a global aggregate yields a
+      // single row.
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Internal-consistency lint of a recorded ProofTrace: a key outcome's
+/// `covered` flag must agree with its missing-column list, and a
+/// recorded proof must state a conclusion.
+void CheckProofConsistency(const ProofTrace& proof, const char* what,
+                           VerifyReport* report) {
+  if (!proof.recorded) return;
+  ++report->proofs_checked;
+  if (proof.conclusion.empty()) {
+    AddViolation(report, "proof-without-conclusion",
+                 std::string(what) + " recorded a proof with no conclusion");
+  }
+  for (const ProofKeyOutcome& key : proof.keys) {
+    if (key.covered != key.missing_columns.empty()) {
+      AddViolation(report, "proof-key-outcome-inconsistent",
+                   std::string(what) + ": key " + key.key_name + " of " +
+                       key.table + " marked " +
+                       (key.covered ? "covered" : "not covered") +
+                       " but its missing-column list says otherwise");
+    }
+  }
+}
+
+void CheckDivergence(std::optional<bool> reference, const char* claim,
+                     const std::string& description, VerifyReport* report) {
+  if (!reference.has_value()) {
+    AddViolation(report, "proof-not-recheckable",
+                 std::string(claim) +
+                     ": the reference implementation could not decompose "
+                     "the evidence subtree",
+                 description);
+    return;
+  }
+  if (!*reference) {
+    AddViolation(report, "proof-divergence",
+                 std::string(claim) +
+                     ": production proved the condition but the reference "
+                     "implementation cannot reproduce the proof",
+                 description);
+  }
+}
+
+void CheckRewriteProof(const AppliedRewrite& r,
+                       const Algorithm1Options& options,
+                       VerifyReport* report) {
+  const char* rule = RewriteRuleIdToString(r.rule);
+  CheckProofConsistency(r.evidence.proof, rule, report);
+  const PlanPtr& before = r.evidence.before;
+  const PlanPtr& after = r.evidence.after;
+  if (before == nullptr || after == nullptr) return;  // lint reports this
+  switch (r.rule) {
+    case RewriteRuleId::kRemoveRedundantDistinct: {
+      if (const ProjectNode* proj = As<ProjectNode>(before)) {
+        if (proj->mode() != DuplicateMode::kDist) {
+          AddViolation(report, "proof-claim-mismatch",
+                       std::string(rule) +
+                           " evidence subtree is not a DISTINCT projection",
+                       before->ToString());
+          return;
+        }
+        // The claim is that the ALL-mode replacement is duplicate-free.
+        // Try the structural judgment first (it also covers GROUP BY
+        // inputs Algorithm 1 cannot decompose); when it fails, a
+        // recorded Algorithm 1 proof must be reproducible by the
+        // reference closure. A claim proven by the stronger FD detector
+        // carries no Algorithm 1 proof and is out of the naive
+        // reference's deductive reach — the lint still enforces that
+        // its evidence facts are present.
+        if (after != nullptr && ReferenceDuplicateFree(after, options)) {
+          return;
+        }
+        if (r.evidence.proof.recorded) {
+          CheckDivergence(ReferenceAlgorithm1(before, options),
+                          "Theorem 1 (Algorithm 1)", r.description, report);
+        }
+        return;
+      }
+      // ∩_Dist → ∩_All / −_Dist → −_All: some operand is duplicate-free.
+      if (const SetOpNode* setop = As<SetOpNode>(after)) {
+        bool ok = ReferenceDuplicateFree(setop->left(), options) ||
+                  ReferenceDuplicateFree(setop->right(), options);
+        CheckDivergence(ok, "set-operation DISTINCT removal", r.description,
+                        report);
+        return;
+      }
+      AddViolation(report, "proof-claim-mismatch",
+                   std::string(rule) +
+                       " evidence matches neither a DISTINCT projection nor "
+                       "a set operation",
+                   before->ToString());
+      return;
+    }
+    case RewriteRuleId::kSubqueryToJoin: {
+      const ExistsNode* exists = As<ExistsNode>(before);
+      if (exists == nullptr) {
+        AddViolation(report, "proof-claim-mismatch",
+                     std::string(rule) +
+                         " evidence subtree is not an existential subquery",
+                     before->ToString());
+        return;
+      }
+      CheckDivergence(ReferenceTheorem2(*exists, options), "Theorem 2",
+                      r.description, report);
+      return;
+    }
+    case RewriteRuleId::kJoinToSubquery: {
+      // Only the ALL-mode conversion rests on a Theorem 2 proof.
+      if (!r.evidence.proof.recorded) return;
+      const ExistsNode* exists = As<ExistsNode>(after);
+      if (exists == nullptr) {
+        AddViolation(report, "proof-claim-mismatch",
+                     std::string(rule) +
+                         " evidence subtree is not an existential subquery",
+                     after->ToString());
+        return;
+      }
+      CheckDivergence(ReferenceTheorem2(*exists, options),
+                      "Theorem 2 (join direction)", r.description, report);
+      return;
+    }
+    case RewriteRuleId::kIntersectToExists:
+    case RewriteRuleId::kIntersectAllToExists:
+    case RewriteRuleId::kExceptToNotExists: {
+      const ExistsNode* exists = As<ExistsNode>(after);
+      if (exists == nullptr) {
+        AddViolation(report, "proof-claim-mismatch",
+                     std::string(rule) + " did not produce an EXISTS node",
+                     after->ToString());
+        return;
+      }
+      // Theorem 3 / Corollary 2: the surviving operand (the EXISTS
+      // outer) must be duplicate-free.
+      CheckDivergence(ReferenceDuplicateFree(exists->outer(), options),
+                      "Theorem 3 operand duplicate-freeness", r.description,
+                      report);
+      return;
+    }
+    case RewriteRuleId::kExistsToIntersect: {
+      const SetOpNode* setop = As<SetOpNode>(after);
+      if (setop == nullptr) {
+        AddViolation(report, "proof-claim-mismatch",
+                     std::string(rule) + " did not produce a set operation",
+                     after->ToString());
+        return;
+      }
+      CheckDivergence(ReferenceDuplicateFree(setop->left(), options),
+                      "EXISTS-to-INTERSECT outer duplicate-freeness",
+                      r.description, report);
+      return;
+    }
+    case RewriteRuleId::kEliminateGroupByOnKey: {
+      const AggregateNode* agg = As<AggregateNode>(before);
+      if (agg == nullptr) {
+        AddViolation(report, "proof-claim-mismatch",
+                     std::string(rule) +
+                         " evidence subtree is not an aggregation",
+                     before->ToString());
+        return;
+      }
+      CheckDivergence(ReferenceGroupOnKey(*agg, options),
+                      "GROUP-BY-on-key single-row groups", r.description,
+                      report);
+      return;
+    }
+    case RewriteRuleId::kSubqueryToDistinctJoin:
+    case RewriteRuleId::kJoinElimination:
+    case RewriteRuleId::kRemoveImpliedPredicate:
+    case RewriteRuleId::kDetectEmptyResult:
+      // Gated on evidence the reference has no independent engine for
+      // (Corollary 1 derived properties, inclusion dependencies, CHECK
+      // implication); the plan lint enforces evidence presence.
+      return;
+  }
+}
+
+}  // namespace
+
+void CheckProofs(const VerifyInput& input, VerifyReport* report) {
+  if (input.rewrites != nullptr) {
+    for (const AppliedRewrite& r : *input.rewrites) {
+      CheckRewriteProof(r, input.options, report);
+    }
+  }
+
+  // Cross-check the optimizer's standalone DISTINCT verdict against the
+  // reference — in both directions. The reference is at most as strong
+  // as production (it skips CNF normalization), so reference-YES with
+  // production-NO is a definite production bug; the converse marks a
+  // proof the reference cannot reproduce.
+  if (input.analysis != nullptr && input.original != nullptr &&
+      input.analysis->has_distinct &&
+      input.analysis->detector == DetectorKind::kAlgorithm1 &&
+      input.analysis->proof.recorded) {
+    CheckProofConsistency(input.analysis->proof, "DISTINCT analysis", report);
+    std::optional<bool> reference =
+        ReferenceAlgorithm1(input.original, input.options);
+    if (reference.has_value()) {
+      if (input.analysis->distinct_unnecessary && !*reference) {
+        AddViolation(report, "proof-divergence",
+                     "production Algorithm 1 proved DISTINCT redundant but "
+                     "the reference implementation cannot reproduce the "
+                     "proof",
+                     input.analysis->proof.conclusion);
+      } else if (!input.analysis->distinct_unnecessary && *reference &&
+                 input.analysis->proof.conclusion.find("budget") ==
+                     std::string::npos) {
+        // (A budget-exceeded NO is a deliberate production give-up, not
+        // a lost derivation.)
+        AddViolation(report, "proof-divergence",
+                     "the naive reference closure proves DISTINCT redundant "
+                     "but production Algorithm 1 answered NO — production "
+                     "lost a derivable binding",
+                     input.analysis->proof.conclusion);
+      }
+    }
+  }
+}
+
+}  // namespace verify
+}  // namespace uniqopt

@@ -1,0 +1,81 @@
+#include "verify/verify.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "verify/null_audit.h"
+#include "verify/plan_lint.h"
+#include "verify/proof_checker.h"
+
+namespace uniqopt {
+namespace verify {
+
+const char* AnalyzerName(Analyzer a) {
+  switch (a) {
+    case Analyzer::kPlanLint:
+      return "plan-lint";
+    case Analyzer::kProofChecker:
+      return "proof-checker";
+    case Analyzer::kNullAudit:
+      return "null-audit";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::string out = std::string("[") + AnalyzerName(analyzer) + "/" + code +
+                    "] " + message;
+  if (!context.empty()) {
+    out += "\n    ";
+    // Indent multi-line context (plan renderings) under the finding.
+    for (char c : context) {
+      out += c;
+      if (c == '\n') out += "    ";
+    }
+    while (!out.empty() && (out.back() == ' ' || out.back() == '\n')) {
+      out.pop_back();
+    }
+  }
+  return out;
+}
+
+std::string VerifyReport::Summary() const {
+  std::string out =
+      Clean() ? "clean"
+              : std::to_string(violations.size()) + " violation(s)";
+  out += " (" + std::to_string(nodes_checked) + " node(s), " +
+         std::to_string(proofs_checked) + " proof(s), " +
+         std::to_string(correlations_audited) + " correlation(s))";
+  return out;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out = Summary() + "\n";
+  for (const Violation& v : violations) {
+    out += "  " + v.ToString() + "\n";
+  }
+  return out;
+}
+
+VerifyReport VerifyPlan(const VerifyInput& input) {
+  obs::Span span("verify.plan");
+  VerifyReport report;
+  LintPlan(input, &report);
+  CheckProofs(input, &report);
+  AuditNullSemantics(input, &report);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("verify.runs").Increment();
+  if (report.Clean()) {
+    reg.GetCounter("verify.clean").Increment();
+  } else {
+    reg.GetCounter("verify.plan.violations")
+        .Increment(report.violations.size());
+  }
+  span.AddAttr("violations", static_cast<uint64_t>(report.violations.size()));
+  span.AddAttr("nodes_checked",
+               static_cast<uint64_t>(report.nodes_checked));
+  return report;
+}
+
+}  // namespace verify
+}  // namespace uniqopt

@@ -1,0 +1,83 @@
+#ifndef UNIQOPT_VERIFY_VERIFY_H_
+#define UNIQOPT_VERIFY_VERIFY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/algorithm1.h"
+#include "analysis/uniqueness.h"
+#include "plan/plan.h"
+#include "rewrite/rewriter.h"
+
+namespace uniqopt {
+namespace verify {
+
+/// The three analyzers of the post-optimization verifier. Each violation
+/// names the analyzer that raised it so dashboards and tests can slice
+/// by failure class.
+enum class Analyzer {
+  kPlanLint,      ///< structural invariants of the optimized plan tree
+  kProofChecker,  ///< independent re-derivation of uniqueness proofs
+  kNullAudit,     ///< Theorem 3 null-safe `=!` correlation audit
+};
+
+const char* AnalyzerName(Analyzer a);
+
+/// One verifier finding. `code` is a stable machine-readable slug (e.g.
+/// "dangling-column-ref"); `message` carries the human detail; `context`
+/// is a rendering of the offending node or proof for diagnostics.
+struct Violation {
+  Analyzer analyzer = Analyzer::kPlanLint;
+  std::string code;
+  std::string message;
+  std::string context;
+
+  std::string ToString() const;
+};
+
+/// Aggregate result of one verifier run. Feeds the
+/// `verify.plan.violations` counter, the flight recorder's QueryRecord,
+/// EXPLAIN output, and the shell's \verify command.
+struct VerifyReport {
+  std::vector<Violation> violations;
+  /// Work counters, for "the verifier actually looked" assertions.
+  size_t nodes_checked = 0;
+  size_t proofs_checked = 0;
+  size_t correlations_audited = 0;
+
+  bool Clean() const { return violations.empty(); }
+
+  /// One-line rollup, e.g. "clean (17 nodes, 2 proofs, 1 correlation)".
+  std::string Summary() const;
+  /// Multi-line report: the summary plus one block per violation.
+  std::string ToString() const;
+};
+
+/// Everything the verifier needs about one prepared query. The verifier
+/// lives below the optimizer facade, so it takes the pieces rather than
+/// a PreparedQuery. Only `optimized` is mandatory; absent fields skip
+/// the checks that need them.
+struct VerifyInput {
+  /// Bound, pre-rewrite plan (enables the DISTINCT-dropped lint).
+  PlanPtr original;
+  /// The plan the optimizer will execute. Required.
+  PlanPtr optimized;
+  /// Rewrite audit trail with attached evidence.
+  const std::vector<AppliedRewrite>* rewrites = nullptr;
+  /// The optimizer's standalone DISTINCT verdict for `original`.
+  const UniquenessVerdict* analysis = nullptr;
+  /// The production analysis switches in effect; the reference
+  /// implementation honors the same ablation settings so a disabled
+  /// ingredient is not reported as a divergence.
+  Algorithm1Options options;
+};
+
+/// Runs all three analyzers and returns the combined report. Increments
+/// verify.runs / verify.clean / verify.plan.violations.
+VerifyReport VerifyPlan(const VerifyInput& input);
+
+}  // namespace verify
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_VERIFY_VERIFY_H_

@@ -95,8 +95,12 @@ TEST(QueryCorpusTest, AllQueriesParseAndBind) {
 TEST(QueryCorpusTest, GroundTruthIsConsistent) {
   for (const CorpusQuery& q : DistinctQueryCorpus()) {
     // A detector can only detect truly redundant DISTINCTs.
-    if (q.algorithm1_detects) EXPECT_TRUE(q.distinct_redundant) << q.id;
-    if (q.fd_detects) EXPECT_TRUE(q.distinct_redundant) << q.id;
+    if (q.algorithm1_detects) {
+      EXPECT_TRUE(q.distinct_redundant) << q.id;
+    }
+    if (q.fd_detects) {
+      EXPECT_TRUE(q.distinct_redundant) << q.id;
+    }
   }
 }
 
