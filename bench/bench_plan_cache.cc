@@ -1,0 +1,146 @@
+// Plan cache benchmarks: what a prepared-query cache hit is worth.
+//
+//  - BM_PrepareCold: the full pipeline (parse → bind → Algorithm 1 →
+//    rewrite → verify) with the cache disabled — the baseline every hit
+//    avoids. Latencies land in `bench.plan_cache.cold.ns`.
+//  - BM_PrepareWarmHit: the same corpus against a pre-warmed cache —
+//    fingerprint + one shared-lock lookup. Latencies land in
+//    `bench.plan_cache.warm.ns`; check.sh --bench-gate asserts warm p50
+//    is ≥10× faster than cold p50 (BENCH_pr4.json).
+//  - BM_PrepareMixed/<hit_pct>: K threads hammering one Optimizer at a
+//    configurable hit ratio (misses are made unique via a fresh SNO
+//    literal per miss, so they never start hitting).
+//  - BM_PrepareBatch: PrepareBatch over the whole corpus on 8 threads.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "uniqopt/optimizer.h"
+#include "workload/query_corpus.h"
+
+namespace uniqopt {
+namespace bench {
+namespace {
+
+/// The Optimizer mutates nothing, but takes a non-const Database*; the
+/// bench keeps one mutable supplier instance alive for all runs.
+Database* MutableSupplierDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    SupplierSchemaOptions schema;
+    schema.max_sno = 101;
+    Status st = CreateSupplierSchema(d, schema);
+    UNIQOPT_DCHECK_MSG(st.ok(), st.ToString().c_str());
+    SupplierDataOptions data;
+    data.num_suppliers = 100;
+    data.parts_per_supplier = 10;
+    data.num_agents = 50;
+    st = PopulateSupplierDatabase(d, data);
+    UNIQOPT_DCHECK_MSG(st.ok(), st.ToString().c_str());
+    return d;
+  }();
+  return db;
+}
+
+std::vector<std::string> CorpusSql() {
+  std::vector<std::string> out;
+  for (const CorpusQuery& q : DistinctQueryCorpus()) out.push_back(q.sql);
+  return out;
+}
+
+void BM_PrepareCold(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  cache::PlanCacheOptions no_cache;
+  no_cache.enabled = false;
+  Optimizer optimizer(db, {}, /*use_cost_model=*/false, no_cache);
+  std::vector<std::string> corpus = CorpusSql();
+  obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("bench.plan_cache.cold.ns");
+  size_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedLatencyTimer timer(&latency);
+    auto prepared = optimizer.PrepareShared(corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareCold);
+
+void BM_PrepareWarmHit(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  static Optimizer* optimizer = new Optimizer(MutableSupplierDb());
+  (void)db;
+  std::vector<std::string> corpus = CorpusSql();
+  for (const std::string& sql : corpus) {  // pre-warm
+    auto prepared = optimizer->PrepareShared(sql);
+    UNIQOPT_DCHECK_MSG(prepared.ok(), prepared.status().ToString().c_str());
+  }
+  obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("bench.plan_cache.warm.ns");
+  size_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedLatencyTimer timer(&latency);
+    auto prepared = optimizer->PrepareShared(corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareWarmHit);
+
+void BM_PrepareMixed(benchmark::State& state) {
+  static Optimizer* optimizer = new Optimizer(MutableSupplierDb());
+  static std::atomic<uint64_t> unique_literal{1000};
+  const uint64_t hit_pct = static_cast<uint64_t>(state.range(0));
+  std::vector<std::string> corpus = CorpusSql();
+  if (state.thread_index() == 0) {
+    for (const std::string& sql : corpus) {
+      auto prepared = optimizer->PrepareShared(sql);
+      UNIQOPT_DCHECK_MSG(prepared.ok(),
+                         prepared.status().ToString().c_str());
+    }
+  }
+  uint64_t n = 0;
+  for (auto _ : state) {
+    ++n;
+    if (n % 100 < hit_pct) {
+      auto prepared =
+          optimizer->PrepareShared(corpus[n % corpus.size()]);
+      benchmark::DoNotOptimize(prepared);
+    } else {
+      // A literal nobody used before: guaranteed miss, full pipeline +
+      // insert (and eventually eviction) under concurrency.
+      std::string sql =
+          "SELECT SNAME FROM SUPPLIER WHERE SNO = " +
+          std::to_string(unique_literal.fetch_add(1));
+      auto prepared = optimizer->PrepareShared(sql);
+      benchmark::DoNotOptimize(prepared);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareMixed)->Arg(90)->Arg(50)->Threads(8);
+
+void BM_PrepareBatch(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  Optimizer optimizer(db);
+  std::vector<std::string> corpus = CorpusSql();
+  for (auto _ : state) {
+    auto prepared = optimizer.PrepareBatch(corpus, 8);
+    UNIQOPT_DCHECK_MSG(prepared.ok(), prepared.status().ToString().c_str());
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_PrepareBatch);
+
+}  // namespace
+}  // namespace bench
+}  // namespace uniqopt
+
+UNIQOPT_BENCH_MAIN();

@@ -20,7 +20,8 @@
 // [trace|metrics|queries] <file>` dumps the corresponding payload;
 // `\verify <query>` prepares the query and runs the post-optimization
 // static verifier (plan lint, proof checker, null-semantics audit);
-// `\q` quits. Host variables are not supported interactively (use the
+// `\cache` shows the plan cache's configuration and hit/miss stats
+// (`\cache clear` empties it); `\q` quits. Host variables are not supported interactively (use the
 // library API).
 
 #include <cstdio>
@@ -115,6 +116,7 @@ int Run() {
       "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
       "(/metrics /trace /queries);\n\\export [trace|metrics|queries] "
       "<file> dumps a payload; \\verify <q> runs the plan verifier;\n"
+      "\\cache shows the plan cache (\\cache clear empties it); "
       "\\q quits.\n");
 
   std::string line;
@@ -141,6 +143,15 @@ int Run() {
     }
     if (trimmed == "\\history") {
       std::printf("%s", obs::QueryRecorder::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\cache") {
+      std::printf("%s", optimizer.plan_cache()->ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\cache clear") {
+      optimizer.plan_cache()->Clear();
+      std::printf("plan cache cleared\n");
       continue;
     }
     if (trimmed == "\\slow" || trimmed.rfind("\\slow ", 0) == 0) {

@@ -19,7 +19,12 @@ Two regression classes fail the gate (exit code 1):
  * rewrite counts: a `rewrite.rule.<Rule>.fired` counter whose firing
    ratio (fired / considered, iteration-count invariant) dropped by more
    than --ratio-tolerance percent, or that stopped firing entirely while
-   the baseline had firings.
+   the baseline had firings;
+ * cache hit ratio: any `<prefix>.hits` counter with a `<prefix>.misses`
+   sibling whose hit ratio (hits / (hits + misses), iteration-count
+   invariant) fell more than --cache-hit-tolerance percentage points
+   below the baseline ratio — a cache that silently stopped hitting is
+   a perf regression even if no single latency histogram trips.
 
 Missing-in-current metrics that the baseline gates on are regressions
 too: a deleted counter must be removed from the baseline deliberately.
@@ -61,9 +66,19 @@ def firing_ratio(metrics, fired_name):
     return fired / considered
 
 
+def hit_ratio(metrics, hits_name):
+    """hits / (hits + misses) for a cache counter pair, None if unknowable."""
+    hits = metrics[hits_name]["value"]
+    misses_name = hits_name[: -len(".hits")] + ".misses"
+    misses = metrics.get(misses_name, {}).get("value")
+    if misses is None or hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
 def compare(baseline, current, args):
     regressions = []
-    checked = {"latency": 0, "rewrite": 0}
+    checked = {"latency": 0, "rewrite": 0, "cache": 0}
 
     for name, base in sorted(baseline.items()):
         if base.get("type") != "histogram" or not name.endswith(".ns"):
@@ -117,6 +132,29 @@ def compare(baseline, current, args):
                 f"{floor:.3f} (baseline {base_ratio:.3f} - "
                 f"{args.ratio_tolerance}%)")
 
+    for name, base in sorted(baseline.items()):
+        if base.get("type") != "counter" or not name.endswith(".hits"):
+            continue
+        base_ratio = hit_ratio(baseline, name)
+        if base_ratio is None:
+            continue
+        if name not in current:
+            regressions.append(
+                f"cache {name}: present in baseline, missing in current")
+            continue
+        cur_ratio = hit_ratio(current, name)
+        if cur_ratio is None:
+            regressions.append(
+                f"cache {name}: baseline has traffic, current has none")
+            continue
+        checked["cache"] += 1
+        floor = base_ratio - args.cache_hit_tolerance / 100.0
+        if cur_ratio < floor:
+            regressions.append(
+                f"cache {name}: hit ratio {cur_ratio:.3f} < {floor:.3f} "
+                f"(baseline {base_ratio:.3f} - "
+                f"{args.cache_hit_tolerance} points)")
+
     return checked, regressions
 
 
@@ -130,6 +168,9 @@ def main():
                         help="max firing-ratio drop in percent (default 10)")
     parser.add_argument("--min-latency-ns", type=float, default=500.0,
                         help="skip histograms with baseline p50 below this")
+    parser.add_argument("--cache-hit-tolerance", type=float, default=15.0,
+                        help="max hit-ratio drop in percentage points "
+                             "(default 15)")
     parser.add_argument("--summary", default=None,
                         help="write a JSON verdict summary to this path")
     args = parser.parse_args()
@@ -140,7 +181,8 @@ def main():
 
     print(f"bench_compare: {args.current} vs {args.baseline}")
     print(f"  checked {checked['latency']} latency histogram(s), "
-          f"{checked['rewrite']} rewrite counter(s)")
+          f"{checked['rewrite']} rewrite counter(s), "
+          f"{checked['cache']} cache hit ratio(s)")
     for r in regressions:
         print(f"  REGRESSION: {r}")
     verdict = "FAIL" if regressions else "OK"

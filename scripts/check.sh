@@ -4,11 +4,14 @@
 # the concurrent code in the tree — sanitize them every time).
 #
 # Optional modes:
-#   --tsan        additionally build & run the concurrent obs tests
-#                 under ThreadSanitizer
+#   --tsan        additionally build & run the concurrent obs tests and
+#                 the plan-cache hammer (cache_test +
+#                 concurrent_prepare_test) under ThreadSanitizer
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr2.json
+#                 scripts/bench_compare.py, and write BENCH_pr4.json
+#                 (including the plan-cache warm/cold p50 speedup, which
+#                 must be >= 10x)
 #   --tidy        run only the clang-tidy gate (the default path runs it
 #                 too; it skips with a warning when clang-tidy is not
 #                 installed)
@@ -80,19 +83,23 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     >/dev/null
-  cmake --build build-tsan -j --target obs_test recorder_test
+  cmake --build build-tsan -j --target obs_test recorder_test \
+    cache_test concurrent_prepare_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
+  ./build-tsan/tests/cache_test
+  ./build-tsan/tests/concurrent_prepare_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
   echo "== bench gate: run benchmarks vs bench/baselines =="
   cmake --build build -j --target \
-    bench_distinct_removal bench_ims_gateway bench_analyzer
+    bench_distinct_removal bench_ims_gateway bench_analyzer bench_plan_cache
   mkdir -p build/bench-gate
   gate_ok=1
   summaries=()
-  for bench in bench_distinct_removal bench_ims_gateway bench_analyzer; do
+  for bench in bench_distinct_removal bench_ims_gateway bench_analyzer \
+               bench_plan_cache; do
     current="build/bench-gate/${bench}.json"
     summary="build/bench-gate/${bench}.summary.json"
     "./build/bench/${bench}" --benchmark_min_time=0.05 \
@@ -105,7 +112,7 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
     fi
     summaries+=("$summary")
   done
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr2.json
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr4.json
 import json, sys
 benches = {}
 ok = True
@@ -115,11 +122,36 @@ for path in sys.argv[1:]:
     name = path.rsplit("/", 1)[-1].removesuffix(".summary.json")
     benches[name] = s
     ok = ok and s["ok"]
-json.dump({"gate": "bench_compare", "ok": ok, "benches": benches},
+
+# Plan-cache headline number: a warm hit must be >= 10x faster than a
+# cold prepare (p50 over p50, from the bench's own histograms).
+plan_cache = None
+try:
+    with open("build/bench-gate/bench_plan_cache.json") as f:
+        metrics = {m["name"]: m for m in json.load(f)["metrics"]}
+    cold = metrics["bench.plan_cache.cold.ns"]["p50"]
+    warm = metrics["bench.plan_cache.warm.ns"]["p50"]
+    speedup = cold / warm if warm else 0.0
+    plan_cache = {
+        "cold_p50_ns": cold,
+        "warm_p50_ns": warm,
+        "speedup": round(speedup, 2),
+        "ok": speedup >= 10.0,
+    }
+    ok = ok and plan_cache["ok"]
+except (OSError, KeyError) as e:
+    plan_cache = {"ok": False, "error": str(e)}
+    ok = False
+
+json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
+           "plan_cache": plan_cache},
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr2.json"
+  echo "bench gate summary written to BENCH_pr4.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr4.json'))['ok'] else 1)"; then
+    gate_ok=0
+  fi
   if [[ "$gate_ok" != 1 ]]; then
     echo "== bench gate FAILED =="
     exit 1

@@ -1,0 +1,65 @@
+#ifndef UNIQOPT_CACHE_FINGERPRINT_H_
+#define UNIQOPT_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace uniqopt {
+namespace cache {
+
+/// A SQL statement reduced to its canonical token stream. Two statements
+/// that differ only in whitespace, identifier/keyword case, or `--`
+/// comments canonicalize to the same `text`; statements that further
+/// differ only in literal values share the same `shape`.
+struct CanonicalSql {
+  /// Canonical token stream with literals inline: identifiers upper-
+  /// cased, single spaces, comments stripped, string literals quoted.
+  std::string text;
+  /// Same stream with every literal replaced by `?` — the statement's
+  /// parameterized shape (host variables keep their names: they are
+  /// already parameters and their names matter for binding).
+  std::string shape;
+  size_t num_literals = 0;
+};
+
+/// Tokenizes and canonicalizes `sql`. Fails exactly when the lexer
+/// fails; a statement that cannot be canonicalized cannot be prepared
+/// either, so callers skip the cache and let Prepare surface the error.
+Result<CanonicalSql> CanonicalizeSql(std::string_view sql);
+
+/// 64-bit FNV-1a over `s`, continuing from `seed` (chainable).
+uint64_t Fnv1a(std::string_view s,
+               uint64_t seed = UINT64_C(0xcbf29ce484222325));
+
+/// Folds a 64-bit value (catalog version, option salt) into `seed` by
+/// hashing its little-endian bytes with the same FNV-1a stream.
+uint64_t Fnv1aMix(uint64_t seed, uint64_t value);
+
+struct FingerprintOptions {
+  /// When set, the fingerprint hashes the parameterized `shape` instead
+  /// of the literal-inclusive `text`, so statements differing only in
+  /// literals collide deliberately. Only sound for consumers whose
+  /// cached artifact is literal-independent (the plan cache keys on
+  /// `text` because prepared plans bake constants in; recorders and
+  /// dedup views key on `shape`).
+  bool parameterize_literals = false;
+  /// Extra salt folded into the key (optimizer mode flags, so one
+  /// cache never serves a plan prepared under different modes).
+  uint64_t salt = 0;
+};
+
+/// The cache key: FNV-1a over the canonical statement combined with the
+/// catalog version. Any DDL bumps the version, so every fingerprint
+/// computed afterwards differs from every fingerprint computed before —
+/// stale entries can never be served, even before they are purged.
+uint64_t FingerprintSql(const CanonicalSql& canonical,
+                        uint64_t catalog_version,
+                        const FingerprintOptions& options = {});
+
+}  // namespace cache
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_CACHE_FINGERPRINT_H_

@@ -1,0 +1,86 @@
+#include "cache/plan_cache.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace uniqopt {
+namespace cache {
+
+PlanCache::PlanCache(PlanCacheOptions options)
+    : options_(options),
+      lru_(LruOptions{options.shards, options.capacity,
+                      options.byte_budget}) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  hits_ = &reg.GetCounter("cache.hits");
+  misses_ = &reg.GetCounter("cache.misses");
+  evictions_ = &reg.GetCounter("cache.evictions");
+  invalidations_ = &reg.GetCounter("cache.invalidations");
+  bytes_ = &reg.GetGauge("cache.bytes");
+  entries_ = &reg.GetGauge("cache.entries");
+}
+
+PlanCache::EntryPtr PlanCache::Get(uint64_t fingerprint,
+                                   uint64_t catalog_version) {
+  if (!options_.enabled) return nullptr;
+  // Lazy invalidation: the first lookup after a catalog bump purges the
+  // now-unreachable entries. The CAS makes exactly one caller pay.
+  uint64_t seen = observed_version_.load(std::memory_order_relaxed);
+  if (catalog_version > seen &&
+      observed_version_.compare_exchange_strong(seen, catalog_version,
+                                                std::memory_order_relaxed)) {
+    size_t dropped = lru_.InvalidateBefore(catalog_version);
+    if (dropped > 0) {
+      invalidations_->Increment(dropped);
+      bytes_->Set(lru_.Stats().bytes);
+      entries_->Set(lru_.Stats().entries);
+    }
+  }
+  EntryPtr entry = lru_.Get(fingerprint);
+  (entry != nullptr ? hits_ : misses_)->Increment();
+  return entry;
+}
+
+void PlanCache::Put(uint64_t fingerprint, uint64_t catalog_version,
+                    EntryPtr entry, size_t bytes) {
+  if (!options_.enabled || entry == nullptr) return;
+  size_t evicted =
+      lru_.Put(fingerprint, std::move(entry), bytes, catalog_version);
+  if (evicted > 0) evictions_->Increment(evicted);
+  LruStats stats = lru_.Stats();
+  bytes_->Set(stats.bytes);
+  entries_->Set(stats.entries);
+}
+
+void PlanCache::Clear() {
+  lru_.Clear();
+  bytes_->Set(lru_.Stats().bytes);
+  entries_->Set(lru_.Stats().entries);
+}
+
+std::string PlanCache::ToText() const {
+  LruStats s = Stats();
+  std::string out = "plan cache: ";
+  out += options_.enabled ? "enabled" : "disabled";
+  out += " (" + std::to_string(options_.shards) + " shards, capacity " +
+         std::to_string(options_.capacity) + " entries, budget " +
+         std::to_string(options_.byte_budget) + " bytes)\n";
+  uint64_t lookups = s.hits + s.misses;
+  char ratio[32] = "n/a";
+  if (lookups > 0) {
+    std::snprintf(ratio, sizeof(ratio), "%.1f%%",
+                  100.0 * static_cast<double>(s.hits) /
+                      static_cast<double>(lookups));
+  }
+  out += "  hits=" + std::to_string(s.hits) +
+         " misses=" + std::to_string(s.misses) + " (hit ratio " + ratio +
+         ")\n";
+  out += "  entries=" + std::to_string(s.entries) +
+         " bytes=" + std::to_string(s.bytes) +
+         " evictions=" + std::to_string(s.evictions) +
+         " invalidations=" + std::to_string(s.invalidations) + "\n";
+  return out;
+}
+
+}  // namespace cache
+}  // namespace uniqopt

@@ -1,0 +1,88 @@
+#ifndef UNIQOPT_CACHE_PLAN_CACHE_H_
+#define UNIQOPT_CACHE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/sharded_lru.h"
+
+namespace uniqopt {
+
+struct PreparedQuery;  // uniqopt/optimizer.h; stored type-erased here
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+namespace cache {
+
+struct PlanCacheOptions {
+  /// Master switch; a disabled cache turns Get/Put into no-ops so the
+  /// optimizer needs no branching beyond one load.
+  bool enabled = true;
+  size_t shards = 8;
+  size_t capacity = 1024;
+  size_t byte_budget = 64ull << 20;
+};
+
+/// Fingerprint-keyed cache of immutable prepared queries. A hit returns
+/// the `shared_ptr<const PreparedQuery>` stored by some earlier prepare
+/// — plans, rewrite evidence and the verification report included — so
+/// the caller skips parse, bind, Algorithm 1, rewriting *and*
+/// verification. Keys are produced by cache::FingerprintSql with the
+/// catalog version mixed in, so any DDL makes every older key
+/// unreachable; Get additionally purges the superseded entries the
+/// first time it observes a newer catalog version (lazy invalidation).
+///
+/// Event counts are mirrored into the global metrics registry
+/// (cache.hits / cache.misses / cache.evictions / cache.invalidations
+/// as counters, cache.bytes / cache.entries as gauges) so `\metrics`,
+/// `/metrics` and bench --metrics-json all see the cache.
+class PlanCache {
+ public:
+  using EntryPtr = std::shared_ptr<const PreparedQuery>;
+
+  explicit PlanCache(PlanCacheOptions options = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Cache lookup under the caller's current catalog version. Purges
+  /// entries from older versions when the version moved since the last
+  /// call (they can never be served again).
+  EntryPtr Get(uint64_t fingerprint, uint64_t catalog_version);
+
+  /// Stores a prepared query under its fingerprint. `bytes` is the
+  /// caller's size estimate (budget accounting only).
+  void Put(uint64_t fingerprint, uint64_t catalog_version, EntryPtr entry,
+           size_t bytes);
+
+  void Clear();
+
+  LruStats Stats() const { return lru_.Stats(); }
+  bool enabled() const { return options_.enabled; }
+  const PlanCacheOptions& options() const { return options_; }
+
+  /// `\cache` rendering: configuration plus live stats.
+  std::string ToText() const;
+
+ private:
+  PlanCacheOptions options_;
+  ShardedLru<PreparedQuery> lru_;
+  std::atomic<uint64_t> observed_version_{0};
+  // Interned registry handles — per-event cost is the metric's atomics.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* invalidations_;
+  obs::Gauge* bytes_;
+  obs::Gauge* entries_;
+};
+
+}  // namespace cache
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_CACHE_PLAN_CACHE_H_

@@ -1,0 +1,220 @@
+#ifndef UNIQOPT_CACHE_SHARDED_LRU_H_
+#define UNIQOPT_CACHE_SHARDED_LRU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace uniqopt {
+namespace cache {
+
+struct LruOptions {
+  /// Number of independently locked shards; a key's shard is fixed by
+  /// its high fingerprint bits, so contention scales down with shards.
+  size_t shards = 8;
+  /// Maximum entries across all shards (enforced per shard as
+  /// ceil(capacity / shards)).
+  size_t capacity = 1024;
+  /// Approximate byte budget across all shards (caller-supplied sizes;
+  /// same per-shard split).
+  size_t byte_budget = 64ull << 20;
+};
+
+struct LruStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t entries = 0;  ///< current
+  uint64_t bytes = 0;    ///< current, approximate
+};
+
+/// Thread-safe sharded LRU keyed by a 64-bit fingerprint, holding
+/// immutable `shared_ptr<const V>` values. The hit path takes only a
+/// shard-level *shared* lock plus relaxed atomics (the recency stamp and
+/// the hit counter) — concurrent readers never serialize against each
+/// other. Writers (insert, eviction, invalidation) take the shard's
+/// exclusive lock. Recency is approximate-LRU: entries carry a stamp
+/// from a global atomic clock and eviction removes the stalest entry of
+/// the over-budget shard, which preserves LRU order exactly under
+/// single-threaded use and within one shard's interleaving otherwise.
+///
+/// `V` may be an incomplete type: the container only ever copies and
+/// destroys type-erased shared_ptrs.
+template <typename V>
+class ShardedLru {
+ public:
+  using Ptr = std::shared_ptr<const V>;
+
+  explicit ShardedLru(LruOptions options = {}) : options_(options) {
+    if (options_.shards == 0) options_.shards = 1;
+    if (options_.capacity == 0) options_.capacity = 1;
+    shard_capacity_ =
+        (options_.capacity + options_.shards - 1) / options_.shards;
+    shard_bytes_ = options_.byte_budget / options_.shards;
+    if (shard_bytes_ == 0) shard_bytes_ = 1;
+    shards_ = std::vector<Shard>(options_.shards);
+  }
+
+  ShardedLru(const ShardedLru&) = delete;
+  ShardedLru& operator=(const ShardedLru&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  Ptr Get(uint64_t key) {
+    Shard& shard = ShardFor(key);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    it->second->stamp.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, then evicts stalest entries while the
+  /// shard exceeds its entry or byte budget. Returns entries evicted.
+  size_t Put(uint64_t key, Ptr value, size_t bytes, uint64_t version) {
+    Shard& shard = ShardFor(key);
+    size_t evicted = 0;
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      RemoveLocked(shard, it);
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->value = std::move(value);
+    entry->bytes = bytes;
+    entry->version = version;
+    entry->stamp.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    shard.bytes += bytes;
+    shard.map.emplace(key, std::move(entry));
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    while (shard.map.size() > shard_capacity_ ||
+           (shard.bytes > shard_bytes_ && shard.map.size() > 1)) {
+      auto stalest = shard.map.end();
+      uint64_t min_stamp = UINT64_MAX;
+      for (auto e = shard.map.begin(); e != shard.map.end(); ++e) {
+        uint64_t s = e->second->stamp.load(std::memory_order_relaxed);
+        if (e->first != key && s <= min_stamp) {
+          min_stamp = s;
+          stalest = e;
+        }
+      }
+      if (stalest == shard.map.end()) break;  // only the new entry left
+      RemoveLocked(shard, stalest);
+      ++evicted;
+    }
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    return evicted;
+  }
+
+  /// Purges every entry stored under a version older than
+  /// `min_version`; returns how many were dropped. Entries are already
+  /// unreachable once the version is part of the key — this reclaims
+  /// their memory eagerly after a catalog bump.
+  size_t InvalidateBefore(uint64_t min_version) {
+    size_t dropped = 0;
+    for (Shard& shard : shards_) {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (it->second->version < min_version) {
+          it = RemoveLocked(shard, it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
+  bool Erase(uint64_t key) {
+    Shard& shard = ShardFor(key);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    RemoveLocked(shard, it);
+    return true;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        it = RemoveLocked(shard, it);
+      }
+    }
+  }
+
+  LruStats Stats() const {
+    LruStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  const LruOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Ptr value;
+    size_t bytes = 0;
+    uint64_t version = 0;
+    std::atomic<uint64_t> stamp{0};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Entry>> map;
+    size_t bytes = 0;  // guarded by mu
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // High bits: the FNV fingerprint mixes well, and low bits often
+    // carry the version mix-in pattern.
+    return shards_[(key >> 48) % shards_.size()];
+  }
+
+  /// Requires the shard's exclusive lock; returns the next iterator.
+  typename std::unordered_map<uint64_t, std::unique_ptr<Entry>>::iterator
+  RemoveLocked(
+      Shard& shard,
+      typename std::unordered_map<uint64_t,
+                                  std::unique_ptr<Entry>>::iterator it) {
+    shard.bytes -= it->second->bytes;
+    bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    return shard.map.erase(it);
+  }
+
+  LruOptions options_;
+  size_t shard_capacity_ = 0;
+  size_t shard_bytes_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> clock_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace cache
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_CACHE_SHARDED_LRU_H_

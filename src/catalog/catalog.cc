@@ -59,6 +59,7 @@ Status Catalog::AddTable(TableDef def) {
   }
   order_.push_back(key);
   tables_.emplace(std::move(key), std::move(def));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -82,6 +83,7 @@ Status Catalog::DropTable(const std::string& name) {
   }
   tables_.erase(it);
   order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  BumpVersion();
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef UNIQOPT_CATALOG_CATALOG_H_
 #define UNIQOPT_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,9 +38,22 @@ class Catalog {
 
   size_t size() const { return tables_.size(); }
 
+  /// Monotonic schema version: starts at 1 and bumps on every
+  /// successful DDL (AddTable/DropTable). The plan cache mixes it into
+  /// its fingerprints, so any schema change makes every cached plan's
+  /// key unreachable. Safe to read concurrently with prepares; DDL
+  /// itself is not thread-safe against concurrent catalog mutation
+  /// (same contract as the table map).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   std::map<std::string, TableDef> tables_;  // keyed by upper-cased name
   std::vector<std::string> order_;
+  std::atomic<uint64_t> version_{1};
 };
 
 }  // namespace uniqopt

@@ -99,7 +99,20 @@ std::vector<size_t> AttributeSet::ToVector() const {
 
 AttributeSet AttributeSet::Shifted(size_t offset) const {
   AttributeSet out;
-  for (size_t a : ToVector()) out.Add(a + offset);
+  if (words_.empty()) return out;
+  // Word-wise shift: each word moves up `word_shift` slots, with the
+  // spill into the next word when the offset is not word-aligned. One
+  // allocation, no per-member set traversal.
+  size_t word_shift = offset / 64;
+  unsigned bit_shift = static_cast<unsigned>(offset % 64);
+  out.words_.assign(words_.size() + word_shift + 1, 0);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i + word_shift] |= words_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.words_[i + word_shift + 1] |= words_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Trim();
   return out;
 }
 

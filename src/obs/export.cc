@@ -71,6 +71,13 @@ std::vector<MetricSample> SnapshotMetrics(const MetricsRegistry& registry) {
     s.value = value;
     out.push_back(std::move(s));
   }
+  for (const auto& [name, value] : registry.Gauges()) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricSample::Type::kGauge;
+    s.value = value;
+    out.push_back(std::move(s));
+  }
   for (const std::string& name : registry.HistogramNames()) {
     const Histogram* h = registry.FindHistogram(name);
     if (h == nullptr) continue;
@@ -112,6 +119,10 @@ std::string ToPrometheusText(const std::vector<MetricSample>& samples) {
       out += "# HELP " + pname + " uniqopt counter " + s.name + "\n";
       out += "# TYPE " + pname + " counter\n";
       out += pname + " " + std::to_string(s.value) + "\n";
+    } else if (s.type == MetricSample::Type::kGauge) {
+      out += "# HELP " + pname + " uniqopt gauge " + s.name + "\n";
+      out += "# TYPE " + pname + " gauge\n";
+      out += pname + " " + std::to_string(s.value) + "\n";
     } else {
       out += "# HELP " + pname + " uniqopt histogram " + s.name + "\n";
       out += "# TYPE " + pname + " histogram\n";
@@ -135,9 +146,12 @@ std::string ToMetricsJson(const std::vector<MetricSample>& samples) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "  {\"name\": \"" + JsonEscape(s.name) + "\", ";
-    if (s.type == MetricSample::Type::kCounter) {
-      out += "\"type\": \"counter\", \"value\": " + std::to_string(s.value) +
-             "}";
+    if (s.type == MetricSample::Type::kCounter ||
+        s.type == MetricSample::Type::kGauge) {
+      const char* type =
+          s.type == MetricSample::Type::kCounter ? "counter" : "gauge";
+      out += std::string("\"type\": \"") + type +
+             "\", \"value\": " + std::to_string(s.value) + "}";
       continue;
     }
     out += "\"type\": \"histogram\", ";

@@ -17,12 +17,12 @@ namespace obs {
 /// HTTP endpoint — renders from this struct, so baselines and exporters
 /// cannot drift apart.
 struct MetricSample {
-  enum class Type { kCounter, kHistogram };
+  enum class Type { kCounter, kGauge, kHistogram };
 
   std::string name;  ///< internal dotted name (ims.dli.gnp_calls)
   Type type = Type::kCounter;
 
-  // Counter.
+  // Counter / gauge.
   uint64_t value = 0;
 
   // Histogram.
@@ -40,7 +40,7 @@ struct MetricSample {
 };
 
 /// Point-in-time snapshot of every metric in `registry`, sorted by name
-/// (counters and histograms interleaved).
+/// (counters, gauges and histograms interleaved).
 std::vector<MetricSample> SnapshotMetrics(const MetricsRegistry& registry);
 
 /// The Prometheus-legal exposition name for an internal dotted name:
@@ -48,8 +48,9 @@ std::vector<MetricSample> SnapshotMetrics(const MetricsRegistry& registry);
 std::string PrometheusName(const std::string& name);
 
 /// Prometheus text exposition format (version 0.0.4): `# HELP` /
-/// `# TYPE` headers, `<name>_total` counters, histograms with
-/// cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
+/// `# TYPE` headers, `<name>_total` counters, bare-sample gauges,
+/// histograms with cumulative `_bucket{le=...}` series plus `_sum` /
+/// `_count`.
 std::string ToPrometheusText(const std::vector<MetricSample>& samples);
 
 /// Structural lint of a Prometheus text page: legal metric names, every
@@ -60,6 +61,7 @@ Status LintPrometheusText(const std::string& text);
 /// The stable JSON schema, one object per metric:
 ///   {"metrics": [
 ///     {"name": "...", "type": "counter", "value": 3},
+///     {"name": "...", "type": "gauge", "value": 7},
 ///     {"name": "...", "type": "histogram", "count": ..., "sum": ...,
 ///      "min": ..., "max": ..., "mean": ..., "p50": ..., "p90": ...,
 ///      "p99": ..., "buckets": [{"le": 1023, "count": 4}, ...]}]}

@@ -204,6 +204,16 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *it->second;
 }
 
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(ValidatedName(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -229,6 +239,13 @@ CounterSnapshot MetricsRegistry::Counters() const {
   return out;
 }
 
+std::map<std::string, uint64_t> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
@@ -239,6 +256,7 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 
@@ -247,6 +265,9 @@ std::string MetricsRegistry::ToText() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += name + " = " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + " = " + std::to_string(gauge->value()) + " (gauge)\n";
   }
   for (const auto& [name, h] : histograms_) {
     out += name + " = {count=" + std::to_string(h->count()) +
@@ -287,6 +308,15 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
     out += "    \"" + JsonEscape(name) +
            "\": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(gauge->value());
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";

@@ -25,6 +25,24 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Settable (non-monotonic) value — current cache bytes, live entry
+/// counts, and similar "what is it right now" measurements. Lock-free.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(uint64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// Metric (and span) names use the dotted `<subsystem>.<object>.<measure>`
 /// scheme. A name is valid when it maps onto a Prometheus-legal name
 /// after the exporter replaces dots with underscores:
@@ -117,9 +135,12 @@ class MetricsRegistry {
   /// name (see IsValidMetricName) is canonicalized with a warning, so
   /// every registered metric exports cleanly.
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
   CounterSnapshot Counters() const;
+  /// Point-in-time gauge values, name-sorted (same shape as Counters()).
+  std::map<std::string, uint64_t> Gauges() const;
   std::vector<std::string> HistogramNames() const;
   /// The histogram registered under `name`, or nullptr. Unlike
   /// GetHistogram this never creates — exporters snapshot without
@@ -138,6 +159,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

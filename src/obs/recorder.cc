@@ -26,7 +26,8 @@ std::string QueryRecord::ToString() const {
                 static_cast<unsigned long long>(plan_hash));
   std::string out = "#" + std::to_string(id) + " [" + source + "] " +
                     (ok ? "ok" : "ERROR") + " " +
-                    std::to_string(total_ns / 1000) + "us  " + query + "\n";
+                    std::to_string(total_ns / 1000) + "us" +
+                    (cache_hit ? " (cached)" : "") + "  " + query + "\n";
   if (!ok) {
     out += "    error: " + error + "\n";
     return out;
@@ -174,6 +175,8 @@ std::string QueryRecorder::ToJson() const {
     out += "\"ok\": " + std::string(r.ok ? "true" : "false") + ", ";
     if (!r.ok) out += "\"error\": \"" + JsonEscape(r.error) + "\", ";
     out += "\"plan_hash\": \"" + std::string(hash_buf) + "\", ";
+    out += "\"cache_hit\": " + std::string(r.cache_hit ? "true" : "false") +
+           ", ";
     out += "\"total_ns\": " + std::to_string(r.total_ns) + ", ";
     out += "\"rows_out\": " + std::to_string(r.rows_out) + ", ";
     out += "\"rows_scanned\": " + std::to_string(r.rows_scanned) + ", ";

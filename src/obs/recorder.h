@@ -21,6 +21,10 @@ struct QueryRecord {
   /// FNV-1a over the optimized plan's canonical printed form; equal
   /// hashes ⇒ structurally identical plans (cache keys, \history dedup).
   uint64_t plan_hash = 0;
+  /// Whether preparation was served from the plan cache (its phase_ns
+  /// carries the original cold prepare's timings in that case) —
+  /// \slow and \history separate cold from cache-served prepares on it.
+  bool cache_hit = false;
   /// Per-phase latencies, pipeline order (parse, bind, analyze,
   /// rewrite, cost, execute — whichever ran).
   std::vector<std::pair<std::string, uint64_t>> phase_ns;

@@ -215,8 +215,8 @@ class Rewriter {
         RewriteEvidence evidence;
         evidence.before = node;
         evidence.after = after;
-        evidence.proof = verdict.proof;
-        evidence.facts = verdict.trace;
+        evidence.proof = std::move(verdict.proof);
+        evidence.facts = std::move(verdict.trace);
         Record(RewriteRuleId::kRemoveRedundantDistinct,
                "DISTINCT removed (uniqueness condition holds)",
                std::move(evidence));
@@ -282,8 +282,8 @@ class Rewriter {
         RewriteEvidence evidence;
         evidence.before = project->input();  // the ExistsNode the proof covers
         evidence.after = after;
-        evidence.proof = verdict->proof;
-        evidence.facts = verdict->trace;
+        evidence.proof = std::move(verdict->proof);
+        evidence.facts = std::move(verdict->trace);
         Record(RewriteRuleId::kSubqueryToJoin,
                "EXISTS converted to join (Theorem 2: inner key bound)",
                std::move(evidence));
@@ -906,8 +906,8 @@ class Rewriter {
       RewriteEvidence evidence;
       evidence.before = node;
       evidence.after = exists;
-      evidence.proof = verdict->proof;
-      evidence.facts = verdict->trace;
+      evidence.proof = std::move(verdict->proof);
+      evidence.facts = std::move(verdict->trace);
       Record(RewriteRuleId::kJoinToSubquery,
              "join converted to EXISTS (Theorem 2: discarded side unique)",
              std::move(evidence));

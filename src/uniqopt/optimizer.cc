@@ -1,7 +1,11 @@
 #include "uniqopt/optimizer.h"
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
+#include <thread>
 
+#include "cache/fingerprint.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -12,20 +16,39 @@ namespace uniqopt {
 
 namespace {
 
-/// One optimizer phase: a trace span plus an
-/// `optimizer.phase.<name>.ns` latency histogram sample. The histogram
-/// records unconditionally (atomics only); the span is zero-cost when
-/// tracing is off. With `phase_sink` non-null the elapsed time is also
-/// appended there — that is how PreparedQuery carries its per-phase
-/// latencies to the flight recorder.
+/// Interned identity of one optimizer phase: the span name and the
+/// `optimizer.phase.<name>.ns` histogram handle, both resolved exactly
+/// once per phase (function-local static at each Phase site) so the
+/// per-call cost is the histogram's atomics — no string concatenation
+/// and no registry mutex on the prepare hot path.
+struct PhaseDef {
+  const char* name;
+  std::string span_name;
+  obs::Histogram* histogram;
+};
+
+PhaseDef MakePhaseDef(const char* name) {
+  PhaseDef def;
+  def.name = name;
+  def.span_name = std::string("optimizer.phase.") + name;
+  def.histogram = &obs::MetricsRegistry::Global().GetHistogram(
+      def.span_name + ".ns");
+  return def;
+}
+
+/// One optimizer phase: a trace span plus a latency histogram sample.
+/// The histogram records unconditionally (atomics only); the span is
+/// zero-cost when tracing is off. With `phase_sink` non-null the
+/// elapsed time is also appended there — that is how PreparedQuery
+/// carries its per-phase latencies to the flight recorder.
 class Phase {
  public:
-  explicit Phase(const char* name,
+  explicit Phase(const PhaseDef& def,
                  std::vector<std::pair<std::string, uint64_t>>* phase_sink =
                      nullptr)
-      : name_(name),
+      : def_(def),
         phase_sink_(phase_sink),
-        span_((std::string("optimizer.phase.") + name).c_str()),
+        span_(def.span_name.c_str()),
         start_(std::chrono::steady_clock::now()) {}
 
   ~Phase() {
@@ -33,16 +56,14 @@ class Phase {
     uint64_t ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count());
-    obs::MetricsRegistry::Global()
-        .GetHistogram(std::string("optimizer.phase.") + name_ + ".ns")
-        .Record(ns);
-    if (phase_sink_ != nullptr) phase_sink_->emplace_back(name_, ns);
+    def_.histogram->Record(ns);
+    if (phase_sink_ != nullptr) phase_sink_->emplace_back(def_.name, ns);
   }
 
   obs::Span& span() { return span_; }
 
  private:
-  const char* name_;
+  const PhaseDef& def_;
   std::vector<std::pair<std::string, uint64_t>>* phase_sink_;
   obs::Span span_;
   std::chrono::steady_clock::time_point start_;
@@ -77,7 +98,9 @@ void RecordFailure(const std::string& sql, const Status& status,
 }  // namespace
 
 std::string PreparedQuery::Explain() const {
-  std::string out = "SQL: " + sql + "\n";
+  std::string out = "SQL: " + sql;
+  if (cache_hit) out += "  [plan cache hit]";
+  out += "\n";
   out += "-- logical plan --\n";
   out += original_plan->ToString();
   if (rewrites.empty()) {
@@ -109,16 +132,18 @@ std::string PreparedQuery::Explain() const {
   return out;
 }
 
-Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
+Result<PreparedQuery> Optimizer::PrepareUncached(
+    const std::string& sql) const {
   obs::Span prepare_span("optimizer.prepare");
-  obs::MetricsRegistry::Global()
-      .GetCounter("optimizer.queries_prepared")
-      .Increment();
+  static obs::Counter& prepared_counter =
+      obs::MetricsRegistry::Global().GetCounter("optimizer.queries_prepared");
+  prepared_counter.Increment();
 
   PreparedQuery out;
   QueryPtr parsed;
   {
-    Phase phase("parse", &out.phase_ns);
+    static const PhaseDef kParse = MakePhaseDef("parse");
+    Phase phase(kParse, &out.phase_ns);
     auto r = ParseQuery(sql);
     if (!r.ok()) {
       RecordFailure(sql, r.status(), std::move(out.phase_ns));
@@ -128,7 +153,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   }
   BoundQuery bound;
   {
-    Phase phase("bind", &out.phase_ns);
+    static const PhaseDef kBind = MakePhaseDef("bind");
+    Phase phase(kBind, &out.phase_ns);
     Binder binder(&db_->catalog());
     auto r = binder.Bind(*parsed);
     if (!r.ok()) {
@@ -143,7 +169,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
     // Standalone DISTINCT analysis of the bound plan: the verdict (and
     // its proof) ride along on the PreparedQuery for EXPLAIN, whatever
     // the rewriter later decides to do with it.
-    Phase phase("analyze", &out.phase_ns);
+    static const PhaseDef kAnalyze = MakePhaseDef("analyze");
+    Phase phase(kAnalyze, &out.phase_ns);
     out.analysis = AnalyzeDistinct(bound.plan, rewrite_options_.analysis);
     phase.span().AddAttr("has_distinct", out.analysis.has_distinct);
     phase.span().AddAttr("distinct_unnecessary",
@@ -151,7 +178,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   }
   RewriteResult rewritten;
   {
-    Phase phase("rewrite", &out.phase_ns);
+    static const PhaseDef kRewrite = MakePhaseDef("rewrite");
+    Phase phase(kRewrite, &out.phase_ns);
     auto r = RewritePlan(bound.plan, rewrite_options_);
     if (!r.ok()) {
       RecordFailure(sql, r.status(), std::move(out.phase_ns));
@@ -167,7 +195,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   out.rewrites = std::move(rewritten.applied);
   out.host_vars = std::move(bound.host_vars);
   if (use_cost_model_) {
-    Phase phase("cost", &out.phase_ns);
+    static const PhaseDef kCost = MakePhaseDef("cost");
+    Phase phase(kCost, &out.phase_ns);
     CostEstimator estimator(db_);
     std::vector<PlanAlternative> alternatives =
         StandardAlternatives(out.original_plan, out.optimized_plan);
@@ -181,7 +210,8 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   }
   if (verify_plans_) {
     // After cost selection: verify the plan that will actually execute.
-    Phase phase("verify", &out.phase_ns);
+    static const PhaseDef kVerify = MakePhaseDef("verify");
+    Phase phase(kVerify, &out.phase_ns);
     out.verification = Verify(out);
     out.verified = true;
     phase.span().AddAttr(
@@ -190,6 +220,132 @@ Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
   }
   out.plan_hash =
       obs::FingerprintPlanText(out.optimized_plan->ToString());
+  return out;
+}
+
+namespace {
+
+/// Approximate retained size of a prepared query for the cache's byte
+/// budget. Plans are measured by their printed form (proportional to
+/// node count); proof traces get a flat per-rewrite allowance.
+size_t EstimatePreparedQueryBytes(const PreparedQuery& q) {
+  size_t bytes = sizeof(PreparedQuery) + q.sql.size();
+  if (q.original_plan != nullptr) {
+    bytes += q.original_plan->ToString().size() * 2;
+  }
+  if (q.optimized_plan != nullptr) {
+    bytes += q.optimized_plan->ToString().size() * 2;
+  }
+  for (const AppliedRewrite& r : q.rewrites) {
+    bytes += 256 + r.description.size();
+    for (const std::string& fact : r.evidence.facts) bytes += fact.size();
+    if (r.evidence.before != nullptr) {
+      bytes += r.evidence.before->ToString().size();
+    }
+    if (r.evidence.after != nullptr) {
+      bytes += r.evidence.after->ToString().size();
+    }
+  }
+  for (const auto& [name, ns] : q.phase_ns) {
+    (void)ns;
+    bytes += 32 + name.size();
+  }
+  bytes += q.chosen_label.size();
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
+    const std::string& sql, bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Read the catalog version before preparing: if DDL lands mid-flight
+  // the entry is stored under the older version and can never be
+  // served after the bump.
+  const uint64_t version = db_->catalog().version();
+  uint64_t fingerprint = 0;
+  bool cacheable = CacheUsable();
+  if (cacheable) {
+    auto canonical = cache::CanonicalizeSql(sql);
+    if (canonical.ok()) {
+      cache::FingerprintOptions fopts;
+      // The verify flag shapes what a PreparedQuery contains
+      // (verification report present or not), so it is part of the key.
+      fopts.salt = verify_plans_ ? 1 : 0;
+      fingerprint = cache::FingerprintSql(*canonical, version, fopts);
+      if (cache::PlanCache::EntryPtr entry =
+              cache_->Get(fingerprint, version)) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        static obs::Counter& prepared_counter =
+            obs::MetricsRegistry::Global().GetCounter(
+                "optimizer.queries_prepared");
+        prepared_counter.Increment();
+        return entry;
+      }
+    } else {
+      // Not lexable: fall through so the normal pipeline produces (and
+      // records) the real diagnostic.
+      cacheable = false;
+    }
+  }
+  UNIQOPT_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareUncached(sql));
+  auto entry =
+      std::make_shared<const PreparedQuery>(std::move(prepared));
+  if (cacheable) {
+    cache_->Put(fingerprint, version, entry,
+                EstimatePreparedQueryBytes(*entry));
+  }
+  return entry;
+}
+
+Result<PreparedQuery> Optimizer::Prepare(const std::string& sql) const {
+  if (!CacheUsable()) return PrepareUncached(sql);
+  bool hit = false;
+  UNIQOPT_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> entry,
+                           PrepareShared(sql, &hit));
+  PreparedQuery out = *entry;
+  out.cache_hit = hit;
+  return out;
+}
+
+Result<std::vector<std::shared_ptr<const PreparedQuery>>>
+Optimizer::PrepareBatch(std::span<const std::string> sqls,
+                        unsigned threads) const {
+  std::vector<std::shared_ptr<const PreparedQuery>> out(sqls.size());
+  if (sqls.empty()) return out;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  if (threads > sqls.size()) {
+    threads = static_cast<unsigned>(sqls.size());
+  }
+  std::atomic<size_t> next{0};
+  std::mutex error_mu;
+  size_t first_error_index = SIZE_MAX;
+  Status first_error;
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < sqls.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      auto r = PrepareShared(sqls[i]);
+      if (r.ok()) {
+        out[i] = std::move(*r);
+      } else {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = r.status();
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+  if (first_error_index != SIZE_MAX) return first_error;
   return out;
 }
 
@@ -241,6 +397,7 @@ Result<std::vector<Row>> Optimizer::Execute(
   rec.source = "optimizer";
   rec.query = query.sql;
   rec.plan_hash = query.plan_hash;
+  rec.cache_hit = query.cache_hit;
   rec.phase_ns = query.phase_ns;
   for (const AppliedRewrite& r : query.rewrites) {
     rec.rewrites.emplace_back(RewriteRuleIdToString(r.rule), r.description);
@@ -255,10 +412,12 @@ Result<std::vector<Row>> Optimizer::Execute(
   {
     // The Phase destructor appends the execute timing to rec.phase_ns,
     // so failure recording must wait until the block closes.
-    Phase phase("execute", &rec.phase_ns);
-    obs::MetricsRegistry::Global()
-        .GetCounter("optimizer.queries_executed")
-        .Increment();
+    static const PhaseDef kExecute = MakePhaseDef("execute");
+    Phase phase(kExecute, &rec.phase_ns);
+    static obs::Counter& executed_counter =
+        obs::MetricsRegistry::Global().GetCounter(
+            "optimizer.queries_executed");
+    executed_counter.Increment();
     auto r = ExecutePlan(query.optimized_plan, *db_, &ctx, effective,
                          profile);
     if (r.ok()) {

@@ -1,11 +1,14 @@
 #ifndef UNIQOPT_UNIQOPT_OPTIMIZER_H_
 #define UNIQOPT_UNIQOPT_OPTIMIZER_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/uniqueness.h"
+#include "cache/plan_cache.h"
 #include "common/result.h"
 #include "exec/cost_model.h"
 #include "exec/planner.h"
@@ -53,6 +56,11 @@ struct PreparedQuery {
   /// null-semantics audit). `verified` tells whether the pass ran.
   bool verified = false;
   verify::VerifyReport verification;
+  /// Whether this prepare was served from the plan cache (parse,
+  /// Algorithm 1, rewriting and verification all skipped). Only set on
+  /// by-value copies handed out by Prepare; the cached master stays
+  /// false.
+  bool cache_hit = false;
 
   /// EXPLAIN-style report: both plans and the rewrite audit trail.
   std::string Explain() const;
@@ -68,13 +76,35 @@ class Optimizer {
   /// alternatives (§5: "choose the most appropriate strategy on the
   /// basis of its cost model") and pins the winner.
   explicit Optimizer(Database* db, RewriteOptions rewrite_options = {},
-                     bool use_cost_model = false)
+                     bool use_cost_model = false,
+                     cache::PlanCacheOptions cache_options = {})
       : db_(db),
         rewrite_options_(std::move(rewrite_options)),
-        use_cost_model_(use_cost_model) {}
+        use_cost_model_(use_cost_model),
+        cache_(std::make_shared<cache::PlanCache>(cache_options)) {}
 
   /// Parses, binds and rewrites `sql` (and cost-chooses, when enabled).
+  /// Served from the plan cache when a prepare of the same canonical
+  /// SQL under the same catalog version is cached (`cache_hit` set on
+  /// the returned copy).
   Result<PreparedQuery> Prepare(const std::string& sql) const;
+
+  /// The zero-copy prepare: returns the immutable cached entry itself
+  /// (or the freshly prepared one, which is simultaneously inserted).
+  /// This is the hot path — a hit costs one fingerprint plus a
+  /// shard-level shared lock, no plan copies. `cache_hit`, when
+  /// non-null, reports whether the entry came from the cache.
+  ///
+  /// Thread-safe: concurrent PrepareShared calls on one Optimizer are
+  /// supported (concurrent DDL is not — same contract as Catalog).
+  Result<std::shared_ptr<const PreparedQuery>> PrepareShared(
+      const std::string& sql, bool* cache_hit = nullptr) const;
+
+  /// Prepares a whole workload on `threads` worker threads (0 ⇒
+  /// hardware concurrency), preserving input order in the result.
+  /// Fails with the lowest-index error if any prepare fails.
+  Result<std::vector<std::shared_ptr<const PreparedQuery>>> PrepareBatch(
+      std::span<const std::string> sqls, unsigned threads = 0) const;
 
   /// Executes a prepared query's optimized plan. `params` supplies host
   /// variables by name (case-insensitive); all declared host variables
@@ -117,11 +147,24 @@ class Optimizer {
   Database* database() const { return db_; }
   const RewriteOptions& rewrite_options() const { return rewrite_options_; }
 
+  /// The optimizer's plan cache (never null; may be disabled). The
+  /// cache is also bypassed while the cost model is on: cost estimates
+  /// depend on live table sizes, which the catalog version does not
+  /// track.
+  cache::PlanCache* plan_cache() const { return cache_.get(); }
+
  private:
+  /// The full parse → bind → analyze → rewrite → [cost] → [verify]
+  /// pipeline, no cache involvement.
+  Result<PreparedQuery> PrepareUncached(const std::string& sql) const;
+
+  bool CacheUsable() const { return cache_->enabled() && !use_cost_model_; }
+
   Database* db_;
   RewriteOptions rewrite_options_;
   bool use_cost_model_ = false;
   bool verify_plans_ = kVerifyPlansByDefault;
+  std::shared_ptr<cache::PlanCache> cache_;
 };
 
 }  // namespace uniqopt

@@ -1,0 +1,346 @@
+// Plan cache unit coverage: SQL canonicalization + fingerprinting, the
+// generic sharded LRU (recency eviction, byte budget, version purge),
+// Optimizer cache hits (flag, identical plans, EXPLAIN marker,
+// recorder field), and the DDL-invalidation guarantee — a catalog bump
+// must make every previously cached plan unservable.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/fingerprint.h"
+#include "cache/plan_cache.h"
+#include "cache/sharded_lru.h"
+#include "obs/recorder.h"
+#include "test_util.h"
+#include "uniqopt/uniqopt.h"
+#include "workload/supplier_schema.h"
+
+namespace uniqopt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonicalization + fingerprint
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalizeSqlTest, WhitespaceCaseAndCommentsInsensitive) {
+  ASSERT_OK_AND_ASSIGN(cache::CanonicalSql a,
+                       cache::CanonicalizeSql(
+                           "select sno from supplier where status = 'A'"));
+  ASSERT_OK_AND_ASSIGN(
+      cache::CanonicalSql b,
+      cache::CanonicalizeSql("SELECT   Sno\n  FROM supplier -- comment\n"
+                             "WHERE STATUS = 'A'"));
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.shape, b.shape);
+  EXPECT_EQ(a.text, "SELECT SNO FROM SUPPLIER WHERE STATUS = 'A'");
+}
+
+TEST(CanonicalizeSqlTest, ShapeParameterizesLiteralsButNotHostVars) {
+  ASSERT_OK_AND_ASSIGN(
+      cache::CanonicalSql c,
+      cache::CanonicalizeSql(
+          "SELECT SNO FROM SUPPLIER WHERE BUDGET > 100 AND SNO = :S"));
+  EXPECT_EQ(c.num_literals, 1u);
+  EXPECT_EQ(c.shape, "SELECT SNO FROM SUPPLIER WHERE BUDGET > ? AND SNO = :S");
+  EXPECT_NE(c.text, c.shape);
+}
+
+TEST(CanonicalizeSqlTest, StringLiteralDistinctFromIdentifier) {
+  // 'A' must not canonicalize to the same text as the identifier A.
+  ASSERT_OK_AND_ASSIGN(cache::CanonicalSql quoted,
+                       cache::CanonicalizeSql("SELECT 'A' FROM T"));
+  ASSERT_OK_AND_ASSIGN(cache::CanonicalSql bare,
+                       cache::CanonicalizeSql("SELECT A FROM T"));
+  EXPECT_NE(quoted.text, bare.text);
+}
+
+TEST(FingerprintSqlTest, SensitiveToLiteralsVersionAndSalt) {
+  ASSERT_OK_AND_ASSIGN(cache::CanonicalSql q1,
+                       cache::CanonicalizeSql("SELECT * FROM T WHERE X = 1"));
+  ASSERT_OK_AND_ASSIGN(cache::CanonicalSql q2,
+                       cache::CanonicalizeSql("SELECT * FROM T WHERE X = 2"));
+  // Default (text) keying: a different literal is a different key —
+  // plans bake constants in, so sharing would serve a wrong plan.
+  EXPECT_NE(cache::FingerprintSql(q1, 1), cache::FingerprintSql(q2, 1));
+  // Shape keying collapses them.
+  cache::FingerprintOptions param;
+  param.parameterize_literals = true;
+  EXPECT_EQ(cache::FingerprintSql(q1, 1, param),
+            cache::FingerprintSql(q2, 1, param));
+  // Catalog version and salt are both part of the key.
+  EXPECT_NE(cache::FingerprintSql(q1, 1), cache::FingerprintSql(q1, 2));
+  cache::FingerprintOptions salted;
+  salted.salt = 1;
+  EXPECT_NE(cache::FingerprintSql(q1, 1), cache::FingerprintSql(q1, 1, salted));
+  // Determinism.
+  EXPECT_EQ(cache::FingerprintSql(q1, 1), cache::FingerprintSql(q1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLru
+// ---------------------------------------------------------------------------
+
+cache::ShardedLru<std::string>::Ptr Str(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ShardedLruTest, EvictsLeastRecentlyUsed) {
+  cache::LruOptions options;
+  options.shards = 1;  // deterministic: one shard holds the whole budget
+  options.capacity = 2;
+  cache::ShardedLru<std::string> lru(options);
+  lru.Put(1, Str("a"), 1, 0);
+  lru.Put(2, Str("b"), 1, 0);
+  ASSERT_NE(lru.Get(1), nullptr);  // refresh 1: now 2 is stalest
+  lru.Put(3, Str("c"), 1, 0);
+  EXPECT_NE(lru.Get(1), nullptr);
+  EXPECT_EQ(lru.Get(2), nullptr);
+  EXPECT_NE(lru.Get(3), nullptr);
+  cache::LruStats stats = lru.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ShardedLruTest, ByteBudgetEvictsUntilUnderLimit) {
+  cache::LruOptions options;
+  options.shards = 1;
+  options.capacity = 100;
+  options.byte_budget = 100;
+  cache::ShardedLru<std::string> lru(options);
+  lru.Put(1, Str("a"), 60, 0);
+  lru.Put(2, Str("b"), 60, 0);  // 120 > 100: the stalest (1) goes
+  EXPECT_EQ(lru.Get(1), nullptr);
+  EXPECT_NE(lru.Get(2), nullptr);
+  EXPECT_EQ(lru.Stats().bytes, 60u);
+  // An oversized entry still gets admitted alone (never evicts itself).
+  lru.Put(3, Str("big"), 500, 0);
+  EXPECT_NE(lru.Get(3), nullptr);
+  EXPECT_EQ(lru.Stats().entries, 1u);
+}
+
+TEST(ShardedLruTest, ReplaceUpdatesBytesAndValue) {
+  cache::ShardedLru<std::string> lru({1, 10, 1000});
+  lru.Put(7, Str("old"), 100, 0);
+  lru.Put(7, Str("new"), 10, 0);
+  EXPECT_EQ(*lru.Get(7), "new");
+  EXPECT_EQ(lru.Stats().entries, 1u);
+  EXPECT_EQ(lru.Stats().bytes, 10u);
+}
+
+TEST(ShardedLruTest, InvalidateBeforePurgesOlderVersionsOnly) {
+  cache::ShardedLru<std::string> lru({4, 100, 1000});
+  lru.Put(1, Str("v1"), 1, 1);
+  lru.Put(2, Str("v1b"), 1, 1);
+  lru.Put(3, Str("v2"), 1, 2);
+  EXPECT_EQ(lru.InvalidateBefore(2), 2u);
+  EXPECT_EQ(lru.Get(1), nullptr);
+  EXPECT_EQ(lru.Get(2), nullptr);
+  EXPECT_NE(lru.Get(3), nullptr);
+  EXPECT_EQ(lru.Stats().invalidations, 2u);
+}
+
+TEST(ShardedLruTest, EraseAndClear) {
+  cache::ShardedLru<std::string> lru;
+  lru.Put(1, Str("a"), 5, 0);
+  lru.Put(2, Str("b"), 5, 0);
+  EXPECT_TRUE(lru.Erase(1));
+  EXPECT_FALSE(lru.Erase(1));
+  lru.Clear();
+  EXPECT_EQ(lru.Get(2), nullptr);
+  EXPECT_EQ(lru.Stats().entries, 0u);
+  EXPECT_EQ(lru.Stats().bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer integration
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, SecondPrepareIsAHitWithIdenticalPlan) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery cold, optimizer.Prepare(sql));
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_OK_AND_ASSIGN(PreparedQuery warm, optimizer.Prepare(sql));
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.plan_hash, warm.plan_hash);
+  EXPECT_EQ(cold.optimized_plan->ToString(),
+            warm.optimized_plan->ToString());
+  // Whitespace/case variants hit the same entry.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery variant,
+                       optimizer.Prepare("select distinct sno\nFROM supplier"));
+  EXPECT_TRUE(variant.cache_hit);
+  EXPECT_EQ(variant.plan_hash, cold.plan_hash);
+  cache::LruStats stats = optimizer.plan_cache()->Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  // The hit is marked in EXPLAIN; the cold prepare is not.
+  EXPECT_NE(warm.Explain().find("[plan cache hit]"), std::string::npos);
+  EXPECT_EQ(cold.Explain().find("[plan cache hit]"), std::string::npos);
+}
+
+TEST(PlanCacheTest, HitStillExecutes) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery cold, optimizer.Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> cold_rows,
+                       optimizer.Execute(cold));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery warm, optimizer.Prepare(sql));
+  ASSERT_TRUE(warm.cache_hit);
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> warm_rows,
+                       optimizer.Execute(warm));
+  EXPECT_EQ(cold_rows.size(), warm_rows.size());
+}
+
+TEST(PlanCacheTest, RecorderCarriesCacheHitFlag) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT SNAME FROM SUPPLIER WHERE SNO = 3";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery warmup, optimizer.Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery hit, optimizer.Prepare(sql));
+  ASSERT_TRUE(hit.cache_hit);
+  obs::QueryRecorder::Global().Clear();
+  ASSERT_OK(optimizer.Execute(warmup).status());
+  ASSERT_OK(optimizer.Execute(hit).status());
+  std::vector<obs::QueryRecord> history =
+      obs::QueryRecorder::Global().History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_FALSE(history[0].cache_hit);
+  EXPECT_TRUE(history[1].cache_hit);
+  EXPECT_EQ(history[0].ToString().find("(cached)"), std::string::npos);
+  EXPECT_NE(history[1].ToString().find("(cached)"), std::string::npos);
+  EXPECT_NE(obs::QueryRecorder::Global().ToJson().find(
+                "\"cache_hit\": true"),
+            std::string::npos);
+}
+
+TEST(PlanCacheTest, PrepareSharedSkipsCopies) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT DISTINCT SNO, PNO FROM PARTS";
+  bool hit = true;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PreparedQuery> first,
+                       optimizer.PrepareShared(sql, &hit));
+  EXPECT_FALSE(hit);
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PreparedQuery> second,
+                       optimizer.PrepareShared(sql, &hit));
+  EXPECT_TRUE(hit);
+  // Same immutable entry, not a copy.
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverHits) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  cache::PlanCacheOptions options;
+  options.enabled = false;
+  Optimizer optimizer(&db, {}, /*use_cost_model=*/false, options);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery a, optimizer.Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery b, optimizer.Prepare(sql));
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(optimizer.plan_cache()->Stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, CostModelBypassesCache) {
+  // Cost estimates depend on live table sizes, which the catalog
+  // version does not track — the cache must stand aside.
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db, {}, /*use_cost_model=*/true);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery a, optimizer.Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery b, optimizer.Prepare(sql));
+  EXPECT_TRUE(a.cost_based);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(optimizer.plan_cache()->Stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, VerifyToggleKeysSeparateEntries) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  optimizer.set_verify_plans(true);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery verified, optimizer.Prepare(sql));
+  EXPECT_TRUE(verified.verified);
+  optimizer.set_verify_plans(false);
+  // Different salt ⇒ the verified entry must not be served.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery unverified, optimizer.Prepare(sql));
+  EXPECT_FALSE(unverified.cache_hit);
+  EXPECT_FALSE(unverified.verified);
+}
+
+TEST(PlanCacheTest, DdlInvalidatesStaleEntries) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE Z (K INTEGER NOT NULL, V INTEGER, PRIMARY KEY (K))"));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT DISTINCT K FROM Z";
+  // With the key declared, DISTINCT is provably redundant and removed.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery keyed, optimizer.Prepare(sql));
+  EXPECT_TRUE(keyed.analysis.distinct_unnecessary);
+  EXPECT_FALSE(keyed.rewrites.empty());
+  ASSERT_OK_AND_ASSIGN(PreparedQuery cached, optimizer.Prepare(sql));
+  EXPECT_TRUE(cached.cache_hit);
+  // DDL: recreate Z without the key. The catalog version bumps twice.
+  uint64_t before = db.catalog().version();
+  ASSERT_OK(db.catalog().DropTable("Z"));
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE Z (K INTEGER, V INTEGER)"));
+  EXPECT_EQ(db.catalog().version(), before + 2);
+  // The stale plan (DISTINCT removed) must never be served: the new
+  // prepare misses and keeps DISTINCT.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery unkeyed, optimizer.Prepare(sql));
+  EXPECT_FALSE(unkeyed.cache_hit);
+  EXPECT_FALSE(unkeyed.analysis.distinct_unnecessary);
+  EXPECT_TRUE(unkeyed.rewrites.empty());
+  EXPECT_NE(unkeyed.plan_hash, keyed.plan_hash);
+  // The superseded entry was also purged from memory (lazy
+  // invalidation on the first post-bump lookup).
+  EXPECT_GE(optimizer.plan_cache()->Stats().invalidations, 1u);
+}
+
+TEST(PlanCacheTest, EvictionUnderTinyCapacity) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  cache::PlanCacheOptions options;
+  options.shards = 1;
+  options.capacity = 2;
+  Optimizer optimizer(&db, {}, /*use_cost_model=*/false, options);
+  ASSERT_OK(optimizer.Prepare("SELECT SNO FROM SUPPLIER").status());
+  ASSERT_OK(optimizer.Prepare("SELECT SNAME FROM SUPPLIER").status());
+  ASSERT_OK(optimizer.Prepare("SELECT SCITY FROM SUPPLIER").status());
+  cache::LruStats stats = optimizer.plan_cache()->Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The first (stalest) query is the one that went.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery again,
+                       optimizer.Prepare("SELECT SNO FROM SUPPLIER"));
+  EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(PlanCacheTest, ToTextRendersStats) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK(optimizer.Prepare("SELECT SNO FROM SUPPLIER").status());
+  ASSERT_OK(optimizer.Prepare("SELECT SNO FROM SUPPLIER").status());
+  std::string text = optimizer.plan_cache()->ToText();
+  EXPECT_NE(text.find("plan cache: enabled"), std::string::npos);
+  EXPECT_NE(text.find("hits=1"), std::string::npos);
+  EXPECT_NE(text.find("misses=1"), std::string::npos);
+  EXPECT_NE(text.find("hit ratio 50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uniqopt

@@ -44,6 +44,22 @@ TEST(AttributeSetTest, ShiftAndEquality) {
   EXPECT_EQ(big, AttributeSet{1});
 }
 
+TEST(AttributeSetTest, ShiftedAcrossWordBoundaries) {
+  // The word-wise shift must carry bits that cross a 64-bit word edge.
+  AttributeSet a{0, 1, 62, 63, 64, 127, 128};
+  for (size_t offset : {1u, 63u, 64u, 65u, 100u, 128u, 129u}) {
+    AttributeSet shifted = a.Shifted(offset);
+    std::vector<size_t> expected;
+    for (size_t member : a.ToVector()) expected.push_back(member + offset);
+    EXPECT_EQ(shifted.ToVector(), expected) << "offset " << offset;
+  }
+  // Zero offset is the identity; shifting the empty set stays empty.
+  EXPECT_EQ(a.Shifted(0), a);
+  EXPECT_TRUE(AttributeSet{}.Shifted(77).Empty());
+  // Count survives any shift (no bits lost or duplicated).
+  EXPECT_EQ(a.Shifted(191).Count(), a.Count());
+}
+
 TEST(FdSetTest, ClosureBasics) {
   // A → B, B → C: closure({A}) = {A, B, C}.
   FdSet fds;
