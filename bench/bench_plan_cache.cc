@@ -2,11 +2,17 @@
 //
 //  - BM_PrepareCold: the full pipeline (parse → bind → Algorithm 1 →
 //    rewrite → verify) with the cache disabled — the baseline every hit
-//    avoids. Latencies land in `bench.plan_cache.cold.ns`.
+//    avoids. Runs advisor-off (no near-miss collection, no publication)
+//    so the gated `bench.plan_cache.cold.ns` p50 must stay within noise
+//    of the pre-advisor baseline in bench/baselines/.
+//  - BM_PrepareColdAdvisorOn: the same cold pipeline with near-miss
+//    collection and advisor publication enabled — ungated, reported in
+//    `bench.plan_cache.cold_advisor.ns` so the advisor's prepare-path
+//    overhead is visible side by side with the gated number.
 //  - BM_PrepareWarmHit: the same corpus against a pre-warmed cache —
 //    fingerprint + one shared-lock lookup. Latencies land in
 //    `bench.plan_cache.warm.ns`; check.sh --bench-gate asserts warm p50
-//    is ≥10× faster than cold p50 (BENCH_pr4.json).
+//    is ≥10× faster than cold p50 (BENCH_pr6.json).
 //  - BM_PrepareMixed/<hit_pct>: K threads hammering one Optimizer at a
 //    configurable hit ratio (misses are made unique via a fresh SNO
 //    literal per miss, so they never start hitting).
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/advisor.h"
 #include "obs/metrics.h"
 #include "uniqopt/optimizer.h"
 #include "workload/query_corpus.h"
@@ -57,7 +64,10 @@ void BM_PrepareCold(benchmark::State& state) {
   Database* db = MutableSupplierDb();
   cache::PlanCacheOptions no_cache;
   no_cache.enabled = false;
-  Optimizer optimizer(db, {}, /*use_cost_model=*/false, no_cache);
+  RewriteOptions advisor_off;
+  advisor_off.analysis.collect_near_misses = false;
+  Optimizer optimizer(db, advisor_off, /*use_cost_model=*/false, no_cache);
+  optimizer.set_advise(false);
   std::vector<std::string> corpus = CorpusSql();
   obs::Histogram& latency =
       obs::MetricsRegistry::Global().GetHistogram("bench.plan_cache.cold.ns");
@@ -70,6 +80,26 @@ void BM_PrepareCold(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PrepareCold);
+
+void BM_PrepareColdAdvisorOn(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  cache::PlanCacheOptions no_cache;
+  no_cache.enabled = false;
+  Optimizer optimizer(db, {}, /*use_cost_model=*/false, no_cache);
+  std::vector<std::string> corpus = CorpusSql();
+  obs::AdvisorStore::Global().set_enabled(true);
+  obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.plan_cache.cold_advisor.ns");
+  size_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedLatencyTimer timer(&latency);
+    auto prepared = optimizer.PrepareShared(corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::AdvisorStore::Global().Clear();
+}
+BENCHMARK(BM_PrepareColdAdvisorOn);
 
 void BM_PrepareWarmHit(benchmark::State& state) {
   Database* db = MutableSupplierDb();

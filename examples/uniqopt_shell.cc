@@ -14,10 +14,14 @@
 // moved; `CREATE TABLE ...` extends the catalog; `\metrics` dumps the
 // metrics registry; `\trace on|off` toggles pipeline tracing (spans
 // print as they close and are buffered for `\export`); `\history`
-// shows the query flight recorder; `\slow [ms]` sets/queries the
+// shows the query flight recorder; `\advisor` lists the uniqueness
+// constraint advisor's near-miss suggestions (`\advisor replay [n]`
+// what-if replays the top n against a hypothetical catalog, `\advisor
+// clear` resets the store); `\slow [ms]` sets/queries the
 // slow-query threshold; `\serve <port>` starts the HTTP observability
-// endpoint (GET /metrics, /trace, /queries); `\export
-// [trace|metrics|queries] <file>` dumps the corresponding payload;
+// endpoint (GET /metrics, /trace, /queries, /advisor); `\export
+// [trace|metrics|queries|advisor] <file>` dumps the corresponding
+// payload;
 // `\verify <query>` prepares the query and runs the post-optimization
 // static verifier (plan lint, proof checker, null-semantics audit);
 // `\cache` shows the plan cache's configuration and hit/miss stats
@@ -112,9 +116,12 @@ int Run() {
       "EXPLAIN <q> shows the rewrite trail and uniqueness proof; "
       "EXPLAIN ANALYZE <q> executes\nwith per-operator metering. "
       "\\metrics dumps counters; \\trace on|off toggles spans;\n"
-      "\\history shows the flight recorder; \\slow [ms] sets the "
+      "\\history shows the flight recorder; \\advisor lists constraint "
+      "suggestions\n(\\advisor replay [n] what-if replays the top n); "
+      "\\slow [ms] sets the "
       "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
-      "(/metrics /trace /queries);\n\\export [trace|metrics|queries] "
+      "(/metrics /trace /queries /advisor);\n\\export "
+      "[trace|metrics|queries|advisor] "
       "<file> dumps a payload; \\verify <q> runs the plan verifier;\n"
       "\\cache shows the plan cache (\\cache clear empties it); "
       "\\q quits.\n");
@@ -143,6 +150,34 @@ int Run() {
     }
     if (trimmed == "\\history") {
       std::printf("%s", obs::QueryRecorder::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\advisor") {
+      std::printf("%s", obs::AdvisorStore::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\advisor clear") {
+      obs::AdvisorStore::Global().Clear();
+      std::printf("advisor store cleared\n");
+      continue;
+    }
+    if (trimmed.rfind("\\advisor replay", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          trimmed.size() > 15 ? trimmed.substr(15) : ""));
+      char* end = nullptr;
+      unsigned long long n =
+          arg.empty() ? 3 : std::strtoull(arg.c_str(), &end, 10);
+      if (!arg.empty() && (end == nullptr || *end != '\0' || n == 0)) {
+        std::printf("usage: \\advisor replay [<top-n>]\n");
+        continue;
+      }
+      auto replay = ReplayAdvisorSuggestions(
+          &db, obs::AdvisorStore::Global(), static_cast<size_t>(n));
+      if (!replay.ok()) {
+        std::printf("error: %s\n", replay.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", replay->ToText().c_str());
       continue;
     }
     if (trimmed == "\\cache") {
@@ -211,7 +246,8 @@ int Run() {
                          : args.size() == 1 ? args[0]
                                             : "";
       if (path.empty()) {
-        std::printf("usage: \\export [trace|metrics|queries] <file>\n");
+        std::printf(
+            "usage: \\export [trace|metrics|queries|advisor] <file>\n");
         continue;
       }
       if (kind == "trace") {
@@ -222,8 +258,11 @@ int Run() {
                             obs::MetricsRegistry::Global())));
       } else if (kind == "queries") {
         WriteFile(path, obs::QueryRecorder::Global().ToJson());
+      } else if (kind == "advisor") {
+        WriteFile(path, obs::AdvisorStore::Global().ToJson());
       } else {
-        std::printf("usage: \\export [trace|metrics|queries] <file>\n");
+        std::printf(
+            "usage: \\export [trace|metrics|queries|advisor] <file>\n");
       }
       continue;
     }

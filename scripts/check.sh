@@ -5,13 +5,16 @@
 #
 # Optional modes:
 #   --tsan        additionally build & run the concurrent obs tests and
-#                 the plan-cache hammer (cache_test +
-#                 concurrent_prepare_test) under ThreadSanitizer
+#                 the plan-cache / advisor hammers (cache_test +
+#                 concurrent_prepare_test + advisor_test) under
+#                 ThreadSanitizer
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr4.json
+#                 scripts/bench_compare.py, and write BENCH_pr6.json
 #                 (including the plan-cache warm/cold p50 speedup, which
-#                 must be >= 10x)
+#                 must be >= 10x; the cold-prepare path runs with the
+#                 advisor disabled so it gates advisor-off overhead
+#                 against the pre-advisor baseline)
 #   --tidy        run only the clang-tidy gate (the default path runs it
 #                 too; it skips with a warning when clang-tidy is not
 #                 installed)
@@ -62,6 +65,10 @@ echo "== plan verifier: differential sweep over the random workload =="
 ./build/tests/verify_test --gtest_filter='*VerifySweepTest*' \
   --gtest_brief=1
 
+echo "== advisor smoke: sweep finds dropped key, full schema is quiet =="
+./build/tests/advisor_test --gtest_filter='*SmokeSweep*' \
+  --gtest_brief=1
+
 run_tidy
 
 echo "== sanitizers: ASan/UBSan build of obs + analysis tests =="
@@ -70,12 +77,13 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-asan -j --target obs_test analysis_test \
-  export_test recorder_test http_endpoint_test
+  export_test recorder_test http_endpoint_test advisor_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
 ./build-asan/tests/export_test
 ./build-asan/tests/recorder_test
 ./build-asan/tests/http_endpoint_test
+./build-asan/tests/advisor_test
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
@@ -84,11 +92,12 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     >/dev/null
   cmake --build build-tsan -j --target obs_test recorder_test \
-    cache_test concurrent_prepare_test
+    cache_test concurrent_prepare_test advisor_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
   ./build-tsan/tests/cache_test
   ./build-tsan/tests/concurrent_prepare_test
+  ./build-tsan/tests/advisor_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
@@ -112,7 +121,7 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
     fi
     summaries+=("$summary")
   done
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr4.json
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr6.json
 import json, sys
 benches = {}
 ok = True
@@ -148,8 +157,8 @@ json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr4.json"
-  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr4.json'))['ok'] else 1)"; then
+  echo "bench gate summary written to BENCH_pr6.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr6.json'))['ok'] else 1)"; then
     gate_ok=0
   fi
   if [[ "$gate_ok" != 1 ]]; then

@@ -1,5 +1,6 @@
 #include "analysis/algorithm1.h"
 
+#include "analysis/near_miss.h"
 #include "expr/equality.h"
 #include "expr/normalize.h"
 #include "obs/metrics.h"
@@ -235,6 +236,11 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
         proof->conclusion = "NO: table " + table.name() +
                             " has no declared candidate key";
       }
+      if (options.collect_near_misses) {
+        ComputeTableNearMiss(options.near_miss_goal, table, bt.get->alias(),
+                             bt.offset, bound, projection, options,
+                             &result.near_misses);
+      }
       span.AddAttr("answer", "NO");
       return result;
     }
@@ -259,6 +265,11 @@ Result<Algorithm1Result> RunAlgorithm1(const SpecShape& shape,
       if (proof != nullptr) {
         proof->conclusion = "NO: no candidate key of " + table.name() + " (" +
                             bt.get->alias() + ") is covered by V";
+      }
+      if (options.collect_near_misses) {
+        ComputeTableNearMiss(options.near_miss_goal, table, bt.get->alias(),
+                             bt.offset, bound, projection, options,
+                             &result.near_misses);
       }
       span.AddAttr("answer", "NO");
       return result;

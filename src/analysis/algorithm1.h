@@ -9,6 +9,7 @@
 #include "analysis/shape.h"
 #include "common/result.h"
 #include "fd/attribute_set.h"
+#include "obs/advisor.h"
 
 namespace uniqopt {
 
@@ -25,6 +26,9 @@ struct Algorithm1Options : AnalysisOptions {
   /// steps, per-key outcomes) alongside the flat text trace. Costs a few
   /// string builds per conjunct; off only for the tightest benchmarks.
   bool record_proof = true;
+  /// Goal label attached to near-miss records emitted at this run's
+  /// failure sites (callers testing a different theorem override it).
+  std::string near_miss_goal = "theorem1.distinct";
 };
 
 /// Outcome of Algorithm 1, with the step-by-step trace the paper walks
@@ -37,6 +41,9 @@ struct Algorithm1Result {
   AttributeSet bound_columns;
   /// Structured proof (populated when options.record_proof).
   ProofTrace proof;
+  /// On NO: the minimal missing fact for the first failing table
+  /// (populated when options.collect_near_misses).
+  std::vector<obs::NearMiss> near_misses;
 
   std::string TraceToString() const;
 };

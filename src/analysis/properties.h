@@ -28,6 +28,11 @@ struct AnalysisOptions {
   bool use_check_constraints = false;
   /// Budget for CNF/DNF normalization.
   size_t normalize_budget = 4096;
+  /// Emit structured NearMiss records (minimal missing key/FD facts) at
+  /// proof-failure sites, feeding the constraint advisor. Off by default
+  /// so raw analyzer callers (benches, the verifier's reference checker)
+  /// pay nothing; Optimizer::Prepare switches it on while advising.
+  bool collect_near_misses = false;
 };
 
 /// Derived-table properties of a plan node: the functional dependencies

@@ -1,6 +1,7 @@
 #include "analysis/subquery.h"
 
 #include "analysis/algorithm1.h"
+#include "analysis/near_miss.h"
 #include "analysis/shape.h"
 #include "expr/normalize.h"
 #include "obs/metrics.h"
@@ -103,6 +104,11 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
                               " has no declared key");
       proof->conclusion = "NOT PROVEN: inner table " + table.name() +
                           " has no declared candidate key";
+      if (options.collect_near_misses) {
+        ComputeTableNearMiss("theorem2.subquery_to_join", table,
+                             bt.get->alias(), outer_width + bt.offset, bound,
+                             AttributeSet(), options, &verdict.near_misses);
+      }
       span.AddAttr("at_most_one_match", false);
       return verdict;
     }
@@ -141,6 +147,11 @@ Result<SubqueryVerdict> TestSubqueryAtMostOneMatch(
                               " is bound: more than one match possible");
       proof->conclusion = "NOT PROVEN: no candidate key of inner table " +
                           table.name() + " is covered by V";
+      if (options.collect_near_misses) {
+        ComputeTableNearMiss("theorem2.subquery_to_join", table,
+                             bt.get->alias(), outer_width + bt.offset, bound,
+                             AttributeSet(), options, &verdict.near_misses);
+      }
       span.AddAttr("at_most_one_match", false);
       return verdict;
     }

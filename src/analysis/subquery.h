@@ -7,6 +7,7 @@
 #include "analysis/proof.h"
 #include "analysis/properties.h"
 #include "common/result.h"
+#include "obs/advisor.h"
 #include "plan/plan.h"
 
 namespace uniqopt {
@@ -21,6 +22,9 @@ struct SubqueryVerdict {
   std::vector<std::string> trace;
   /// Structured closure/key-coverage proof over the outer ⊕ inner frame.
   ProofTrace proof;
+  /// On NOT PROVEN: the minimal missing facts for the first inner table
+  /// whose key coverage failed (feeds the constraint advisor).
+  std::vector<obs::NearMiss> near_misses;
 
   /// Multi-line explanation of the Theorem 2 test.
   std::string ExplainProof() const;

@@ -39,6 +39,10 @@ Result<UniquenessVerdict> AnalyzeDistinctAlgorithm1(
   verdict.distinct_unnecessary = result.yes;
   verdict.trace = std::move(result.trace);
   verdict.proof = std::move(result.proof);
+  // Missing facts only matter when there is a DISTINCT to eliminate.
+  if (verdict.has_distinct) {
+    verdict.near_misses = std::move(result.near_misses);
+  }
   return verdict;
 }
 

@@ -28,6 +28,9 @@ struct UniquenessVerdict {
   std::vector<std::string> trace;
   /// Structured proof (Algorithm 1 detector only; `proof.recorded` tells).
   ProofTrace proof;
+  /// On NO from Algorithm 1: the minimal missing facts that would have
+  /// flipped the verdict (feeds the constraint advisor).
+  std::vector<obs::NearMiss> near_misses;
 
   /// Multi-line explanation of why the verdict holds: the structured
   /// proof when one was recorded, the flat trace otherwise.

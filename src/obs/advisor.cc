@@ -1,0 +1,203 @@
+#include "obs/advisor.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace uniqopt {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxSamplesPerEntry = 8;
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+uint64_t MaxGoalWeight(const std::map<std::string, uint64_t>& goal_hits) {
+  uint64_t best = 1;
+  for (const auto& [goal, hits] : goal_hits) {
+    best = std::max(best, GoalWeight(goal));
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* MissingFactKindName(MissingFactKind kind) {
+  switch (kind) {
+    case MissingFactKind::kUniqueKey:
+      return "unique_key";
+    case MissingFactKind::kFunctionalDependency:
+      return "functional_dependency";
+    case MissingFactKind::kNotNull:
+      return "not_null";
+  }
+  return "unknown";
+}
+
+std::string NearMiss::ToString() const {
+  return table + ": " + fact + " (" + goal + ")";
+}
+
+uint64_t GoalWeight(const std::string& goal) {
+  if (HasPrefix(goal, "theorem2")) return 4;
+  if (HasPrefix(goal, "theorem1") || HasPrefix(goal, "groupby")) return 3;
+  if (HasPrefix(goal, "theorem3") || HasPrefix(goal, "corollary")) return 2;
+  return 1;
+}
+
+AdvisorStore& AdvisorStore::Global() {
+  static AdvisorStore* store = new AdvisorStore();
+  return *store;
+}
+
+void AdvisorStore::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool AdvisorStore::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void AdvisorStore::Record(const NearMiss& miss, uint64_t fingerprint,
+                          const std::string& canonical_sql) {
+  size_t num_entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return;
+    Entry& entry = entries_[miss.table + '\0' + miss.fact];
+    entry.kind = miss.kind;
+    entry.replay_key_columns = miss.replay_key_columns;
+    ++entry.goal_hits[miss.goal];
+    ++entry.hits;
+    if (entry.fingerprints.insert(fingerprint).second &&
+        entry.sample_queries.size() < kMaxSamplesPerEntry &&
+        !canonical_sql.empty()) {
+      entry.sample_queries.push_back(canonical_sql);
+    }
+    num_entries = entries_.size();
+  }
+  MetricsRegistry::Global().GetCounter("advisor.near_misses").Increment();
+  MetricsRegistry::Global()
+      .GetGauge("advisor.suggestions")
+      .Set(static_cast<int64_t>(num_entries));
+}
+
+std::vector<AdvisorSuggestion> AdvisorStore::Suggestions() const {
+  std::vector<AdvisorSuggestion> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      AdvisorSuggestion s;
+      s.table = key.substr(0, key.find('\0'));
+      s.kind = entry.kind;
+      s.fact = key.substr(key.find('\0') + 1);
+      s.replay_key_columns = entry.replay_key_columns;
+      s.goal_hits = entry.goal_hits;
+      s.hits = entry.hits;
+      s.distinct_queries = entry.fingerprints.size();
+      s.estimated_benefit =
+          MaxGoalWeight(entry.goal_hits) * s.distinct_queries;
+      s.sample_queries = entry.sample_queries;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AdvisorSuggestion& a, const AdvisorSuggestion& b) {
+              if (a.estimated_benefit != b.estimated_benefit) {
+                return a.estimated_benefit > b.estimated_benefit;
+              }
+              if (a.hits != b.hits) return a.hits > b.hits;
+              if (a.table != b.table) return a.table < b.table;
+              return a.fact < b.fact;
+            });
+  return out;
+}
+
+void AdvisorStore::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+  MetricsRegistry::Global().GetGauge("advisor.suggestions").Set(0);
+}
+
+size_t AdvisorStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string AdvisorStore::ToText() const {
+  std::vector<AdvisorSuggestion> suggestions = Suggestions();
+  if (suggestions.empty()) {
+    return "advisor: no near-misses recorded\n";
+  }
+  std::string out = "constraint advisor: " +
+                    std::to_string(suggestions.size()) + " suggestion(s)\n";
+  size_t rank = 0;
+  for (const AdvisorSuggestion& s : suggestions) {
+    out += "  #" + std::to_string(++rank) + " " + s.table + ": " + s.fact +
+           "  [" + MissingFactKindName(s.kind) + "]\n";
+    out += "      hits=" + std::to_string(s.hits) +
+           " distinct_queries=" + std::to_string(s.distinct_queries) +
+           " est_benefit=" + std::to_string(s.estimated_benefit) + "\n";
+    for (const auto& [goal, hits] : s.goal_hits) {
+      out += "      goal " + goal + ": " + std::to_string(hits) + "\n";
+    }
+    for (const std::string& sample : s.sample_queries) {
+      out += "      e.g. " + sample + "\n";
+    }
+  }
+  return out;
+}
+
+std::string AdvisorStore::ToJson() const {
+  std::vector<AdvisorSuggestion> suggestions = Suggestions();
+  std::string out = "{\n  \"suggestions\": [";
+  bool first = true;
+  for (const AdvisorSuggestion& s : suggestions) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\n";
+    out += "      \"table\": \"" + JsonEscape(s.table) + "\",\n";
+    out += "      \"kind\": \"" + std::string(MissingFactKindName(s.kind)) +
+           "\",\n";
+    out += "      \"fact\": \"" + JsonEscape(s.fact) + "\",\n";
+    out += "      \"replay_key_columns\": [";
+    for (size_t i = 0; i < s.replay_key_columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(s.replay_key_columns[i]) + "\"";
+    }
+    out += "],\n";
+    out += "      \"hits\": " + std::to_string(s.hits) + ",\n";
+    out += "      \"distinct_queries\": " +
+           std::to_string(s.distinct_queries) + ",\n";
+    out += "      \"estimated_benefit\": " +
+           std::to_string(s.estimated_benefit) + ",\n";
+    out += "      \"goals\": {";
+    bool first_goal = true;
+    for (const auto& [goal, hits] : s.goal_hits) {
+      if (!first_goal) out += ", ";
+      first_goal = false;
+      out += "\"" + JsonEscape(goal) + "\": " + std::to_string(hits);
+    }
+    out += "},\n";
+    out += "      \"sample_queries\": [";
+    for (size_t i = 0; i < s.sample_queries.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(s.sample_queries[i]) + "\"";
+    }
+    out += "]\n    }";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace uniqopt

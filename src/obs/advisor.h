@@ -1,0 +1,137 @@
+#ifndef UNIQOPT_OBS_ADVISOR_H_
+#define UNIQOPT_OBS_ADVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uniqopt {
+namespace obs {
+
+/// Kind of the minimal missing fact a near-miss computed: the smallest
+/// declaration that would have completed Algorithm 1's closure test (or
+/// one of its Theorem 2/3 cousins) for one table.
+enum class MissingFactKind {
+  /// A candidate-key declaration (UNIQUE / PRIMARY KEY) over the listed
+  /// columns would cover the table.
+  kUniqueKey,
+  /// The closure reached a determinant B but a declared key K still has
+  /// K \ B missing; an FD B -> K\B would close the gap. SQL has no FD
+  /// DDL, so replay actualizes it as UNIQUE over B (strictly stronger,
+  /// therefore still sound).
+  kFunctionalDependency,
+  /// A NOT NULL declaration would upgrade an implied-for-non-null
+  /// predicate proof to a full implication.
+  kNotNull,
+};
+
+const char* MissingFactKindName(MissingFactKind kind);
+
+/// One failed uniqueness-proof attempt, with the minimal missing fact
+/// that would have flipped it. Produced in the analysis layer, harvested
+/// by the rewriter's gating verdicts, published by Optimizer::Prepare.
+struct NearMiss {
+  /// Which proof goal failed: "theorem1.distinct",
+  /// "theorem2.subquery_to_join", "theorem3.setop", "corollary1.outer",
+  /// "groupby.on_key", or "check.implied_predicate".
+  std::string goal;
+  /// Base table the missing fact belongs to.
+  std::string table;
+  /// FROM-clause alias of that table in the failing query.
+  std::string alias;
+  MissingFactKind kind = MissingFactKind::kUniqueKey;
+  /// Display form of the fact, e.g. "UNIQUE (SNO)",
+  /// "FD (SNO, SCITY) -> (PNO)", "NOT NULL (COLOR)".
+  std::string fact;
+  /// Bare column names of `table` over which a UNIQUE constraint would
+  /// actualize the fact during what-if replay (for kNotNull this is the
+  /// single column to mark NOT NULL instead).
+  std::vector<std::string> replay_key_columns;
+  /// Display form of the bound-column set B restricted to `table` at the
+  /// moment the proof failed (diagnostic context).
+  std::string bound_columns;
+
+  /// "table: fact (goal)" one-liner for traces and the flight recorder.
+  std::string ToString() const;
+};
+
+/// Aggregated view of one (table, fact) advisor entry.
+struct AdvisorSuggestion {
+  std::string table;
+  MissingFactKind kind = MissingFactKind::kUniqueKey;
+  std::string fact;
+  std::vector<std::string> replay_key_columns;
+  /// Near-miss hits per proof goal.
+  std::map<std::string, uint64_t> goal_hits;
+  /// Total near-miss hits.
+  uint64_t hits = 0;
+  /// Number of distinct canonical query fingerprints that hit this fact.
+  uint64_t distinct_queries = 0;
+  /// max goal weight x distinct_queries; used to rank suggestions.
+  uint64_t estimated_benefit = 0;
+  /// Up to 8 canonical SQL samples (one per distinct fingerprint).
+  std::vector<std::string> sample_queries;
+};
+
+/// Relative payoff of flipping a proof goal (prefix-matched):
+/// theorem2 (subquery decorrelation) 4, theorem1/groupby 3,
+/// theorem3/corollary 2, anything else 1.
+uint64_t GoalWeight(const std::string& goal);
+
+/// Thread-safe aggregation of near-misses keyed by (table, fact).
+/// The process-wide instance backs the `advisor.near_misses` counter,
+/// the `advisor.suggestions` gauge, the `\advisor` shell command and the
+/// GET /advisor HTTP route.
+class AdvisorStore {
+ public:
+  static AdvisorStore& Global();
+
+  /// When disabled, Record() is a no-op (the bench advisor-off path).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Folds one near-miss into the store. `fingerprint` is the canonical
+  /// shape fingerprint of the originating query (catalog-version
+  /// independent, literals parameterized) so canonically-equal SQL
+  /// dedups into one distinct-query count; `canonical_sql` is the
+  /// re-preparable canonical text kept as a replay sample.
+  void Record(const NearMiss& miss, uint64_t fingerprint,
+              const std::string& canonical_sql);
+
+  /// Suggestions sorted by estimated benefit (desc), then hits, then
+  /// table/fact for determinism.
+  std::vector<AdvisorSuggestion> Suggestions() const;
+
+  void Clear();
+
+  size_t size() const;
+
+  /// Human-readable table for the `\advisor` shell command.
+  std::string ToText() const;
+  /// {"suggestions": [...]} JSON document (GET /advisor, \export
+  /// advisor).
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    MissingFactKind kind = MissingFactKind::kUniqueKey;
+    std::vector<std::string> replay_key_columns;
+    std::map<std::string, uint64_t> goal_hits;
+    uint64_t hits = 0;
+    std::set<uint64_t> fingerprints;
+    std::vector<std::string> sample_queries;
+  };
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  /// Keyed by table + '\0' + fact.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_ADVISOR_H_

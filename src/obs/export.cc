@@ -110,21 +110,63 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusHelpEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string ToPrometheusText(const std::vector<MetricSample>& samples) {
   std::string out;
   for (const MetricSample& s : samples) {
     std::string pname = PrometheusName(s.name);
     if (s.type == MetricSample::Type::kCounter) {
       pname += "_total";
-      out += "# HELP " + pname + " uniqopt counter " + s.name + "\n";
+      out += "# HELP " + pname + " uniqopt counter " +
+             PrometheusHelpEscape(s.name) + "\n";
       out += "# TYPE " + pname + " counter\n";
       out += pname + " " + std::to_string(s.value) + "\n";
     } else if (s.type == MetricSample::Type::kGauge) {
-      out += "# HELP " + pname + " uniqopt gauge " + s.name + "\n";
+      out += "# HELP " + pname + " uniqopt gauge " +
+             PrometheusHelpEscape(s.name) + "\n";
       out += "# TYPE " + pname + " gauge\n";
       out += pname + " " + std::to_string(s.value) + "\n";
     } else {
-      out += "# HELP " + pname + " uniqopt histogram " + s.name + "\n";
+      out += "# HELP " + pname + " uniqopt histogram " +
+             PrometheusHelpEscape(s.name) + "\n";
       out += "# TYPE " + pname + " histogram\n";
       for (const auto& [upper, cumulative] : s.buckets) {
         out += pname + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
@@ -242,6 +284,7 @@ struct HistogramLintState {
 
 Status LintPrometheusText(const std::string& text) {
   std::map<std::string, std::string> types;  // family -> type
+  std::map<std::string, bool> helps;         // family -> HELP seen
   std::map<std::string, HistogramLintState> histograms;
   size_t line_no = 0;
   size_t pos = 0;
@@ -277,7 +320,19 @@ Status LintPrometheusText(const std::string& text) {
         }
         if (types.count(family) != 0) return fail("duplicate TYPE");
         types[family] = type;
-      } else if (line.rfind("# HELP ", 0) != 0) {
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        // "# HELP name text" (the text is optional and may use \\ and
+        // \n escapes — only the family name is structural).
+        std::string rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        std::string family =
+            sp == std::string::npos ? rest : rest.substr(0, sp);
+        if (!IsPrometheusLegalName(family)) {
+          return fail("illegal family name in HELP");
+        }
+        if (helps.count(family) != 0) return fail("duplicate HELP");
+        helps[family] = true;
+      } else {
         return fail("unknown comment directive");
       }
       continue;
@@ -290,7 +345,26 @@ Status LintPrometheusText(const std::string& text) {
     std::string labels;
     size_t value_start;
     if (line[name_end] == '{') {
-      size_t close = line.find('}', name_end);
+      // Escape-aware scan for the closing brace: a '}' inside a quoted
+      // label value must not close the label set, and \" / \\ inside a
+      // value must not terminate it.
+      size_t close = std::string::npos;
+      bool in_string = false;
+      for (size_t i = name_end + 1; i < line.size(); ++i) {
+        char c = line[i];
+        if (in_string) {
+          if (c == '\\') {
+            ++i;  // skip the escaped character
+          } else if (c == '"') {
+            in_string = false;
+          }
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '}') {
+          close = i;
+          break;
+        }
+      }
       if (close == std::string::npos) return fail("unterminated labels");
       labels = line.substr(name_end + 1, close - name_end - 1);
       if (close + 1 >= line.size() || line[close + 1] != ' ') {
@@ -321,13 +395,22 @@ Status LintPrometheusText(const std::string& text) {
     }
     auto it = types.find(family);
     if (it == types.end()) return fail("sample without preceding TYPE");
+    if (helps.count(family) == 0) {
+      return fail("sample without preceding HELP");
+    }
     if (it->second == "histogram") {
       HistogramLintState& st = histograms[family];
       if (suffix == "_bucket") {
         size_t le = labels.find("le=\"");
         if (le == std::string::npos) return fail("bucket without le label");
-        size_t end = labels.find('"', le + 4);
-        if (end == std::string::npos) return fail("unterminated le label");
+        // Escape-aware close-quote scan (a bound is numeric or +Inf, but
+        // the lint must not mis-split on an escaped quote).
+        size_t end = le + 4;
+        while (end < labels.size() && labels[end] != '"') {
+          if (labels[end] == '\\') ++end;
+          ++end;
+        }
+        if (end >= labels.size()) return fail("unterminated le label");
         std::string bound = labels.substr(le + 4, end - le - 4);
         uint64_t cumulative = static_cast<uint64_t>(value);
         if (cumulative < st.last_bucket) {

@@ -47,6 +47,15 @@ std::vector<MetricSample> SnapshotMetrics(const MetricsRegistry& registry);
 /// dots map to underscores, anything else illegal to '_'.
 std::string PrometheusName(const std::string& name);
 
+/// Escapes a label value for the text exposition format: backslash to
+/// `\\`, double quote to `\"`, line feed to `\n` (the three characters
+/// the Prometheus spec requires escaping inside label values).
+std::string PrometheusLabelEscape(const std::string& value);
+
+/// Escapes `# HELP` docstring text: backslash to `\\` and line feed to
+/// `\n` (quotes are legal in HELP text and stay raw).
+std::string PrometheusHelpEscape(const std::string& text);
+
 /// Prometheus text exposition format (version 0.0.4): `# HELP` /
 /// `# TYPE` headers, `<name>_total` counters, bare-sample gauges,
 /// histograms with cumulative `_bucket{le=...}` series plus `_sum` /
@@ -54,8 +63,11 @@ std::string PrometheusName(const std::string& name);
 std::string ToPrometheusText(const std::vector<MetricSample>& samples);
 
 /// Structural lint of a Prometheus text page: legal metric names, every
-/// sample preceded by its `# TYPE`, numeric values, histogram buckets
-/// cumulative and terminated by `le="+Inf"` matching `_count`.
+/// sample preceded by its `# TYPE` *and* `# HELP`, numeric values,
+/// histogram buckets cumulative and terminated by `le="+Inf"` matching
+/// `_count`. Label parsing is escape-aware: `\"` and `\\` inside a
+/// quoted label value do not terminate it, and a `}` inside a value
+/// does not close the label set.
 Status LintPrometheusText(const std::string& text);
 
 /// The stable JSON schema, one object per metric:

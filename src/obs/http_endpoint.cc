@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/advisor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -127,11 +128,15 @@ std::string HttpEndpoint::RenderPath(const std::string& path) const {
   if (path == "/queries") {
     return recorder_->ToJson();
   }
+  if (path == "/advisor") {
+    return AdvisorStore::Global().ToJson();
+  }
   if (path == "/" || path == "/index") {
     return "uniqopt observability endpoint\n"
            "  /metrics  Prometheus text exposition\n"
            "  /trace    Chrome trace-event JSON (load in Perfetto)\n"
-           "  /queries  query flight recorder history (JSON)\n";
+           "  /queries  query flight recorder history (JSON)\n"
+           "  /advisor  uniqueness constraint advisor suggestions (JSON)\n";
   }
   return "";
 }
@@ -170,7 +175,8 @@ void HttpEndpoint::HandleConnection(int fd) {
     return;
   }
   const char* content_type =
-      (path == "/trace" || path == "/queries") ? "application/json"
+      (path == "/trace" || path == "/queries" || path == "/advisor")
+          ? "application/json"
       : path == "/metrics"
           ? "text/plain; version=0.0.4; charset=utf-8"
           : "text/plain; charset=utf-8";

@@ -19,6 +19,7 @@ namespace obs {
 ///   GET /metrics   Prometheus text exposition of the metrics registry
 ///   GET /trace     Chrome trace-event JSON of the attached trace sink
 ///   GET /queries   flight-recorder history as JSON
+///   GET /advisor   uniqueness constraint advisor suggestions as JSON
 ///   GET /          plain-text index
 ///
 /// This is an operational plane for scrapes and debugging, not a web

@@ -1,6 +1,9 @@
 #include "obs/recorder.h"
 
+#include <chrono>
 #include <cstdio>
+
+#include <ctime>
 
 #include "common/logging.h"
 #include "obs/export.h"
@@ -8,6 +11,35 @@
 
 namespace uniqopt {
 namespace obs {
+
+namespace {
+
+/// "2026-08-09T12:34:56Z" (UTC) for a microseconds-since-epoch stamp;
+/// empty when the record was never stamped.
+std::string FormatWallTimeUs(uint64_t wall_time_us) {
+  if (wall_time_us == 0) return "";
+  std::time_t secs = static_cast<std::time_t>(wall_time_us / 1000000);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &secs);
+#else
+  gmtime_r(&secs, &tm_utc);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  return buf;
+}
+
+uint64_t NowWallTimeUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 uint64_t FingerprintPlanText(const std::string& canonical_plan_text) {
   // FNV-1a, 64-bit: stable across runs (unlike std::hash), cheap, and
@@ -24,10 +56,12 @@ std::string QueryRecord::ToString() const {
   char hash_buf[32];
   std::snprintf(hash_buf, sizeof(hash_buf), "%016llx",
                 static_cast<unsigned long long>(plan_hash));
+  std::string when = FormatWallTimeUs(wall_time_us);
   std::string out = "#" + std::to_string(id) + " [" + source + "] " +
                     (ok ? "ok" : "ERROR") + " " +
                     std::to_string(total_ns / 1000) + "us" +
-                    (cache_hit ? " (cached)" : "") + "  " + query + "\n";
+                    (cache_hit ? " (cached)" : "") +
+                    (when.empty() ? "" : " @" + when) + "  " + query + "\n";
   if (!ok) {
     out += "    error: " + error + "\n";
     return out;
@@ -58,6 +92,9 @@ std::string QueryRecord::ToString() const {
   if (!verify_summary.empty()) {
     out += "    verify: " + verify_summary + "\n";
   }
+  for (const std::string& miss : near_misses) {
+    out += "    near-miss: " + miss + "\n";
+  }
   return out;
 }
 
@@ -84,6 +121,7 @@ void QueryRecorder::Record(QueryRecord record) {
     // first) always agrees with id order, even with concurrent writers.
     std::lock_guard<std::mutex> lock(mu_);
     record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    if (record.wall_time_us == 0) record.wall_time_us = NowWallTimeUs();
     slow_id = record.id;
     total_.fetch_add(1, std::memory_order_relaxed);
     if (ring_.size() < capacity_) {
@@ -178,6 +216,9 @@ std::string QueryRecorder::ToJson() const {
     out += "\"cache_hit\": " + std::string(r.cache_hit ? "true" : "false") +
            ", ";
     out += "\"total_ns\": " + std::to_string(r.total_ns) + ", ";
+    out += "\"wall_time_us\": " + std::to_string(r.wall_time_us) + ", ";
+    out += "\"wall_time\": \"" +
+           JsonEscape(FormatWallTimeUs(r.wall_time_us)) + "\", ";
     out += "\"rows_out\": " + std::to_string(r.rows_out) + ", ";
     out += "\"rows_scanned\": " + std::to_string(r.rows_scanned) + ", ";
     out += "\"phases\": {";
@@ -194,6 +235,13 @@ std::string QueryRecorder::ToJson() const {
       rfirst = false;
       out += "{\"rule\": \"" + JsonEscape(rule) + "\", \"description\": \"" +
              JsonEscape(description) + "\"}";
+    }
+    out += "], \"near_misses\": [";
+    bool nfirst = true;
+    for (const std::string& miss : r.near_misses) {
+      if (!nfirst) out += ", ";
+      nfirst = false;
+      out += "\"" + JsonEscape(miss) + "\"";
     }
     out += "], \"analysis\": \"" + JsonEscape(r.proof_summary) + "\", ";
     out += "\"verify\": \"" + JsonEscape(r.verify_summary) + "\", ";

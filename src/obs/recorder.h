@@ -41,9 +41,15 @@ struct QueryRecord {
   /// Per-operator profile text when the run was metered (EXPLAIN
   /// ANALYZE); empty otherwise.
   std::string profile_text;
+  /// Near-miss advisor lines ("table: fact (goal)") for proofs that
+  /// almost fired on this query; empty when every proof succeeded.
+  std::vector<std::string> near_misses;
   bool ok = true;
   std::string error;        ///< status text when !ok
   uint64_t total_ns = 0;    ///< wall time, prepare + execute
+  /// Wall-clock time of recording, microseconds since the Unix epoch.
+  /// Assigned by the recorder when left 0 (callers may pre-stamp).
+  uint64_t wall_time_us = 0;
 
   std::string ToString() const;
 };

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "analysis/implication.h"
+#include "analysis/near_miss.h"
 #include "analysis/properties.h"
 #include "analysis/subquery.h"
 #include "analysis/uniqueness.h"
@@ -82,8 +83,20 @@ class Rewriter {
   }
 
   std::vector<AppliedRewrite> TakeApplied() { return std::move(applied_); }
+  std::vector<obs::NearMiss> TakeNearMisses() {
+    return std::move(near_misses_);
+  }
 
  private:
+  bool CollectingNearMisses() const {
+    return options_.analysis.collect_near_misses;
+  }
+
+  void Harvest(std::vector<obs::NearMiss> misses) {
+    for (obs::NearMiss& miss : misses) {
+      near_misses_.push_back(std::move(miss));
+    }
+  }
   Result<PlanPtr> TransformChildren(const PlanPtr& node) {
     switch (node->kind()) {
       case PlanKind::kGet:
@@ -223,6 +236,9 @@ class Rewriter {
         return after;
       }
       Rejected(RewriteRuleId::kRemoveRedundantDistinct);
+      if (CollectingNearMisses()) {
+        Harvest(std::move(verdict.near_misses));
+      }
       return node;
     }
     if (const SetOpNode* s = As<SetOpNode>(node);
@@ -252,6 +268,12 @@ class Rewriter {
         return *after;
       }
       Rejected(RewriteRuleId::kRemoveRedundantDistinct);
+      if (CollectingNearMisses()) {
+        Harvest(CollectSpecNearMisses(s->left(), "theorem3.setop",
+                                      options_.analysis));
+        Harvest(CollectSpecNearMisses(s->right(), "theorem3.setop",
+                                      options_.analysis));
+      }
     }
     return node;
   }
@@ -290,6 +312,9 @@ class Rewriter {
         return after;
       }
       Rejected(RewriteRuleId::kSubqueryToJoin);
+      if (verdict.ok() && CollectingNearMisses()) {
+        Harvest(std::move(verdict->near_misses));
+      }
     }
     // Already-DISTINCT projection: the Dist/Dist equivalence noted after
     // Theorem 2 always allows the conversion.
@@ -333,6 +358,10 @@ class Rewriter {
         return after;
       }
       Rejected(RewriteRuleId::kSubqueryToDistinctJoin);
+      if (CollectingNearMisses()) {
+        Harvest(CollectSpecNearMisses(outer_projection, "corollary1.outer",
+                                      options_.analysis));
+      }
     }
     // Starburst baseline: force the conversion via a DISTINCT join even
     // without a uniqueness proof (always sound for ALL-mode outer blocks
@@ -398,6 +427,12 @@ class Rewriter {
         return after;
       }
       Rejected(rule);
+      if (CollectingNearMisses()) {
+        Harvest(CollectSpecNearMisses(setop->left(), "theorem3.setop",
+                                      options_.analysis));
+        Harvest(CollectSpecNearMisses(setop->right(), "theorem3.setop",
+                                      options_.analysis));
+      }
       return node;
     }
 
@@ -482,6 +517,13 @@ class Rewriter {
     }
     if (!covers_key) {
       Rejected(RewriteRuleId::kEliminateGroupByOnKey);
+      if (CollectingNearMisses()) {
+        Result<SpecShape> shape = ExtractProductShape(agg->input());
+        if (shape.ok()) {
+          Harvest(CollectShapeNearMisses(*shape, group_set, "groupby.on_key",
+                                         options_.analysis));
+        }
+      }
       return node;
     }
     std::vector<size_t> columns = agg->group_columns();
@@ -604,6 +646,25 @@ class Rewriter {
         // exist (CHECK holds; the column cannot be NULL).
         changed = true;
         continue;
+      }
+      if (verdict == AtomVerdict::kImpliedForNonNull && !column_not_null &&
+          CollectingNearMisses()) {
+        // CHECK implies the conjunct for every non-NULL value; only the
+        // column's nullability keeps it in the plan.
+        const SpecShape::BaseTable* bt = owner(col);
+        if (bt != nullptr) {
+          std::string cname =
+              bt->get->table().schema().column(col - bt->offset).name;
+          obs::NearMiss miss;
+          miss.goal = "check.implied_predicate";
+          miss.table = bt->get->table().name();
+          miss.alias = bt->get->alias();
+          miss.kind = obs::MissingFactKind::kNotNull;
+          miss.fact = "NOT NULL (" + cname + ")";
+          miss.replay_key_columns = {cname};
+          miss.bound_columns = "(" + cname + ")";
+          near_misses_.push_back(std::move(miss));
+        }
       }
       kept.push_back(conj);
     }
@@ -929,6 +990,7 @@ class Rewriter {
 
   const RewriteOptions& options_;
   std::vector<AppliedRewrite> applied_;
+  std::vector<obs::NearMiss> near_misses_;
 };
 
 }  // namespace
@@ -944,6 +1006,7 @@ Result<RewriteResult> RewritePlan(const PlanPtr& plan,
   RewriteResult result;
   UNIQOPT_ASSIGN_OR_RETURN(result.plan, rewriter.Transform(plan));
   result.applied = rewriter.TakeApplied();
+  result.near_misses = rewriter.TakeNearMisses();
   span.AddAttr("rewrites_applied",
                static_cast<uint64_t>(result.applied.size()));
   return result;

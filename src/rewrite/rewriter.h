@@ -6,6 +6,7 @@
 
 #include "analysis/algorithm1.h"
 #include "common/result.h"
+#include "obs/advisor.h"
 #include "plan/plan.h"
 
 namespace uniqopt {
@@ -130,6 +131,11 @@ struct AppliedRewrite {
 struct RewriteResult {
   PlanPtr plan;
   std::vector<AppliedRewrite> applied;
+  /// Near-misses harvested at rule-rejection sites: proofs that failed
+  /// by exactly one missing key/FD/NOT NULL fact. Possibly duplicated
+  /// across sites; the optimizer dedups before publishing to the
+  /// advisor.
+  std::vector<obs::NearMiss> near_misses;
 
   bool Applied(RewriteRuleId id) const {
     for (const AppliedRewrite& r : applied) {

@@ -1,0 +1,58 @@
+#ifndef UNIQOPT_UNIQOPT_ADVISOR_REPLAY_H_
+#define UNIQOPT_UNIQOPT_ADVISOR_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/advisor.h"
+#include "rewrite/rewriter.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// What-if outcome for one advisor suggestion: the recorded sample
+/// queries re-prepared against a hypothetical catalog carrying the
+/// suggested constraint.
+struct AdvisorReplayOutcome {
+  obs::AdvisorSuggestion suggestion;
+  /// The hypothetical constraint as applied, e.g.
+  /// "UNIQUE (SNO) on SUPPLIER".
+  std::string description;
+  /// False when the constraint could not be applied to the overlay (the
+  /// error field then says why).
+  bool applied = false;
+  std::string error;
+  size_t queries_replayed = 0;
+  /// Queries where the hypothetical prepare fired a rewrite rule the
+  /// baseline prepare did not.
+  size_t rewrites_flipped = 0;
+  /// Verifier violations across all hypothetical plans (expected 0:
+  /// every what-if plan is auto-checked by the independent verifier).
+  size_t verifier_violations = 0;
+  /// One line per replayed query.
+  std::vector<std::string> details;
+};
+
+struct AdvisorReplayResult {
+  std::vector<AdvisorReplayOutcome> outcomes;
+
+  std::string ToText() const;
+};
+
+/// Replays the top `max_suggestions` advisor suggestions: for each, a
+/// shadow Database is built by cloning every TableDef of `db`'s catalog
+/// (tables stay empty — replay only prepares) plus the suggested
+/// constraint, and each recorded sample query is prepared against both
+/// catalogs with plan verification forced on. Replay optimizers publish
+/// nothing back to the advisor, and their plan-cache fingerprints carry
+/// a private salt bit (the verify-salt mechanism), so hypothetical
+/// prepares can never be served from — or leak into — real-catalog
+/// cache entries.
+Result<AdvisorReplayResult> ReplayAdvisorSuggestions(
+    Database* db, const obs::AdvisorStore& store, size_t max_suggestions,
+    const RewriteOptions& rewrite_options = {});
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_UNIQOPT_ADVISOR_REPLAY_H_

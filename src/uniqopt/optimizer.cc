@@ -165,13 +165,20 @@ Result<PreparedQuery> Optimizer::PrepareUncached(
     phase.span().AddAttr(
         "host_vars", static_cast<uint64_t>(bound.host_vars.size()));
   }
+  // Near-miss collection is an advisor feature: only pay for the
+  // minimal-missing-fact computation at proof-failure sites when the
+  // suggestions actually have somewhere to go.
+  RewriteOptions effective_options = rewrite_options_;
+  if (advise_ && obs::AdvisorStore::Global().enabled()) {
+    effective_options.analysis.collect_near_misses = true;
+  }
   {
     // Standalone DISTINCT analysis of the bound plan: the verdict (and
     // its proof) ride along on the PreparedQuery for EXPLAIN, whatever
     // the rewriter later decides to do with it.
     static const PhaseDef kAnalyze = MakePhaseDef("analyze");
     Phase phase(kAnalyze, &out.phase_ns);
-    out.analysis = AnalyzeDistinct(bound.plan, rewrite_options_.analysis);
+    out.analysis = AnalyzeDistinct(bound.plan, effective_options.analysis);
     phase.span().AddAttr("has_distinct", out.analysis.has_distinct);
     phase.span().AddAttr("distinct_unnecessary",
                          out.analysis.distinct_unnecessary);
@@ -180,7 +187,7 @@ Result<PreparedQuery> Optimizer::PrepareUncached(
   {
     static const PhaseDef kRewrite = MakePhaseDef("rewrite");
     Phase phase(kRewrite, &out.phase_ns);
-    auto r = RewritePlan(bound.plan, rewrite_options_);
+    auto r = RewritePlan(bound.plan, effective_options);
     if (!r.ok()) {
       RecordFailure(sql, r.status(), std::move(out.phase_ns));
       return r.status();
@@ -194,6 +201,43 @@ Result<PreparedQuery> Optimizer::PrepareUncached(
   out.optimized_plan = std::move(rewritten.plan);
   out.rewrites = std::move(rewritten.applied);
   out.host_vars = std::move(bound.host_vars);
+  // Merge the standalone analysis' near-misses with the rewriter's
+  // harvested ones, dedup by (goal, table, fact), and feed the advisor.
+  {
+    auto add = [&](std::vector<obs::NearMiss>* src) {
+      for (obs::NearMiss& miss : *src) {
+        bool dup = false;
+        for (const obs::NearMiss& seen : out.near_misses) {
+          dup = dup || (seen.goal == miss.goal &&
+                        seen.table == miss.table && seen.fact == miss.fact);
+        }
+        if (!dup) out.near_misses.push_back(std::move(miss));
+      }
+      src->clear();
+    };
+    add(&out.analysis.near_misses);
+    add(&rewritten.near_misses);
+  }
+  if (advise_ && !out.near_misses.empty() &&
+      obs::AdvisorStore::Global().enabled()) {
+    // Advisor dedup keys on the canonical *shape* fingerprint —
+    // catalog-version independent with literals parameterized — so
+    // canonically-equal SQL counts as one distinct query. The canonical
+    // text (literals intact, re-preparable) is kept as a replay sample.
+    uint64_t query_fingerprint = 0;
+    std::string canonical_text;
+    if (auto canonical = cache::CanonicalizeSql(sql); canonical.ok()) {
+      cache::FingerprintOptions fopts;
+      fopts.parameterize_literals = true;
+      query_fingerprint =
+          cache::FingerprintSql(*canonical, /*catalog_version=*/0, fopts);
+      canonical_text = canonical->text;
+    }
+    for (const obs::NearMiss& miss : out.near_misses) {
+      obs::AdvisorStore::Global().Record(miss, query_fingerprint,
+                                         canonical_text);
+    }
+  }
   if (use_cost_model_) {
     static const PhaseDef kCost = MakePhaseDef("cost");
     Phase phase(kCost, &out.phase_ns);
@@ -250,6 +294,9 @@ size_t EstimatePreparedQueryBytes(const PreparedQuery& q) {
     (void)ns;
     bytes += 32 + name.size();
   }
+  for (const obs::NearMiss& miss : q.near_misses) {
+    bytes += 64 + miss.goal.size() + miss.table.size() + miss.fact.size();
+  }
   bytes += q.chosen_label.size();
   return bytes;
 }
@@ -271,7 +318,9 @@ Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
       cache::FingerprintOptions fopts;
       // The verify flag shapes what a PreparedQuery contains
       // (verification report present or not), so it is part of the key.
-      fopts.salt = verify_plans_ ? 1 : 0;
+      // extra_fingerprint_salt_ isolates what-if replay prepares from
+      // entries keyed to the real catalog.
+      fopts.salt = (verify_plans_ ? 1 : 0) | extra_fingerprint_salt_;
       fingerprint = cache::FingerprintSql(*canonical, version, fopts);
       if (cache::PlanCache::EntryPtr entry =
               cache_->Get(fingerprint, version)) {
@@ -403,6 +452,9 @@ Result<std::vector<Row>> Optimizer::Execute(
     rec.rewrites.emplace_back(RewriteRuleIdToString(r.rule), r.description);
   }
   rec.proof_summary = AnalysisSummary(query.analysis);
+  for (const obs::NearMiss& miss : query.near_misses) {
+    rec.near_misses.push_back(miss.ToString());
+  }
   if (query.verified) {
     rec.verify_summary = query.verification.Summary();
     rec.verify_violations = query.verification.violations.size();

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "exec/cost_model.h"
 #include "exec/planner.h"
+#include "obs/advisor.h"
 #include "plan/binder.h"
 #include "rewrite/rewriter.h"
 #include "storage/table.h"
@@ -41,6 +42,10 @@ struct PreparedQuery {
   /// DISTINCT analysis of the bound (pre-rewrite) plan, proof included;
   /// EXPLAIN renders it via UniquenessVerdict::ExplainProof().
   UniquenessVerdict analysis;
+  /// Proofs that failed by one missing fact, merged from the standalone
+  /// analysis and the rewriter's gating verdicts and deduplicated by
+  /// (goal, table, fact). Also published to the global AdvisorStore.
+  std::vector<obs::NearMiss> near_misses;
   /// Filled by cost-based preparation: the physical strategy selected
   /// for `optimized_plan`, its label, and the estimate that won.
   bool cost_based = false;
@@ -144,6 +149,19 @@ class Optimizer {
   void set_verify_plans(bool on) { verify_plans_ = on; }
   bool verify_plans() const { return verify_plans_; }
 
+  /// Toggles publication of near-miss records to the global advisor
+  /// store (on by default; the advisor-off bench path disables it).
+  void set_advise(bool on) { advise_ = on; }
+  bool advise() const { return advise_; }
+
+  /// Extra salt ORed into plan-cache fingerprints. What-if replay sets
+  /// a private bit so hypothetical-catalog prepares can never be served
+  /// from (or pollute) entries keyed to the real catalog.
+  void set_extra_fingerprint_salt(uint64_t salt) {
+    extra_fingerprint_salt_ = salt;
+  }
+  uint64_t extra_fingerprint_salt() const { return extra_fingerprint_salt_; }
+
   Database* database() const { return db_; }
   const RewriteOptions& rewrite_options() const { return rewrite_options_; }
 
@@ -164,6 +182,8 @@ class Optimizer {
   RewriteOptions rewrite_options_;
   bool use_cost_model_ = false;
   bool verify_plans_ = kVerifyPlansByDefault;
+  bool advise_ = true;
+  uint64_t extra_fingerprint_salt_ = 0;
   std::shared_ptr<cache::PlanCache> cache_;
 };
 

@@ -18,11 +18,13 @@
 #include "catalog/catalog.h"          // IWYU pragma: export
 #include "exec/planner.h"             // IWYU pragma: export
 #include "ims/gateway.h"              // IWYU pragma: export
+#include "obs/advisor.h"              // IWYU pragma: export
 #include "oodb/navigator.h"           // IWYU pragma: export
 #include "parser/parser.h"            // IWYU pragma: export
 #include "plan/binder.h"              // IWYU pragma: export
 #include "rewrite/rewriter.h"         // IWYU pragma: export
 #include "storage/table.h"            // IWYU pragma: export
+#include "uniqopt/advisor_replay.h"   // IWYU pragma: export
 #include "uniqopt/optimizer.h"        // IWYU pragma: export
 #include "workload/supplier_schema.h" // IWYU pragma: export
 

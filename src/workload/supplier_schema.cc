@@ -15,14 +15,20 @@ const char* kColors[] = {"RED", "GREEN", "BLUE", "YELLOW"};
 
 Status CreateSupplierSchema(Database* db,
                             const SupplierSchemaOptions& options) {
+  // Foreign keys reference SUPPLIER (SNO); without that key they are
+  // not declarable, so dropping the PK suppresses them too.
+  const bool with_foreign_keys =
+      options.with_foreign_keys && options.with_supplier_primary_key;
   std::string supplier_ddl =
       "CREATE TABLE SUPPLIER ("
       "  SNO INTEGER NOT NULL,"
       "  SNAME VARCHAR(30),"
       "  SCITY VARCHAR(20),"
       "  BUDGET DOUBLE,"
-      "  STATUS VARCHAR(10),"
-      "  PRIMARY KEY (SNO)";
+      "  STATUS VARCHAR(10)";
+  if (options.with_supplier_primary_key) {
+    supplier_ddl += ", PRIMARY KEY (SNO)";
+  }
   if (options.with_check_constraints) {
     supplier_ddl +=
         ", CHECK (SNO BETWEEN 1 AND " + std::to_string(options.max_sno) +
@@ -46,7 +52,7 @@ Status CreateSupplierSchema(Database* db,
     parts_ddl += ", CHECK (SNO BETWEEN 1 AND " +
                  std::to_string(options.max_sno) + ")";
   }
-  if (options.with_foreign_keys) {
+  if (with_foreign_keys) {
     parts_ddl += ", FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO)";
   }
   parts_ddl += ")";
@@ -59,7 +65,7 @@ Status CreateSupplierSchema(Database* db,
       "  ANAME VARCHAR(30),"
       "  ACITY VARCHAR(20),"
       "  PRIMARY KEY (ANO)";
-  if (options.with_foreign_keys) {
+  if (with_foreign_keys) {
     agents_ddl += ", FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO)";
   }
   agents_ddl += ")";

@@ -18,6 +18,11 @@ struct SupplierSchemaOptions {
   bool with_check_constraints = true;
   /// Declare the UNIQUE (OEM_PNO) candidate key on PARTS.
   bool with_oem_unique = true;
+  /// Declare PRIMARY KEY (SNO) on SUPPLIER. Turning this off yields the
+  /// constraint advisor's canonical near-miss fixture: DISTINCT-on-SNO
+  /// proofs fail exactly for want of this key. Implies suppressing the
+  /// PARTS/AGENTS foreign keys (they reference SUPPLIER (SNO)).
+  bool with_supplier_primary_key = true;
   /// Declare the Figure 1 inclusion dependencies ("Tuples in PARTS
   /// reference the SUPPLIER who supply them; tuples in AGENTS reference
   /// the SUPPLIER they represent"): PARTS.SNO → SUPPLIER.SNO and

@@ -1,0 +1,396 @@
+// Tests for the near-miss constraint advisor: the minimal missing-fact
+// computation on proofs that *just* fail (the supplier schema with its
+// primary key dropped), dedup across canonically-equal SQL, the
+// AdvisorStore aggregation/metrics, what-if replay against a
+// hypothetical catalog (including the verifier auto-check and the
+// plan-cache bypass), a concurrent publication hammer for the TSan
+// build, and the check.sh smoke sweep (key-projecting query shapes must
+// produce suggestions exactly when the key is missing).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/advisor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "uniqopt/uniqopt.h"
+
+namespace uniqopt {
+namespace {
+
+/// The canonical near-miss fixture: Figure 1's schema with SUPPLIER's
+/// PRIMARY KEY (SNO) dropped, so DISTINCT-on-SNO proofs fail for want of
+/// exactly that key.
+Status MakeKeyStrippedDatabase(Database* db) {
+  SupplierSchemaOptions options;
+  options.with_supplier_primary_key = false;
+  return CreateSupplierSchema(db, options);
+}
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::AdvisorStore::Global().Clear(); }
+  void TearDown() override { obs::AdvisorStore::Global().Clear(); }
+};
+
+TEST_F(AdvisorTest, GoalWeightsRankDecorrelationHighest) {
+  EXPECT_EQ(obs::GoalWeight("theorem2.subquery_to_join"), 4u);
+  EXPECT_EQ(obs::GoalWeight("theorem1.distinct"), 3u);
+  EXPECT_EQ(obs::GoalWeight("groupby.on_key"), 3u);
+  EXPECT_EQ(obs::GoalWeight("theorem3.setop"), 2u);
+  EXPECT_EQ(obs::GoalWeight("corollary1.outer"), 2u);
+  EXPECT_EQ(obs::GoalWeight("check.implied_predicate"), 1u);
+}
+
+TEST_F(AdvisorTest, DroppedKeyIsNamedExactly) {
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      optimizer.Prepare(
+          "SELECT DISTINCT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'"));
+  // The proof failed, so DISTINCT survives and the near-miss names the
+  // dropped key — not a superset like (SNO, SCITY).
+  for (const AppliedRewrite& r : prepared.rewrites) {
+    EXPECT_NE(std::string(RewriteRuleIdToString(r.rule)),
+              "RemoveRedundantDistinct");
+  }
+  ASSERT_FALSE(prepared.near_misses.empty());
+  const obs::NearMiss& miss = prepared.near_misses[0];
+  EXPECT_EQ(miss.table, "SUPPLIER");
+  EXPECT_EQ(miss.fact, "UNIQUE (SNO)");
+  EXPECT_EQ(miss.goal, "theorem1.distinct");
+  EXPECT_EQ(miss.kind, obs::MissingFactKind::kUniqueKey);
+  ASSERT_EQ(miss.replay_key_columns.size(), 1u);
+  EXPECT_EQ(miss.replay_key_columns[0], "SNO");
+
+  std::vector<obs::AdvisorSuggestion> suggestions =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].table, "SUPPLIER");
+  EXPECT_EQ(suggestions[0].fact, "UNIQUE (SNO)");
+  EXPECT_EQ(suggestions[0].hits, 1u);
+  EXPECT_EQ(suggestions[0].distinct_queries, 1u);
+  EXPECT_EQ(suggestions[0].goal_hits.at("theorem1.distinct"), 1u);
+  ASSERT_FALSE(suggestions[0].sample_queries.empty());
+}
+
+TEST_F(AdvisorTest, FullSchemaKeyProjectionHasNoNearMiss) {
+  Database db;
+  ASSERT_OK(CreateSupplierSchema(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      optimizer.Prepare(
+          "SELECT DISTINCT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'"));
+  bool removed = false;
+  for (const AppliedRewrite& r : prepared.rewrites) {
+    if (std::string(RewriteRuleIdToString(r.rule)) ==
+        "RemoveRedundantDistinct") {
+      removed = true;
+    }
+  }
+  EXPECT_TRUE(removed) << prepared.Explain();
+  EXPECT_TRUE(prepared.near_misses.empty());
+  EXPECT_EQ(obs::AdvisorStore::Global().size(), 0u);
+}
+
+TEST_F(AdvisorTest, CanonicallyEqualSqlDedupsToOneDistinctQuery) {
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  // Same canonical shape (literals parameterized), three spellings. The
+  // literal variants also defeat the plan cache, so each one re-runs the
+  // pipeline and re-records the near-miss.
+  const char* variants[] = {
+      "SELECT DISTINCT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'",
+      "select distinct SNO from SUPPLIER where SCITY = 'Toronto'",
+      "SELECT DISTINCT SNO   FROM SUPPLIER  WHERE SCITY = 'New York'",
+  };
+  for (const char* sql : variants) {
+    ASSERT_OK(optimizer.Prepare(sql).status());
+  }
+  // A different shape against the same missing fact raises
+  // distinct_queries.
+  ASSERT_OK(
+      optimizer.Prepare("SELECT DISTINCT SNO FROM SUPPLIER").status());
+
+  std::vector<obs::AdvisorSuggestion> suggestions =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].fact, "UNIQUE (SNO)");
+  EXPECT_EQ(suggestions[0].hits, 4u);
+  EXPECT_EQ(suggestions[0].distinct_queries, 2u);
+  EXPECT_EQ(suggestions[0].estimated_benefit,
+            3u * suggestions[0].distinct_queries);
+}
+
+TEST_F(AdvisorTest, SubqueryGuardReportsTheoremTwoNearMiss) {
+  Database db;
+  ASSERT_OK(CreateSupplierSchema(&db));
+  Optimizer optimizer(&db);
+  // The inner PARTS block binds SNO (join) and COLOR (constant) but the
+  // key (SNO, PNO) still misses PNO, so Theorem 2 cannot decorrelate and
+  // the cheapest missing fact is the FD (bound) -> (PNO).
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      optimizer.Prepare(
+          "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO IN "
+          "(SELECT P.SNO FROM PARTS P WHERE P.COLOR = 'RED')"));
+  bool saw_theorem2 = false;
+  for (const obs::NearMiss& miss : prepared.near_misses) {
+    if (miss.goal == "theorem2.subquery_to_join") {
+      saw_theorem2 = true;
+      EXPECT_EQ(miss.table, "PARTS");
+      EXPECT_EQ(miss.kind, obs::MissingFactKind::kFunctionalDependency);
+      EXPECT_NE(miss.fact.find("-> (PNO)"), std::string::npos)
+          << miss.fact;
+    }
+  }
+  EXPECT_TRUE(saw_theorem2) << prepared.Explain();
+}
+
+TEST_F(AdvisorTest, ImpliedForNonNullPredicateSuggestsNotNull) {
+  Database db;
+  ASSERT_OK(CreateSupplierSchema(&db));
+  Optimizer optimizer(&db);
+  // CHECK (SCITY IN (...)) implies SCITY <> 'Paris' — except for NULL.
+  // SCITY is nullable, so the predicate survives and the advisor points
+  // at the NOT NULL declaration that would finish the proof.
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery prepared,
+      optimizer.Prepare(
+          "SELECT SNO FROM SUPPLIER WHERE SCITY <> 'Paris'"));
+  bool saw_not_null = false;
+  for (const obs::NearMiss& miss : prepared.near_misses) {
+    if (miss.kind == obs::MissingFactKind::kNotNull) {
+      saw_not_null = true;
+      EXPECT_EQ(miss.table, "SUPPLIER");
+      EXPECT_EQ(miss.fact, "NOT NULL (SCITY)");
+      EXPECT_EQ(miss.goal, "check.implied_predicate");
+    }
+  }
+  EXPECT_TRUE(saw_not_null) << prepared.Explain();
+}
+
+TEST_F(AdvisorTest, StoreFeedsMetricsAndExports) {
+  obs::Counter& near_misses =
+      obs::MetricsRegistry::Global().GetCounter("advisor.near_misses");
+  uint64_t before = near_misses.value();
+
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK(optimizer
+                .Prepare("SELECT DISTINCT SNO FROM SUPPLIER "
+                         "WHERE SCITY = 'Chicago'")
+                .status());
+
+  EXPECT_GE(near_misses.value(), before + 1);
+  EXPECT_EQ(static_cast<uint64_t>(obs::MetricsRegistry::Global()
+                                      .GetGauge("advisor.suggestions")
+                                      .value()),
+            obs::AdvisorStore::Global().size());
+
+  std::string text = obs::AdvisorStore::Global().ToText();
+  EXPECT_NE(text.find("SUPPLIER: UNIQUE (SNO)"), std::string::npos)
+      << text;
+  std::string json = obs::AdvisorStore::Global().ToJson();
+  Status valid = obs::ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  EXPECT_NE(json.find("\"fact\": \"UNIQUE (SNO)\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"unique_key\""), std::string::npos);
+
+  obs::AdvisorStore::Global().Clear();
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetGauge("advisor.suggestions")
+                .value(),
+            0);
+  EXPECT_NE(obs::AdvisorStore::Global().ToText().find("no near-misses"),
+            std::string::npos);
+}
+
+TEST_F(AdvisorTest, DisabledStoreRecordsNothing) {
+  obs::AdvisorStore::Global().set_enabled(false);
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK(
+      optimizer.Prepare("SELECT DISTINCT SNO FROM SUPPLIER").status());
+  EXPECT_EQ(obs::AdvisorStore::Global().size(), 0u);
+  obs::AdvisorStore::Global().set_enabled(true);
+}
+
+TEST_F(AdvisorTest, ReplayFlipsDistinctRemovalUnderHypotheticalKey) {
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK(optimizer
+                .Prepare("SELECT DISTINCT SNO FROM SUPPLIER "
+                         "WHERE SCITY = 'Chicago'")
+                .status());
+  ASSERT_OK(
+      optimizer.Prepare("SELECT DISTINCT SNO FROM SUPPLIER").status());
+
+  ASSERT_OK_AND_ASSIGN(
+      AdvisorReplayResult replay,
+      ReplayAdvisorSuggestions(&db, obs::AdvisorStore::Global(), 1));
+  ASSERT_EQ(replay.outcomes.size(), 1u);
+  const AdvisorReplayOutcome& outcome = replay.outcomes[0];
+  EXPECT_TRUE(outcome.applied) << outcome.error;
+  EXPECT_NE(outcome.description.find("UNIQUE (SNO)"), std::string::npos)
+      << outcome.description;
+  EXPECT_EQ(outcome.queries_replayed, 2u);
+  // Under the hypothetical key both shapes drop their DISTINCT, and the
+  // independent verifier signs off on every hypothetical plan.
+  EXPECT_EQ(outcome.rewrites_flipped, 2u) << replay.ToText();
+  EXPECT_EQ(outcome.verifier_violations, 0u) << replay.ToText();
+
+  // The real catalog is untouched: the same prepare still near-misses.
+  obs::AdvisorStore::Global().Clear();
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery again,
+      optimizer.Prepare("SELECT DISTINCT SNO FROM SUPPLIER"));
+  EXPECT_FALSE(again.near_misses.empty());
+}
+
+TEST_F(AdvisorTest, ReplayDoesNotCountItself) {
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK(
+      optimizer.Prepare("SELECT DISTINCT SNO FROM SUPPLIER").status());
+  std::vector<obs::AdvisorSuggestion> before =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_OK(
+      ReplayAdvisorSuggestions(&db, obs::AdvisorStore::Global(), 4)
+          .status());
+  std::vector<obs::AdvisorSuggestion> after =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].hits, before[0].hits);
+}
+
+// 8 threads publishing near-misses through their own Optimizers into the
+// shared global store — the TSan acceptance hammer. Every prepare must
+// land exactly one Record, and the aggregate counts must add up.
+TEST_F(AdvisorTest, ConcurrentPublicationHammer) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 16;
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+
+  const char* cities[] = {"Chicago", "Toronto", "New York", "Ottawa"};
+  std::atomic<uint64_t> prepared{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Optimizer optimizer(&db);
+      for (int i = 0; i < kIterations; ++i) {
+        // Distinct literals defeat the per-optimizer plan cache, so
+        // every iteration runs the full pipeline and records.
+        std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER WHERE "
+                          "SCITY = '" +
+                          std::string(cities[(t + i) % 4]) + "-" +
+                          std::to_string(t) + "-" + std::to_string(i) +
+                          "'";
+        auto result = optimizer.Prepare(sql);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_FALSE(result->near_misses.empty());
+        prepared.fetch_add(1, std::memory_order_relaxed);
+        (void)obs::AdvisorStore::Global().Suggestions();
+        (void)obs::AdvisorStore::Global().ToJson();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(prepared.load(), static_cast<uint64_t>(kThreads * kIterations));
+  std::vector<obs::AdvisorSuggestion> suggestions =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].fact, "UNIQUE (SNO)");
+  EXPECT_EQ(suggestions[0].hits,
+            static_cast<uint64_t>(kThreads * kIterations));
+  // All literal variants share one parameterized canonical shape.
+  EXPECT_EQ(suggestions[0].distinct_queries, 1u);
+}
+
+/// Deterministic key-projecting query sweep shared by the smoke tests:
+/// single-table DISTINCT projections of each table's declared key with
+/// pseudo-random predicates on non-key columns. On an intact schema
+/// every one of these proves unique; with SUPPLIER's key stripped, the
+/// SUPPLIER shapes near-miss.
+std::vector<std::string> KeyProjectingSweep(size_t count) {
+  std::mt19937_64 rng(20260809);
+  const char* cities[] = {"Chicago", "Toronto", "New York"};
+  const char* colors[] = {"RED", "GREEN", "BLUE"};
+  const char* agent_cities[] = {"Ottawa", "Hull", "Toronto"};
+  std::vector<std::string> sqls;
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng() % 5) {
+      case 0:
+        sqls.push_back("SELECT DISTINCT SNO FROM SUPPLIER WHERE SCITY = '" +
+                       std::string(cities[rng() % 3]) + "'");
+        break;
+      case 1:
+        sqls.push_back("SELECT DISTINCT SNO FROM SUPPLIER WHERE BUDGET > " +
+                       std::to_string(1000 + rng() % 5000));
+        break;
+      case 2:
+        sqls.push_back(
+            "SELECT DISTINCT SNO, PNO FROM PARTS WHERE COLOR = '" +
+            std::string(colors[rng() % 3]) + "'");
+        break;
+      case 3:
+        sqls.push_back("SELECT DISTINCT ANO FROM AGENTS WHERE ACITY = '" +
+                       std::string(agent_cities[rng() % 3]) + "'");
+        break;
+      default:
+        sqls.push_back("SELECT DISTINCT SNO FROM SUPPLIER");
+        break;
+    }
+  }
+  return sqls;
+}
+
+TEST_F(AdvisorTest, SmokeSweepFindsDroppedKey) {
+  Database db;
+  ASSERT_OK(MakeKeyStrippedDatabase(&db));
+  Optimizer optimizer(&db);
+  for (const std::string& sql : KeyProjectingSweep(40)) {
+    auto prepared = optimizer.Prepare(sql);
+    ASSERT_TRUE(prepared.ok()) << sql << ": "
+                               << prepared.status().ToString();
+  }
+  std::vector<obs::AdvisorSuggestion> suggestions =
+      obs::AdvisorStore::Global().Suggestions();
+  ASSERT_GE(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].table, "SUPPLIER");
+  EXPECT_EQ(suggestions[0].fact, "UNIQUE (SNO)");
+  EXPECT_GE(suggestions[0].distinct_queries, 2u);
+}
+
+TEST_F(AdvisorTest, SmokeSweepFullSchemaIsQuiet) {
+  Database db;
+  ASSERT_OK(CreateSupplierSchema(&db));
+  Optimizer optimizer(&db);
+  for (const std::string& sql : KeyProjectingSweep(40)) {
+    ASSERT_OK_AND_ASSIGN(PreparedQuery prepared, optimizer.Prepare(sql));
+    EXPECT_TRUE(prepared.near_misses.empty()) << sql;
+  }
+  EXPECT_EQ(obs::AdvisorStore::Global().size(), 0u);
+}
+
+}  // namespace
+}  // namespace uniqopt

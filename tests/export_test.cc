@@ -86,29 +86,85 @@ TEST(PrometheusTextTest, EmptyRegistryLintsClean) {
 
 TEST(PrometheusLintTest, RejectsMalformedExposition) {
   // Sample before its TYPE.
-  EXPECT_FALSE(
-      obs::LintPrometheusText("a_total 1\n# TYPE a_total counter\n").ok());
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP a_total doc\na_total 1\n# TYPE a_total counter\n")
+                   .ok());
   // Illegal metric name.
-  EXPECT_FALSE(
-      obs::LintPrometheusText("# TYPE 9bad counter\n9bad 1\n").ok());
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP 9bad doc\n# TYPE 9bad counter\n9bad 1\n")
+                   .ok());
   // Non-numeric value.
-  EXPECT_FALSE(obs::LintPrometheusText("# TYPE a counter\na x\n").ok());
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP a doc\n# TYPE a counter\na x\n")
+                   .ok());
   // Non-cumulative histogram buckets.
   EXPECT_FALSE(obs::LintPrometheusText(
-                   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n"
+                   "# HELP h doc\n# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 5\n"
                    "h_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
                    "h_sum 9\nh_count 5\n")
                    .ok());
   // +Inf bucket disagrees with _count.
   EXPECT_FALSE(obs::LintPrometheusText(
-                   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\n"
+                   "# HELP h doc\n# TYPE h histogram\n"
+                   "h_bucket{le=\"+Inf\"} 4\n"
                    "h_sum 9\nh_count 5\n")
                    .ok());
   // Histogram family without the +Inf terminator.
   EXPECT_FALSE(obs::LintPrometheusText(
-                   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n"
+                   "# HELP h doc\n# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 5\n"
                    "h_sum 9\nh_count 5\n")
                    .ok());
+}
+
+TEST(PrometheusLintTest, RequiresHelpBeforeSamples) {
+  // TYPE alone is no longer enough: the exporter always pairs HELP with
+  // TYPE, and the lint holds every page to that.
+  EXPECT_FALSE(obs::LintPrometheusText("# TYPE a counter\na 1\n").ok());
+  EXPECT_TRUE(obs::LintPrometheusText(
+                  "# HELP a doc\n# TYPE a counter\na 1\n")
+                  .ok());
+  // Duplicate HELP for the same family.
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP a doc\n# HELP a doc\n# TYPE a counter\na 1\n")
+                   .ok());
+  // HELP with an illegal family name.
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP 9bad doc\n# TYPE a counter\na 1\n")
+                   .ok());
+  // HELP text is optional.
+  EXPECT_TRUE(obs::LintPrometheusText(
+                  "# HELP a\n# TYPE a counter\na 1\n")
+                  .ok());
+}
+
+TEST(PrometheusLintTest, LabelParsingIsEscapeAware) {
+  // A '}' and an escaped quote inside a label value must not terminate
+  // the label set or the value.
+  EXPECT_TRUE(obs::LintPrometheusText(
+                  "# HELP a doc\n# TYPE a counter\n"
+                  "a{q=\"x}y\"} 1\n")
+                  .ok());
+  EXPECT_TRUE(obs::LintPrometheusText(
+                  "# HELP a doc\n# TYPE a counter\n"
+                  "a{q=\"x\\\"}\\\\y\"} 1\n")
+                  .ok());
+  // Genuinely unterminated labels still fail.
+  EXPECT_FALSE(obs::LintPrometheusText(
+                   "# HELP a doc\n# TYPE a counter\n"
+                   "a{q=\"x 1\n")
+                   .ok());
+}
+
+TEST(PrometheusEscapeTest, EscapesLabelValuesAndHelpText) {
+  EXPECT_EQ(obs::PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusLabelEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::PrometheusLabelEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::PrometheusHelpEscape("a\\b\nc"), "a\\\\b\\nc");
+  // Quotes are legal in HELP text and stay raw.
+  EXPECT_EQ(obs::PrometheusHelpEscape("say \"hi\""), "say \"hi\"");
 }
 
 TEST(MetricsJsonTest, StableSchemaIsValidJson) {

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/advisor.h"
 #include "obs/export.h"
 #include "obs/http_endpoint.h"
 #include "obs/metrics.h"
@@ -119,16 +120,53 @@ TEST_F(HttpEndpointTest, TraceRouteServesValidChromeTraceJson) {
 TEST_F(HttpEndpointTest, QueriesRouteServesRecorderJson) {
   std::string response = Get(endpoint_->port(), "/queries");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
   std::string body = Body(response);
   Status valid = obs::ValidateJson(body);
   EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
   EXPECT_NE(body.find("SELECT SNO FROM SUPPLIER"), std::string::npos);
 }
 
+TEST_F(HttpEndpointTest, AdvisorRouteServesSuggestionJson) {
+  obs::AdvisorStore::Global().Clear();
+  obs::NearMiss miss;
+  miss.goal = "theorem1.distinct";
+  miss.table = "SUPPLIER";
+  miss.alias = "S";
+  miss.kind = obs::MissingFactKind::kUniqueKey;
+  miss.fact = "UNIQUE (SNO)";
+  miss.replay_key_columns = {"SNO"};
+  obs::AdvisorStore::Global().Record(
+      miss, 0x1234, "SELECT DISTINCT SNO FROM SUPPLIER");
+
+  std::string response = Get(endpoint_->port(), "/advisor");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"suggestions\""), std::string::npos);
+  EXPECT_NE(body.find("UNIQUE (SNO)"), std::string::npos);
+  obs::AdvisorStore::Global().Clear();
+}
+
 TEST_F(HttpEndpointTest, IndexListsRoutes) {
   std::string response = Get(endpoint_->port(), "/");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(response.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.find("/advisor"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, MetricsRouteKeepsTextPlainContentType) {
+  // /metrics must stay the Prometheus exposition content type even
+  // though the JSON routes switched to application/json.
+  std::string response = Get(endpoint_->port(), "/metrics");
+  EXPECT_NE(response.find(
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+  EXPECT_EQ(response.find("application/json"), std::string::npos);
 }
 
 TEST_F(HttpEndpointTest, UnknownPathIs404) {
@@ -179,6 +217,9 @@ TEST(HttpEndpointRenderTest, RenderPathMatchesRoutes) {
   Status queries_valid =
       obs::ValidateJson(endpoint.RenderPath("/queries"));
   EXPECT_TRUE(queries_valid.ok()) << queries_valid.ToString();
+  Status advisor_valid =
+      obs::ValidateJson(endpoint.RenderPath("/advisor"));
+  EXPECT_TRUE(advisor_valid.ok()) << advisor_valid.ToString();
 }
 
 }  // namespace

@@ -87,6 +87,53 @@ TEST(RecorderTest, ClearResetsHistoryNotIds) {
   EXPECT_GT(recorder.History()[0].id, first_id);
 }
 
+TEST(RecorderTest, StampsWallClockOnRecord) {
+  obs::QueryRecorder recorder;
+  recorder.Record(MakeRecord("auto", 1));
+  obs::QueryRecord pre = MakeRecord("pre", 1);
+  pre.wall_time_us = 1700000000000000;  // 2023-11-14T22:13:20Z
+  recorder.Record(std::move(pre));
+
+  std::vector<obs::QueryRecord> history = recorder.History();
+  ASSERT_EQ(history.size(), 2u);
+  // Un-stamped records get the current wall clock; pre-stamped records
+  // keep their stamp.
+  EXPECT_GT(history[0].wall_time_us, 1700000000000000u);
+  EXPECT_EQ(history[1].wall_time_us, 1700000000000000u);
+  // \history renders the stamp; the JSON dump carries both the raw
+  // microseconds and the rendered form.
+  EXPECT_NE(history[1].ToString().find("@2023-11-14T22:13:20Z"),
+            std::string::npos)
+      << history[1].ToString();
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"wall_time_us\": 1700000000000000"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_time\": \"2023-11-14T22:13:20Z\""),
+            std::string::npos)
+      << json;
+  Status valid = obs::ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(RecorderTest, RendersNearMissSummaries) {
+  obs::QueryRecorder recorder;
+  obs::QueryRecord rec = MakeRecord("SELECT DISTINCT SNO FROM SUPPLIER", 1);
+  rec.near_misses.push_back(
+      "SUPPLIER: UNIQUE (SNO) (theorem1.distinct)");
+  recorder.Record(std::move(rec));
+
+  std::string text = recorder.ToText();
+  EXPECT_NE(text.find("near-miss: SUPPLIER: UNIQUE (SNO)"),
+            std::string::npos)
+      << text;
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"near_misses\""), std::string::npos) << json;
+  EXPECT_NE(json.find("UNIQUE (SNO)"), std::string::npos) << json;
+  Status valid = obs::ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
 TEST(FingerprintTest, StableAndDiscriminating) {
   const std::string plan = "Distinct\n  Scan SUPPLIER\n";
   EXPECT_EQ(obs::FingerprintPlanText(plan), obs::FingerprintPlanText(plan));
