@@ -9,6 +9,11 @@
 //    collection and advisor publication enabled — ungated, reported in
 //    `bench.plan_cache.cold_advisor.ns` so the advisor's prepare-path
 //    overhead is visible side by side with the gated number.
+//  - BM_PrepareColdTickerOn: the cold pipeline with the time-series
+//    plane's background ticker running (100ms windows) and the sample
+//    feed enabled — `bench.plan_cache.cold_ticker.ns`. check.sh
+//    --bench-gate compares its p50 against the ticker-off cold p50
+//    (BENCH_pr7.json), bounding what live monitoring costs.
 //  - BM_PrepareWarmHit: the same corpus against a pre-warmed cache —
 //    fingerprint + one shared-lock lookup. Latencies land in
 //    `bench.plan_cache.warm.ns`; check.sh --bench-gate asserts warm p50
@@ -27,6 +32,7 @@
 #include "bench_util.h"
 #include "obs/advisor.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "uniqopt/optimizer.h"
 #include "workload/query_corpus.h"
 
@@ -100,6 +106,35 @@ void BM_PrepareColdAdvisorOn(benchmark::State& state) {
   obs::AdvisorStore::Global().Clear();
 }
 BENCHMARK(BM_PrepareColdAdvisorOn);
+
+void BM_PrepareColdTickerOn(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  cache::PlanCacheOptions no_cache;
+  no_cache.enabled = false;
+  RewriteOptions advisor_off;
+  advisor_off.analysis.collect_near_misses = false;
+  Optimizer optimizer(db, advisor_off, /*use_cost_model=*/false, no_cache);
+  optimizer.set_advise(false);
+  std::vector<std::string> corpus = CorpusSql();
+  obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
+  Status ticker = plane.StartTicker(100);
+  UNIQOPT_DCHECK_MSG(
+      ticker.ok() || ticker.code() == StatusCode::kAlreadyExists,
+      ticker.ToString().c_str());
+  obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.plan_cache.cold_ticker.ns");
+  size_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedLatencyTimer timer(&latency);
+    auto prepared = optimizer.PrepareShared(corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+  plane.StopTicker();
+  plane.set_enabled(false);
+  plane.Reset();
+}
+BENCHMARK(BM_PrepareColdTickerOn);
 
 void BM_PrepareWarmHit(benchmark::State& state) {
   Database* db = MutableSupplierDb();

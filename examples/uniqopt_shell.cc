@@ -25,7 +25,15 @@
 // `\verify <query>` prepares the query and runs the post-optimization
 // static verifier (plan lint, proof checker, null-semantics audit);
 // `\cache` shows the plan cache's configuration and hit/miss stats
-// (`\cache clear` empties it); `\q` quits. Host variables are not supported interactively (use the
+// (`\cache clear` empties it); `\timeline [<filter>]` renders the
+// windowed time-series plane (sparkline + window table per matching
+// series); `\alerts` lists the regression sentinel's alerts;
+// `\sentinel on|off|reset` controls the sentinel; `\tick` closes a
+// window by hand (the `\serve` background ticker does it every
+// second); `\inject <metric> <value> [count]` records synthetic
+// histogram samples (smoke tests provoke regressions with it);
+// `DROP TABLE <t>` drops a table (and the proofs leaning on its keys);
+// `\q` quits. Host variables are not supported interactively (use the
 // library API).
 
 #include <cstdio>
@@ -40,6 +48,8 @@
 #include "obs/http_endpoint.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/sentinel.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "uniqopt/uniqopt.h"
 
@@ -110,6 +120,11 @@ int Run() {
   Optimizer optimizer(&db);
   ShellTraceSink trace_sink;
   obs::HttpEndpoint endpoint(trace_sink.buffer());
+  obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
+  obs::Sentinel& sentinel = obs::Sentinel::Global();
+  // Attached once up front: with the sentinel disabled (the default)
+  // each Tick hands it nothing but a no-op call.
+  plane.AttachSentinel(&sentinel);
   std::printf(
       "uniqopt shell — supplier database loaded "
       "(SUPPLIER/PARTS/AGENTS).\n"
@@ -120,11 +135,15 @@ int Run() {
       "suggestions\n(\\advisor replay [n] what-if replays the top n); "
       "\\slow [ms] sets the "
       "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
-      "(/metrics /trace /queries /advisor);\n\\export "
-      "[trace|metrics|queries|advisor] "
-      "<file> dumps a payload; \\verify <q> runs the plan verifier;\n"
-      "\\cache shows the plan cache (\\cache clear empties it); "
-      "\\q quits.\n");
+      "(/metrics /trace /queries /advisor /timeseries /alerts /healthz)\n"
+      "plus the 1s window ticker and the regression sentinel; \\export "
+      "[trace|metrics|queries|advisor|timeline] "
+      "<file> dumps a payload;\n\\verify <q> runs the plan verifier; "
+      "\\cache shows the plan cache (\\cache clear empties it);\n"
+      "\\timeline [<filter>] renders windowed series; \\alerts lists "
+      "sentinel alerts;\n\\sentinel on|off|reset controls the sentinel; "
+      "\\tick closes a window by hand;\n\\inject <metric> <value> [n] "
+      "records synthetic samples; \\q quits.\n");
 
   std::string line;
   while (true) {
@@ -212,6 +231,68 @@ int Run() {
       std::printf("slow threshold set to %llu ms\n", ms);
       continue;
     }
+    if (trimmed == "\\timeline" || trimmed.rfind("\\timeline ", 0) == 0) {
+      std::string filter(StripAsciiWhitespace(
+          trimmed.size() > 9 ? trimmed.substr(9) : ""));
+      std::printf("%s", plane.ToText(filter).c_str());
+      continue;
+    }
+    if (trimmed == "\\alerts") {
+      std::printf("%s", sentinel.ToText().c_str());
+      continue;
+    }
+    if (trimmed == "\\sentinel on") {
+      sentinel.set_enabled(true);
+      plane.set_enabled(true);
+      std::printf("sentinel armed (warm-up: %llu windows per series)\n",
+                  static_cast<unsigned long long>(
+                      sentinel.options().warmup_windows));
+      continue;
+    }
+    if (trimmed == "\\sentinel off") {
+      sentinel.set_enabled(false);
+      std::printf("sentinel off\n");
+      continue;
+    }
+    if (trimmed == "\\sentinel reset") {
+      sentinel.Reset();
+      std::printf("sentinel reference tracks and alerts cleared\n");
+      continue;
+    }
+    if (trimmed == "\\tick") {
+      plane.set_enabled(true);
+      plane.Tick();
+      std::printf("window %llu closed\n",
+                  static_cast<unsigned long long>(plane.ticks()));
+      continue;
+    }
+    if (trimmed.rfind("\\inject ", 0) == 0) {
+      std::vector<std::string> args;
+      for (const std::string& piece : Split(trimmed.substr(8), ' ')) {
+        if (!piece.empty()) args.push_back(piece);
+      }
+      char* end = nullptr;
+      unsigned long long value =
+          args.size() >= 2 ? std::strtoull(args[1].c_str(), &end, 10) : 0;
+      bool value_ok = args.size() >= 2 && end != nullptr && *end == '\0';
+      unsigned long long count = 1;
+      if (value_ok && args.size() == 3) {
+        count = std::strtoull(args[2].c_str(), &end, 10);
+        value_ok = end != nullptr && *end == '\0' && count > 0;
+      }
+      if (!value_ok || args.size() > 3) {
+        std::printf("usage: \\inject <metric> <value> [count]\n");
+        continue;
+      }
+      obs::Histogram& hist =
+          obs::MetricsRegistry::Global().GetHistogram(args[0]);
+      for (unsigned long long i = 0; i < count; ++i) {
+        hist.Record(static_cast<uint64_t>(value));
+      }
+      std::printf("recorded %llu sample(s) of %llu into %s\n", count,
+                  value, args[0].c_str());
+      continue;
+    }
     if (trimmed.rfind("\\serve", 0) == 0) {
       if (endpoint.serving()) {
         std::printf("already serving on 127.0.0.1:%u\n", endpoint.port());
@@ -230,8 +311,17 @@ int Run() {
         std::printf("error: %s\n", st.ToString().c_str());
         continue;
       }
+      // Serving means live monitoring: close a window every second and
+      // arm the regression sentinel over the closed windows.
+      Status ticker = plane.StartTicker(1000);
+      if (!ticker.ok() && ticker.code() != StatusCode::kAlreadyExists) {
+        std::printf("warning: ticker not started: %s\n",
+                    ticker.ToString().c_str());
+      }
+      sentinel.set_enabled(true);
       std::printf(
-          "serving on 127.0.0.1:%u — try: curl localhost:%u/metrics\n",
+          "serving on 127.0.0.1:%u — try: curl localhost:%u/metrics\n"
+          "window ticker running (1s) and sentinel armed\n",
           endpoint.port(), endpoint.port());
       continue;
     }
@@ -247,7 +337,8 @@ int Run() {
                                             : "";
       if (path.empty()) {
         std::printf(
-            "usage: \\export [trace|metrics|queries|advisor] <file>\n");
+            "usage: \\export [trace|metrics|queries|advisor|timeline] "
+            "<file>\n");
         continue;
       }
       if (kind == "trace") {
@@ -260,9 +351,12 @@ int Run() {
         WriteFile(path, obs::QueryRecorder::Global().ToJson());
       } else if (kind == "advisor") {
         WriteFile(path, obs::AdvisorStore::Global().ToJson());
+      } else if (kind == "timeline") {
+        WriteFile(path, plane.ToJson());
       } else {
         std::printf(
-            "usage: \\export [trace|metrics|queries|advisor] <file>\n");
+            "usage: \\export [trace|metrics|queries|advisor|timeline] "
+            "<file>\n");
       }
       continue;
     }
@@ -294,7 +388,7 @@ int Run() {
       explain_only = true;
       trimmed = trimmed.substr(8);
     }
-    if (upper.rfind("CREATE ", 0) == 0) {
+    if (upper.rfind("CREATE ", 0) == 0 || upper.rfind("DROP ", 0) == 0) {
       Status st = db.ExecuteDdl(trimmed);
       std::printf("%s\n", st.ToString().c_str());
       continue;
@@ -332,6 +426,7 @@ int Run() {
     }
     PrintResult(*prepared, *rows, stats);
   }
+  plane.StopTicker();
   return 0;
 }
 

@@ -28,6 +28,15 @@ Two regression classes fail the gate (exit code 1):
 
 Missing-in-current metrics that the baseline gates on are regressions
 too: a deleted counter must be removed from the baseline deliberately.
+
+A second input mode ingests the windowed time-series plane instead of a
+cumulative metrics dump: --timeline takes the JSON written by the
+shell's `\\export timeline` (or GET /timeseries) and reports, per
+series, the retained window span, the median/worst window p50, the
+last-window statistics, and the worst exemplar (the QueryRecord id to
+look up in `\\history`). With --baseline pointing at an earlier timeline
+export, the gate compares per-series median window p50 under the same
+--latency-tolerance and fails on regressions (exit code 1).
 """
 
 import argparse
@@ -158,10 +167,132 @@ def compare(baseline, current, args):
     return checked, regressions
 
 
+def load_timeline(path):
+    """Loads a `\\export timeline` / GET /timeseries JSON document."""
+    with open(path) as f:
+        doc = json.load(f)
+    ts = doc.get("timeseries") if isinstance(doc, dict) else None
+    if not isinstance(ts, dict) or "series" not in ts:
+        raise SystemExit(
+            f"{path}: not a timeline export (no 'timeseries.series' key)")
+    return ts
+
+
+def timeline_series_summary(series):
+    """Folds one series' retained windows into a gateable summary."""
+    windows = [w for w in series.get("windows", []) if w.get("valid", True)]
+    if not windows:
+        return None
+    p50s = sorted(w.get("p50", 0) for w in windows)
+    worst = None
+    for w in windows:
+        ex = w.get("exemplar")
+        if ex and (worst is None or ex["value"] > worst["value"]):
+            worst = ex
+    last = windows[-1]
+    return {
+        "kind": series.get("kind", ""),
+        "windows": len(windows),
+        "first_window": windows[0]["window"],
+        "last_window": last["window"],
+        "median_p50": p50s[len(p50s) // 2],
+        "worst_p50": p50s[-1],
+        "last_count": last.get("count", 0),
+        "last_p50": last.get("p50", 0),
+        "last_p99": last.get("p99", 0),
+        "last_rate": last.get("rate", 0.0),
+        "last_ratio": last.get("ratio", 0.0),
+        "worst_exemplar": worst,
+    }
+
+
+def run_timeline(args):
+    """--timeline mode: report a timeline export, optionally gated
+    against a baseline export's per-series median window p50."""
+    ts = load_timeline(args.timeline)
+    summaries = {}
+    for s in ts["series"]:
+        folded = timeline_series_summary(s)
+        if folded is not None:
+            summaries[s["name"]] = folded
+
+    print(f"bench_compare --timeline: {args.timeline} "
+          f"({ts.get('ticks', 0)} tick(s), {len(summaries)} series)")
+    for name, s in sorted(summaries.items()):
+        line = (f"  {name} [{s['kind']}] windows {s['first_window']}"
+                f"..{s['last_window']}")
+        if s["kind"] in ("histogram", "class"):
+            line += (f" median_p50={s['median_p50']}ns"
+                     f" worst_p50={s['worst_p50']}ns"
+                     f" last_p99={s['last_p99']}ns")
+        elif s["kind"] == "ratio":
+            line += f" last_ratio={s['last_ratio']:.3f}"
+        else:
+            line += f" last_rate={s['last_rate']:.1f}/s"
+        if s["worst_exemplar"]:
+            ex = s["worst_exemplar"]
+            line += (f" exemplar=#{ex['record_id']}"
+                     f" ({ex['value']}ns, plan {ex['fingerprint']})")
+        print(line)
+
+    regressions = []
+    checked = 0
+    if args.baseline:
+        base = {}
+        for s in load_timeline(args.baseline)["series"]:
+            folded = timeline_series_summary(s)
+            if folded is not None:
+                base[s["name"]] = folded
+        for name, b in sorted(base.items()):
+            if b["kind"] not in ("histogram", "class"):
+                continue
+            if b["median_p50"] < args.min_latency_ns:
+                continue
+            cur = summaries.get(name)
+            if cur is None:
+                regressions.append(
+                    f"timeline {name}: present in baseline, "
+                    f"missing in current")
+                continue
+            checked += 1
+            limit = b["median_p50"] * (1 + args.latency_tolerance / 100.0)
+            if cur["median_p50"] > limit:
+                regressions.append(
+                    f"timeline {name}: median window p50 "
+                    f"{cur['median_p50']}ns > {limit:.0f}ns (baseline "
+                    f"{b['median_p50']}ns + {args.latency_tolerance}%)")
+        print(f"  checked {checked} series against {args.baseline}")
+        for r in regressions:
+            print(f"  REGRESSION: {r}")
+        print(f"  verdict: {'FAIL' if regressions else 'OK'}")
+
+    if args.summary:
+        with open(args.summary, "w") as f:
+            json.dump(
+                {
+                    "timeline": args.timeline,
+                    "ticks": ts.get("ticks", 0),
+                    "series": summaries,
+                    "checked": checked,
+                    "regressions": regressions,
+                    "ok": not regressions,
+                },
+                f,
+                indent=2,
+            )
+            f.write("\n")
+    return 1 if regressions else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
+    parser.add_argument("--timeline",
+                        help="ingest a `\\export timeline` / GET "
+                             "/timeseries JSON instead of a metrics dump; "
+                             "--baseline (another timeline export) is "
+                             "optional in this mode")
     parser.add_argument("--latency-tolerance", type=float, default=50.0,
                         help="max p50 growth in percent (default 50)")
     parser.add_argument("--ratio-tolerance", type=float, default=10.0,
@@ -174,6 +305,12 @@ def main():
     parser.add_argument("--summary", default=None,
                         help="write a JSON verdict summary to this path")
     args = parser.parse_args()
+
+    if args.timeline:
+        return run_timeline(args)
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(or use --timeline)")
 
     baseline = load_metrics(args.baseline)
     current = load_metrics(args.current)

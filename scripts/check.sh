@@ -5,16 +5,17 @@
 #
 # Optional modes:
 #   --tsan        additionally build & run the concurrent obs tests and
-#                 the plan-cache / advisor hammers (cache_test +
-#                 concurrent_prepare_test + advisor_test) under
-#                 ThreadSanitizer
+#                 the plan-cache / advisor / time-series hammers
+#                 (cache_test + concurrent_prepare_test + advisor_test +
+#                 sentinel_test, whose hammer drives the plane's Tick()
+#                 against an 8-thread PrepareBatch) under ThreadSanitizer
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr6.json
+#                 scripts/bench_compare.py, and write BENCH_pr7.json
 #                 (including the plan-cache warm/cold p50 speedup, which
-#                 must be >= 10x; the cold-prepare path runs with the
-#                 advisor disabled so it gates advisor-off overhead
-#                 against the pre-advisor baseline)
+#                 must be >= 10x, and the ticker-on vs ticker-off
+#                 cold-prepare p50 ratio, which must stay <= 1.5x — live
+#                 monitoring must not tax the prepare path)
 #   --tidy        run only the clang-tidy gate (the default path runs it
 #                 too; it skips with a warning when clang-tidy is not
 #                 installed)
@@ -69,6 +70,24 @@ echo "== advisor smoke: sweep finds dropped key, full schema is quiet =="
 ./build/tests/advisor_test --gtest_filter='*SmokeSweep*' \
   --gtest_brief=1
 
+echo "== sentinel smoke: injected slowdown alerts, quiet run stays silent =="
+# Scripted shell sessions against the real plane + sentinel: six quiet
+# windows of synthetic latency arm the series; a quiet run must raise 0
+# alerts, and a 5x injected slowdown must raise at least one.
+quiet_script=$'\\sentinel on\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\alerts\n\\q\n'
+slow_script=$'\\sentinel on\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 1000 50\n\\tick\n\\inject smoke.op.ns 5000 50\n\\tick\n\\alerts\n\\q\n'
+quiet_alerts=$(printf '%s' "$quiet_script" | ./build/examples/uniqopt_shell 2>/dev/null | grep -c "ALERT #" || true)
+slow_alerts=$(printf '%s' "$slow_script" | ./build/examples/uniqopt_shell 2>/dev/null | grep -c "ALERT #" || true)
+if [[ "$quiet_alerts" != 0 ]]; then
+  echo "sentinel smoke FAILED: quiet run raised $quiet_alerts alert(s)" >&2
+  exit 1
+fi
+if [[ "$slow_alerts" == 0 ]]; then
+  echo "sentinel smoke FAILED: 5x slowdown raised no alert" >&2
+  exit 1
+fi
+echo "sentinel smoke ok: quiet=0 alerts, 5x slowdown=${slow_alerts} alert(s)"
+
 run_tidy
 
 echo "== sanitizers: ASan/UBSan build of obs + analysis tests =="
@@ -77,13 +96,16 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-asan -j --target obs_test analysis_test \
-  export_test recorder_test http_endpoint_test advisor_test
+  export_test recorder_test http_endpoint_test advisor_test \
+  timeseries_test sentinel_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
 ./build-asan/tests/export_test
 ./build-asan/tests/recorder_test
 ./build-asan/tests/http_endpoint_test
 ./build-asan/tests/advisor_test
+./build-asan/tests/timeseries_test
+./build-asan/tests/sentinel_test
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
@@ -92,12 +114,15 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     >/dev/null
   cmake --build build-tsan -j --target obs_test recorder_test \
-    cache_test concurrent_prepare_test advisor_test
+    cache_test concurrent_prepare_test advisor_test \
+    timeseries_test sentinel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
   ./build-tsan/tests/cache_test
   ./build-tsan/tests/concurrent_prepare_test
   ./build-tsan/tests/advisor_test
+  ./build-tsan/tests/timeseries_test
+  ./build-tsan/tests/sentinel_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
@@ -121,7 +146,7 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
     fi
     summaries+=("$summary")
   done
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr6.json
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr7.json
 import json, sys
 benches = {}
 ok = True
@@ -135,6 +160,7 @@ for path in sys.argv[1:]:
 # Plan-cache headline number: a warm hit must be >= 10x faster than a
 # cold prepare (p50 over p50, from the bench's own histograms).
 plan_cache = None
+ticker = None
 try:
     with open("build/bench-gate/bench_plan_cache.json") as f:
         metrics = {m["name"]: m for m in json.load(f)["metrics"]}
@@ -148,17 +174,29 @@ try:
         "ok": speedup >= 10.0,
     }
     ok = ok and plan_cache["ok"]
+    # Live monitoring must be near-free: cold prepare with the plane's
+    # background ticker + sample feed on vs the ticker-off cold path.
+    cold_ticker = metrics["bench.plan_cache.cold_ticker.ns"]["p50"]
+    overhead = cold_ticker / cold if cold else 0.0
+    ticker = {
+        "cold_p50_ns": cold,
+        "cold_ticker_p50_ns": cold_ticker,
+        "overhead": round(overhead, 3),
+        "ok": overhead <= 1.5,
+    }
+    ok = ok and ticker["ok"]
 except (OSError, KeyError) as e:
-    plan_cache = {"ok": False, "error": str(e)}
+    plan_cache = plan_cache or {"ok": False, "error": str(e)}
+    ticker = ticker or {"ok": False, "error": str(e)}
     ok = False
 
 json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
-           "plan_cache": plan_cache},
+           "plan_cache": plan_cache, "timeseries_ticker": ticker},
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr6.json"
-  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr6.json'))['ok'] else 1)"; then
+  echo "bench gate summary written to BENCH_pr7.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr7.json'))['ok'] else 1)"; then
     gate_ok=0
   fi
   if [[ "$gate_ok" != 1 ]]; then

@@ -6,12 +6,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.h"
 #include "obs/advisor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/sentinel.h"
+#include "obs/timeseries.h"
 
 namespace uniqopt {
 namespace obs {
@@ -86,6 +89,12 @@ Status HttpEndpoint::Start(uint16_t port) {
   } else {
     port_ = port;
   }
+  start_steady_ns_.store(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
   serving_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
   UNIQOPT_LOG(kInfo) << "observability endpoint on 127.0.0.1:" << port_;
@@ -131,12 +140,36 @@ std::string HttpEndpoint::RenderPath(const std::string& path) const {
   if (path == "/advisor") {
     return AdvisorStore::Global().ToJson();
   }
+  if (path == "/timeseries") {
+    return TimeSeriesPlane::Global().ToJson();
+  }
+  if (path == "/alerts") {
+    return Sentinel::Global().ToJson();
+  }
+  if (path == "/healthz") {
+    uint64_t start = start_steady_ns_.load(std::memory_order_relaxed);
+    uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    uint64_t uptime_ms = start == 0 ? 0 : (now - start) / 1000000;
+    TimeSeriesPlane& plane = TimeSeriesPlane::Global();
+    return "{\"status\": \"ok\", \"uptime_ms\": " +
+           std::to_string(uptime_ms) + ", \"ticker_running\": " +
+           (plane.ticker_running() ? "true" : "false") +
+           ", \"ticks\": " + std::to_string(plane.ticks()) +
+           ", \"sentinel_enabled\": " +
+           (Sentinel::Global().enabled() ? "true" : "false") + "}\n";
+  }
   if (path == "/" || path == "/index") {
     return "uniqopt observability endpoint\n"
-           "  /metrics  Prometheus text exposition\n"
-           "  /trace    Chrome trace-event JSON (load in Perfetto)\n"
-           "  /queries  query flight recorder history (JSON)\n"
-           "  /advisor  uniqueness constraint advisor suggestions (JSON)\n";
+           "  /metrics     Prometheus text exposition\n"
+           "  /trace       Chrome trace-event JSON (load in Perfetto)\n"
+           "  /queries     query flight recorder history (JSON)\n"
+           "  /advisor     uniqueness constraint advisor suggestions (JSON)\n"
+           "  /timeseries  windowed time-series plane snapshot (JSON)\n"
+           "  /alerts      regression sentinel alert ring (JSON)\n"
+           "  /healthz     liveness: uptime and ticker state (JSON)\n";
   }
   return "";
 }
@@ -154,9 +187,14 @@ void HttpEndpoint::HandleConnection(int fd) {
     request.append(buf, static_cast<size_t>(n));
   }
   size_t sp1 = request.find(' ');
-  if (sp1 == std::string::npos || request.substr(0, sp1) != "GET") {
+  std::string method =
+      sp1 == std::string::npos ? "" : request.substr(0, sp1);
+  // HEAD is GET minus the body: same status, same headers (including
+  // the Content-Length the GET would have had), nothing after them.
+  bool head = method == "HEAD";
+  if (method != "GET" && !head) {
     SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
-                             "only GET is supported\n"));
+                             "only GET and HEAD are supported\n"));
     return;
   }
   size_t sp2 = request.find(' ', sp1 + 1);
@@ -170,17 +208,24 @@ void HttpEndpoint::HandleConnection(int fd) {
   if (query != std::string::npos) path = path.substr(0, query);
   std::string body = RenderPath(path);
   if (body.empty()) {
-    SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
-                             "no such route: " + path + "\n"));
+    std::string error = "{\"error\": \"not found\", \"path\": \"" +
+                        JsonEscape(path) + "\"}\n";
+    std::string response =
+        HttpResponse(404, "Not Found", "application/json", error);
+    if (head) response.resize(response.size() - error.size());
+    SendAll(fd, response);
     return;
   }
   const char* content_type =
-      (path == "/trace" || path == "/queries" || path == "/advisor")
+      (path == "/trace" || path == "/queries" || path == "/advisor" ||
+       path == "/timeseries" || path == "/alerts" || path == "/healthz")
           ? "application/json"
       : path == "/metrics"
           ? "text/plain; version=0.0.4; charset=utf-8"
           : "text/plain; charset=utf-8";
-  SendAll(fd, HttpResponse(200, "OK", content_type, body));
+  std::string response = HttpResponse(200, "OK", content_type, body);
+  if (head) response.resize(response.size() - body.size());
+  SendAll(fd, response);
 }
 
 }  // namespace obs

@@ -16,11 +16,18 @@ namespace obs {
 /// Minimal blocking HTTP/1.1 observability endpoint: one listener
 /// thread, one request per connection, loopback only. Serves
 ///
-///   GET /metrics   Prometheus text exposition of the metrics registry
-///   GET /trace     Chrome trace-event JSON of the attached trace sink
-///   GET /queries   flight-recorder history as JSON
-///   GET /advisor   uniqueness constraint advisor suggestions as JSON
-///   GET /          plain-text index
+///   GET /metrics     Prometheus text exposition of the metrics registry
+///   GET /trace       Chrome trace-event JSON of the attached trace sink
+///   GET /queries     flight-recorder history as JSON
+///   GET /advisor     uniqueness constraint advisor suggestions as JSON
+///   GET /timeseries  windowed time-series plane snapshot (JSON)
+///   GET /alerts      regression-sentinel alert ring (JSON)
+///   GET /healthz     liveness: uptime + background ticker state (JSON)
+///   GET /            plain-text index
+///
+/// HEAD is answered with the same headers and no body; unknown paths
+/// get a 404 with an application/json error body so scrapers never have
+/// to sniff the content type of a failure.
 ///
 /// This is an operational plane for scrapes and debugging, not a web
 /// server: no keep-alive, no TLS, bounded request size. Started from
@@ -61,6 +68,9 @@ class HttpEndpoint {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> serving_{false};
+  /// Steady-clock ns when Start() succeeded; /healthz reports uptime
+  /// relative to this.
+  std::atomic<uint64_t> start_steady_ns_{0};
   std::thread thread_;
 };
 

@@ -147,11 +147,16 @@ uint64_t Histogram::Quantile(double q) const {
 }
 
 void Histogram::Reset() {
+  // Odd generation = reset in flight; +2 overall per reset. Snapshot
+  // consumers re-read the generation around their reads and discard the
+  // interval when it moved or is odd.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::string CounterDeltaToText(const CounterSnapshot& before,

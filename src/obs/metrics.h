@@ -80,6 +80,17 @@ class Histogram {
 
   void Reset();
 
+  /// Seqlock-style reset detector for snapshot-diff consumers (the
+  /// windowed time-series plane): Reset() bumps the generation once on
+  /// entry and once on exit, so an even, unchanged generation across a
+  /// snapshot proves no reset raced it — an odd value means a reset is
+  /// in flight, a changed value means one landed mid-snapshot. A window
+  /// that straddles a reset is discarded instead of reporting negative
+  /// deltas.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Maps a value to its bucket and back (bucket midpoint). Exposed for
   /// tests of the bucketing error bound.
   static size_t BucketIndex(uint64_t value);
@@ -98,6 +109,7 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 

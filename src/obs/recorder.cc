@@ -39,6 +39,13 @@ uint64_t NowWallTimeUs() {
           .count());
 }
 
+uint64_t NowSteadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 uint64_t FingerprintPlanText(const std::string& canonical_plan_text) {
@@ -106,7 +113,7 @@ QueryRecorder& QueryRecorder::Global() {
   return *recorder;
 }
 
-void QueryRecorder::Record(QueryRecord record) {
+uint64_t QueryRecorder::Record(QueryRecord record) {
   uint64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
   bool slow = threshold > 0 && record.total_ns >= threshold;
   uint64_t slow_id = 0;
@@ -122,6 +129,7 @@ void QueryRecorder::Record(QueryRecord record) {
     std::lock_guard<std::mutex> lock(mu_);
     record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     if (record.wall_time_us == 0) record.wall_time_us = NowWallTimeUs();
+    if (record.steady_ns == 0) record.steady_ns = NowSteadyNs();
     slow_id = record.id;
     total_.fetch_add(1, std::memory_order_relaxed);
     if (ring_.size() < capacity_) {
@@ -139,6 +147,7 @@ void QueryRecorder::Record(QueryRecord record) {
     MetricsRegistry::Global().GetCounter("recorder.slow_queries")
         .Increment();
   }
+  return slow_id;
 }
 
 std::vector<QueryRecord> QueryRecorder::SnapshotLocked() const {
@@ -219,6 +228,7 @@ std::string QueryRecorder::ToJson() const {
     out += "\"wall_time_us\": " + std::to_string(r.wall_time_us) + ", ";
     out += "\"wall_time\": \"" +
            JsonEscape(FormatWallTimeUs(r.wall_time_us)) + "\", ";
+    out += "\"steady_ns\": " + std::to_string(r.steady_ns) + ", ";
     out += "\"rows_out\": " + std::to_string(r.rows_out) + ", ";
     out += "\"rows_scanned\": " + std::to_string(r.rows_scanned) + ", ";
     out += "\"phases\": {";

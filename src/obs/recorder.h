@@ -50,6 +50,11 @@ struct QueryRecord {
   /// Wall-clock time of recording, microseconds since the Unix epoch.
   /// Assigned by the recorder when left 0 (callers may pre-stamp).
   uint64_t wall_time_us = 0;
+  /// Monotonic (steady-clock) nanoseconds at recording. The windowed
+  /// time-series plane anchors window assignment and exemplar lookup on
+  /// this, so neither depends on wall-clock jumps. Assigned by the
+  /// recorder when left 0; exported as `steady_ns` in JSON.
+  uint64_t steady_ns = 0;
 
   std::string ToString() const;
 };
@@ -77,8 +82,9 @@ class QueryRecorder {
   /// The default process-wide recorder (what the facade layers feed).
   static QueryRecorder& Global();
 
-  /// Appends a record (assigns its id). Thread-safe.
-  void Record(QueryRecord record);
+  /// Appends a record and returns its assigned id (callers hand the id
+  /// to the time-series plane as the window exemplar). Thread-safe.
+  uint64_t Record(QueryRecord record);
 
   /// Oldest-first copy of the retained records.
   std::vector<QueryRecord> History() const;

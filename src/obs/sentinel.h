@@ -1,0 +1,153 @@
+#ifndef UNIQOPT_OBS_SENTINEL_H_
+#define UNIQOPT_OBS_SENTINEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace uniqopt {
+namespace obs {
+
+/// One closed window handed from the time-series plane to the sentinel:
+/// which series it belongs to, what kind of series that is (which
+/// decides the statistics checked), and the window's folded stats.
+struct SeriesObservation {
+  std::string series;
+  SeriesKind kind = SeriesKind::kCounter;
+  uint64_t class_fingerprint = 0;
+  WindowStats stats;
+};
+
+/// One regression the sentinel detected: a closed window whose observed
+/// statistic left the rolling reference band. The exemplar (when the
+/// series carries one) points at the worst sample's QueryRecord, so an
+/// alert resolves straight to an entry in `\history` / GET /queries.
+struct Alert {
+  uint64_t id = 0;        ///< monotonic per sentinel
+  uint64_t window = 0;    ///< tick index of the offending window
+  std::string series;     ///< e.g. "class.ab12....prepare.ns"
+  uint64_t class_fingerprint = 0;  ///< class series only
+  std::string stat;       ///< "p50" | "p99" | "ratio"
+  double observed = 0.0;
+  double expected = 0.0;  ///< EWMA reference at detection time
+  double band = 0.0;      ///< allowed absolute deviation
+  std::string severity;   ///< "warn" | "critical"
+  Exemplar exemplar;
+  uint64_t end_ns = 0;    ///< window close, monotonic clock
+
+  std::string ToString() const;
+};
+
+struct SentinelOptions {
+  /// EWMA smoothing of the reference level (per observed window).
+  double alpha = 0.3;
+  /// EWMA smoothing of the absolute deviation (the MAD estimate).
+  double mad_alpha = 0.3;
+  /// Alert when |observed - reference| > band_k * max(mad, floors).
+  double band_k = 4.0;
+  /// Band floors, so a dead-flat warm-up (mad → 0) stays armed without
+  /// firing on measurement noise: relative to the reference level, and
+  /// absolute.
+  double min_band_fraction = 0.10;
+  double min_band_abs = 1.0;
+  /// Absolute floor for ratio statistics. Ratios live in [0,1], so the
+  /// latency-scale min_band_abs would swallow any collapse.
+  double min_band_abs_ratio = 0.05;
+  /// Windows a series must be observed before it arms. Warm-up windows
+  /// only feed the reference.
+  uint64_t warmup_windows = 3;
+  /// Retained alert ring bound (oldest evicted; total keeps counting).
+  size_t max_alerts = 128;
+};
+
+/// Online regression sentinel over the windowed time-series plane.
+///
+/// For every observed series statistic — window p50/p99 of histogram
+/// and per-query-class series, rewrite firing ratios — the sentinel
+/// keeps an EWMA reference level and an EWMA of absolute deviation (a
+/// MAD estimate). After `warmup_windows` observations the series arms;
+/// a window whose statistic leaves the `band_k * mad` band (with
+/// relative/absolute floors) raises one bounded structured Alert.
+/// Latency statistics alert on upward deviation, firing ratios on
+/// downward collapse.
+///
+/// On firing, the reference snaps to the observed level: a sustained
+/// step change alerts exactly once, then the series re-arms at the new
+/// level (a later second step fires again). Disabled (the default),
+/// ObserveTick returns immediately.
+///
+/// Exposes `sentinel.alerts` / `sentinel.ticks` counters and the
+/// `sentinel.armed` gauge (armed series while enabled).
+class Sentinel {
+ public:
+  explicit Sentinel(SentinelOptions options = {});
+  Sentinel(const Sentinel&) = delete;
+  Sentinel& operator=(const Sentinel&) = delete;
+
+  /// The process-wide sentinel (`\sentinel on|off|reset`, GET /alerts).
+  static Sentinel& Global();
+
+  void set_enabled(bool on);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every reference track and retained alert (total_alerts and
+  /// the enabled flag survive).
+  void Reset();
+
+  /// Feeds one tick's closed windows (the plane calls this; tests feed
+  /// synthetic series directly).
+  void ObserveTick(const std::vector<SeriesObservation>& observations);
+
+  /// Retained alerts, oldest first.
+  std::vector<Alert> Alerts() const;
+  /// Alerts ever raised (retained or evicted).
+  uint64_t total_alerts() const {
+    return total_alerts_.load(std::memory_order_relaxed);
+  }
+  /// Series past warm-up (armed) right now.
+  size_t armed_series() const;
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  const SentinelOptions& options() const { return options_; }
+
+  /// `\alerts` rendering.
+  std::string ToText() const;
+  /// {"sentinel": {...}} — the GET /alerts payload.
+  std::string ToJson() const;
+
+ private:
+  /// Rolling reference for one (series, stat) pair.
+  struct Track {
+    double ewma = 0.0;
+    double mad = 0.0;
+    uint64_t windows = 0;  // observations absorbed so far
+  };
+
+  /// Returns true when an alert fired for this observation.
+  bool ObserveStat(const SeriesObservation& obs, const char* stat,
+                   double observed, bool upward);
+  void PushAlertLocked(Alert alert);
+
+  const SentinelOptions options_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> total_alerts_{0};
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> next_alert_id_{1};
+
+  mutable std::mutex mu_;
+  std::map<std::string, Track> tracks_;  // key: "<series>|<stat>"
+  std::vector<Alert> alerts_;            // ring, oldest at alert_head_
+  size_t alert_head_ = 0;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_SENTINEL_H_

@@ -1,0 +1,264 @@
+#ifndef UNIQOPT_OBS_TIMESERIES_H_
+#define UNIQOPT_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace uniqopt {
+namespace obs {
+
+class Sentinel;
+
+/// Injectable monotonic clock behind the time-series plane. Production
+/// uses the steady clock; tests and the shell's `\tick` drive windows
+/// deterministically through a manual clock or explicit Tick() calls.
+class WindowClock {
+ public:
+  virtual ~WindowClock() = default;
+  /// Monotonic nanoseconds. Never goes backwards.
+  virtual uint64_t NowNs() = 0;
+};
+
+class SteadyWindowClock : public WindowClock {
+ public:
+  uint64_t NowNs() override;
+};
+
+/// Deterministic clock: time moves only when Advance() is called.
+class ManualWindowClock : public WindowClock {
+ public:
+  uint64_t NowNs() override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void Advance(uint64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ns_{1};
+};
+
+/// The worst sample observed in one window: a direct link from a window
+/// aggregate (and any alert raised on it) back to the offending
+/// QueryRecord in `\history` / GET /queries.
+struct Exemplar {
+  uint64_t record_id = 0;    ///< QueryRecord::id; 0 = no linked record
+  uint64_t fingerprint = 0;  ///< plan hash of the worst sample
+  uint64_t value = 0;        ///< the worst sample itself
+};
+
+/// What a series is derived from. Counter and gauge series mirror the
+/// registry; histogram series are snapshot-diffed registry histograms;
+/// class series are per-query-class samples fed by the optimizer; ratio
+/// series are synthesized from `rewrite.rule.*.fired/.considered`
+/// counter-delta pairs.
+enum class SeriesKind { kCounter, kGauge, kHistogram, kClass, kRatio };
+
+const char* SeriesKindName(SeriesKind kind);
+
+/// One closed window of one series. Which fields are meaningful depends
+/// on the series kind: counters use value (delta) and rate; gauges use
+/// value (last); histograms and class series use count/sum/min/max and
+/// the window percentiles; ratio series use ratio.
+struct WindowStats {
+  uint64_t window = 0;    ///< global tick index this window closed on
+  uint64_t start_ns = 0;  ///< window bounds, monotonic clock
+  uint64_t end_ns = 0;
+  /// False when the underlying histogram was Reset() inside the window
+  /// (generation changed between snapshots): the delta is meaningless,
+  /// so the window is kept as a gap instead of reporting garbage.
+  bool valid = true;
+  uint64_t count = 0;   ///< samples in window / counter delta
+  uint64_t value = 0;   ///< counter delta / gauge last value
+  double rate = 0.0;    ///< count per second over the window
+  double ratio = 0.0;   ///< ratio series only: fired / considered
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;     ///< window percentile (bucket-midpoint estimate)
+  uint64_t p99 = 0;
+  Exemplar exemplar;    ///< class series only: worst sample's identity
+};
+
+/// Copy-out view of one series: identity plus its retained windows,
+/// oldest first.
+struct SeriesSnapshot {
+  std::string name;
+  SeriesKind kind = SeriesKind::kCounter;
+  uint64_t class_fingerprint = 0;  ///< class series only
+  std::vector<WindowStats> windows;
+};
+
+/// Fixed-memory windowed time-series plane over the metrics registry.
+///
+/// Every metric the plane exposes elsewhere is cumulative since process
+/// start; this layer gives them a time axis. Tick() closes the current
+/// window: counter values are diffed into per-window deltas and rates,
+/// gauges keep their last value, histograms are snapshot-diffed bucket
+/// by bucket so the window's own p50/p99 can be computed (a Reset()
+/// straddling a window is detected through the histogram's generation
+/// counter and the window is marked invalid instead of going negative),
+/// and per-query-class sample accumulators (fed by the optimizer, keyed
+/// by the plan-cache canonical-shape fingerprint) fold into class
+/// series, each window remembering the worst sample's QueryRecord id
+/// and plan fingerprint as an exemplar.
+///
+/// Memory is bounded everywhere: at most kMaxSeries series, each a ring
+/// of `windows_per_series` WindowStats; at most kMaxClasses tracked
+/// query classes (extras are counted in `timeseries.dropped`).
+///
+/// Ticks come from three equivalent drivers: explicit Tick() (tests,
+/// the shell's `\tick`), the optional background ticker thread
+/// (`\serve` starts it; off by default), or an embedding host. All
+/// entry points are thread-safe; with `enabled()` false the sample feed
+/// is a single relaxed atomic load, so the plane costs nothing when
+/// off.
+class TimeSeriesPlane {
+ public:
+  static constexpr size_t kDefaultWindowsPerSeries = 64;
+  static constexpr size_t kMaxSeries = 256;
+  static constexpr size_t kMaxClasses = 64;
+
+  /// `clock` and `registry` default to the steady clock and the global
+  /// registry; tests inject a ManualWindowClock and a private registry.
+  explicit TimeSeriesPlane(
+      size_t windows_per_series = kDefaultWindowsPerSeries,
+      WindowClock* clock = nullptr, MetricsRegistry* registry = nullptr);
+  ~TimeSeriesPlane();
+  TimeSeriesPlane(const TimeSeriesPlane&) = delete;
+  TimeSeriesPlane& operator=(const TimeSeriesPlane&) = delete;
+
+  /// The process-wide plane the optimizer, shell and endpoint share.
+  static TimeSeriesPlane& Global();
+
+  /// Gates the sample feed. Off (the default) makes RecordClassSample a
+  /// single relaxed load — the optimizer hot path pays nothing.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Feeds one per-query-class sample into the open window. `metric` is
+  /// a short literal ("prepare.ns", "execute.ns"); the series is named
+  /// `class.<16-hex-fingerprint>.<metric>`. `record_id` (0 = none) and
+  /// `plan_hash` identify the sample's QueryRecord for the exemplar.
+  void RecordClassSample(uint64_t class_fingerprint, const char* metric,
+                         uint64_t value, uint64_t record_id,
+                         uint64_t plan_hash);
+
+  /// Closes the current window: snapshots the registry, folds the open
+  /// class accumulators, appends one WindowStats per live series, and
+  /// hands the closed windows to the attached sentinel (if any).
+  void Tick();
+
+  /// Starts the background ticker thread calling Tick() every
+  /// `interval_ms`. Also enables the sample feed.
+  Status StartTicker(uint64_t interval_ms);
+  /// Stops and joins the ticker thread. Idempotent.
+  void StopTicker();
+  bool ticker_running() const {
+    return ticker_running_.load(std::memory_order_acquire);
+  }
+
+  /// Attaches the sentinel notified on every Tick (not owned; nullptr
+  /// detaches).
+  void AttachSentinel(Sentinel* sentinel);
+  Sentinel* sentinel() const;
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  size_t windows_per_series() const { return windows_per_series_; }
+
+  /// Name-sorted copy of every series and its retained windows.
+  std::vector<SeriesSnapshot> Snapshot() const;
+
+  /// Drops every series, window, shadow snapshot and open accumulator
+  /// (the tick counter keeps counting).
+  void Reset();
+
+  /// `\timeline` rendering: with a filter, an ASCII sparkline plus a
+  /// window table per matching series (substring match); without one, a
+  /// one-line summary per series.
+  std::string ToText(const std::string& filter = "") const;
+
+  /// Stable JSON (`{"timeseries": {...}}`) served by GET /timeseries,
+  /// written by `\export timeline`, and ingested by
+  /// scripts/bench_compare.py --timeline.
+  std::string ToJson() const;
+
+ private:
+  /// Per-histogram shadow of the last snapshot, for bucket diffing.
+  struct HistogramShadow {
+    uint64_t generation = 0;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// Per-bucket (inclusive upper bound → count), reconstructed from
+    /// the cumulative form.
+    std::map<uint64_t, uint64_t> bucket_counts;
+  };
+
+  /// Open-window accumulator for one (class, metric) pair. The bucket
+  /// array reuses Histogram's log2 bucketing so window percentiles have
+  /// the same error bound.
+  struct ClassAccumulator {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::vector<uint32_t> buckets;  // Histogram::kNumBuckets, lazy
+    Exemplar worst;
+  };
+
+  struct Series {
+    SeriesKind kind = SeriesKind::kCounter;
+    uint64_t class_fingerprint = 0;
+    std::vector<WindowStats> slots;  // ring, oldest at head_ when full
+    size_t head = 0;
+
+    void Push(WindowStats w, size_t cap);
+    std::vector<WindowStats> Ordered() const;
+  };
+
+  Series* FindOrCreateSeriesLocked(const std::string& name,
+                                   SeriesKind kind, uint64_t class_fp);
+  void TickerLoop(uint64_t interval_ms);
+
+  const size_t windows_per_series_;
+  WindowClock* clock_;
+  MetricsRegistry* registry_;
+  SteadyWindowClock default_clock_;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<Sentinel*> sentinel_{nullptr};
+
+  mutable std::mutex mu_;
+  uint64_t window_start_ns_ = 0;  // set on first use of the clock
+  std::map<std::string, Series> series_;
+  std::map<std::string, uint64_t> prev_counters_;
+  std::map<std::string, HistogramShadow> hist_shadows_;
+  /// Open accumulators keyed (class fingerprint, metric literal).
+  std::map<std::pair<uint64_t, std::string>, ClassAccumulator> class_acc_;
+
+  std::atomic<bool> ticker_running_{false};
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  std::thread ticker_thread_;
+};
+
+}  // namespace obs
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_OBS_TIMESERIES_H_

@@ -131,10 +131,19 @@ struct CreateTableStmt {
   std::vector<AstCheck> checks;
 };
 
+/// `DROP TABLE <name>` — removes the table, its rows, and every
+/// declared constraint. Dropping a keyed table is how a live uniqueness
+/// regression is provoked (DISTINCT proofs that leaned on the key stop
+/// firing), which the regression sentinel then catches.
+struct DropTableStmt {
+  std::string table_name;
+};
+
 /// A parsed SQL statement: either DDL or a query.
 struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;  ///< exactly one of
-  QueryPtr query;                                 ///< these is set
+  std::unique_ptr<DropTableStmt> drop_table;      ///< these is set
+  QueryPtr query;
 };
 
 using StatementPtr = std::unique_ptr<Statement>;

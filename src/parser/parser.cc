@@ -15,7 +15,7 @@ const std::set<std::string>& ReservedWords() {
       "SELECT", "FROM",     "WHERE",  "AND",   "OR",      "NOT",
       "IN",     "BETWEEN",  "IS",     "NULL",  "EXISTS",  "DISTINCT",
       "ALL",    "INTERSECT", "EXCEPT", "UNION", "CREATE",  "TABLE",
-      "PRIMARY", "KEY",     "UNIQUE", "CHECK", "TRUE",    "FALSE",
+      "DROP",   "PRIMARY", "KEY",     "UNIQUE", "CHECK", "TRUE", "FALSE",
       "ORDER",  "GROUP",    "BY",     "HAVING", "AS"};
   return *kWords;
 }
@@ -29,6 +29,8 @@ class Parser {
     auto stmt = std::make_unique<Statement>();
     if (PeekKeyword("CREATE")) {
       UNIQOPT_ASSIGN_OR_RETURN(stmt->create_table, ParseCreateTable());
+    } else if (PeekKeyword("DROP")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->drop_table, ParseDropTable());
     } else {
       UNIQOPT_ASSIGN_OR_RETURN(stmt->query, ParseQueryExpr());
     }
@@ -432,6 +434,16 @@ class Parser {
         break;
     }
     return ErrorHere("expected expression");
+  }
+
+  // -- DROP TABLE -----------------------------------------------------------
+  Result<std::unique_ptr<DropTableStmt>> ParseDropTable() {
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("DROP"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<DropTableStmt>();
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->table_name,
+                             ExpectIdentifier("table name"));
+    return stmt;
   }
 
   // -- CREATE TABLE ---------------------------------------------------------

@@ -140,13 +140,37 @@ Status Database::CreateTable(TableDef def) {
   return Status::OK();
 }
 
+Status Database::DropTable(const std::string& name) {
+  std::string key = ToUpperAscii(name);
+  // Drop the instance before the definition: the Table points into the
+  // catalog-owned TableDef.
+  bool found = false;
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if ((*it)->def().name() == key) {
+      tables_.erase(it);
+      found = true;
+      break;
+    }
+  }
+  Status st = catalog_.DropTable(name);
+  if (!found && st.ok()) {
+    return Status::Internal("table instance missing for " + name);
+  }
+  return st;
+}
+
 Status Database::ExecuteDdl(std::string_view sql) {
   UNIQOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
-  if (stmt->create_table == nullptr) {
-    return Status::InvalidArgument("expected a CREATE TABLE statement");
+  if (stmt->create_table != nullptr) {
+    UNIQOPT_ASSIGN_OR_RETURN(TableDef def,
+                             BuildTableDef(*stmt->create_table));
+    return CreateTable(std::move(def));
   }
-  UNIQOPT_ASSIGN_OR_RETURN(TableDef def, BuildTableDef(*stmt->create_table));
-  return CreateTable(std::move(def));
+  if (stmt->drop_table != nullptr) {
+    return DropTable(stmt->drop_table->table_name);
+  }
+  return Status::InvalidArgument(
+      "expected a CREATE TABLE or DROP TABLE statement");
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {

@@ -79,7 +79,10 @@ class Database {
 
   /// Registers a definition and creates an empty instance.
   Status CreateTable(TableDef def);
-  /// Parses `CREATE TABLE ...` and creates the table.
+  /// Drops the table, its rows and its constraints; bumps the catalog
+  /// version (invalidating cached plans that referenced it).
+  Status DropTable(const std::string& name);
+  /// Parses and runs `CREATE TABLE ...` or `DROP TABLE ...`.
   Status ExecuteDdl(std::string_view sql);
 
   Result<Table*> GetTable(const std::string& name);

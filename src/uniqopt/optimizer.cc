@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 
@@ -218,23 +219,24 @@ Result<PreparedQuery> Optimizer::PrepareUncached(
     add(&out.analysis.near_misses);
     add(&rewritten.near_misses);
   }
+  // The canonical *shape* fingerprint — catalog-version independent
+  // with literals parameterized, so canonically-equal SQL counts as one
+  // query class. The advisor dedups suggestions on it and the
+  // time-series plane buckets per-class latencies under it.
+  std::string canonical_text;
+  if (auto canonical = cache::CanonicalizeSql(sql); canonical.ok()) {
+    cache::FingerprintOptions fopts;
+    fopts.parameterize_literals = true;
+    out.class_fingerprint =
+        cache::FingerprintSql(*canonical, /*catalog_version=*/0, fopts);
+    canonical_text = canonical->text;
+  }
   if (advise_ && !out.near_misses.empty() &&
       obs::AdvisorStore::Global().enabled()) {
-    // Advisor dedup keys on the canonical *shape* fingerprint —
-    // catalog-version independent with literals parameterized — so
-    // canonically-equal SQL counts as one distinct query. The canonical
-    // text (literals intact, re-preparable) is kept as a replay sample.
-    uint64_t query_fingerprint = 0;
-    std::string canonical_text;
-    if (auto canonical = cache::CanonicalizeSql(sql); canonical.ok()) {
-      cache::FingerprintOptions fopts;
-      fopts.parameterize_literals = true;
-      query_fingerprint =
-          cache::FingerprintSql(*canonical, /*catalog_version=*/0, fopts);
-      canonical_text = canonical->text;
-    }
+    // The canonical text (literals intact, re-preparable) is kept as a
+    // replay sample alongside each suggestion.
     for (const obs::NearMiss& miss : out.near_misses) {
-      obs::AdvisorStore::Global().Record(miss, query_fingerprint,
+      obs::AdvisorStore::Global().Record(miss, out.class_fingerprint,
                                          canonical_text);
     }
   }
@@ -306,6 +308,22 @@ size_t EstimatePreparedQueryBytes(const PreparedQuery& q) {
 Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
     const std::string& sql, bool* cache_hit) const {
   if (cache_hit != nullptr) *cache_hit = false;
+  // Per-class prepare latency for the time-series plane. With the plane
+  // off (the default) `feed` is one relaxed load and no clock is read.
+  obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
+  const bool feed = plane.enabled();
+  const auto feed_start =
+      feed ? std::chrono::steady_clock::now()
+           : std::chrono::steady_clock::time_point{};
+  auto feed_sample = [&](const PreparedQuery& q) {
+    if (!feed) return;
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - feed_start)
+            .count());
+    plane.RecordClassSample(q.class_fingerprint, "prepare.ns", ns,
+                            /*record_id=*/0, q.plan_hash);
+  };
   // Read the catalog version before preparing: if DDL lands mid-flight
   // the entry is stored under the older version and can never be
   // served after the bump.
@@ -329,6 +347,7 @@ Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
             obs::MetricsRegistry::Global().GetCounter(
                 "optimizer.queries_prepared");
         prepared_counter.Increment();
+        feed_sample(*entry);
         return entry;
       }
     } else {
@@ -344,6 +363,7 @@ Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
     cache_->Put(fingerprint, version, entry,
                 EstimatePreparedQueryBytes(*entry));
   }
+  feed_sample(*entry);
   return entry;
 }
 
@@ -488,7 +508,15 @@ Result<std::vector<Row>> Optimizer::Execute(
   rec.rows_scanned = ctx.stats.rows_scanned;
   if (profile != nullptr) rec.profile_text = profile->ToText();
   for (const auto& [name, ns] : rec.phase_ns) rec.total_ns += ns;
-  obs::QueryRecorder::Global().Record(std::move(rec));
+  const uint64_t total_ns = rec.total_ns;
+  uint64_t record_id = obs::QueryRecorder::Global().Record(std::move(rec));
+  // Per-class end-to-end latency, exemplar-linked to the record just
+  // written: an alert on this window resolves to that QueryRecord.
+  obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
+  if (plane.enabled()) {
+    plane.RecordClassSample(query.class_fingerprint, "execute.ns",
+                            total_ns, record_id, query.plan_hash);
+  }
   // Mirror the per-execution work counters into the registry so they
   // accumulate across queries (\metrics, bench --metrics-json).
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

@@ -57,6 +57,12 @@ struct PreparedQuery {
   /// canonical printed form (equal hash ⇒ structurally equal plan).
   std::vector<std::pair<std::string, uint64_t>> phase_ns;
   uint64_t plan_hash = 0;
+  /// Canonical-shape fingerprint of the SQL (literals parameterized,
+  /// catalog-version independent) — the query *class* key shared with
+  /// the advisor and the plan cache's canonical form. The time-series
+  /// plane buckets per-class prepare/execute latencies under it. 0 when
+  /// the SQL did not lex.
+  uint64_t class_fingerprint = 0;
   /// Post-optimization static verification (plan lint, proof checker,
   /// null-semantics audit). `verified` tells whether the pass ran.
   bool verified = false;

@@ -157,6 +157,9 @@ TEST_F(HttpEndpointTest, IndexListsRoutes) {
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(response.find("/metrics"), std::string::npos);
   EXPECT_NE(response.find("/advisor"), std::string::npos);
+  EXPECT_NE(response.find("/timeseries"), std::string::npos);
+  EXPECT_NE(response.find("/alerts"), std::string::npos);
+  EXPECT_NE(response.find("/healthz"), std::string::npos);
 }
 
 TEST_F(HttpEndpointTest, MetricsRouteKeepsTextPlainContentType) {
@@ -169,9 +172,75 @@ TEST_F(HttpEndpointTest, MetricsRouteKeepsTextPlainContentType) {
   EXPECT_EQ(response.find("application/json"), std::string::npos);
 }
 
-TEST_F(HttpEndpointTest, UnknownPathIs404) {
+TEST_F(HttpEndpointTest, UnknownPathIs404WithJsonErrorBody) {
   std::string response = Get(endpoint_->port(), "/nope");
   EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"error\""), std::string::npos);
+  EXPECT_NE(body.find("/nope"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, HeadAnswersWithHeadersOnly) {
+  std::string get = Get(endpoint_->port(), "/metrics");
+  std::string head = RawRequest(
+      endpoint_->port(),
+      "HEAD /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Same Content-Length the GET advertised, but nothing after the
+  // header terminator.
+  size_t cl = get.find("Content-Length:");
+  ASSERT_NE(cl, std::string::npos);
+  std::string cl_line = get.substr(cl, get.find("\r\n", cl) - cl);
+  EXPECT_NE(head.find(cl_line), std::string::npos);
+  EXPECT_TRUE(Body(head).empty()) << Body(head);
+}
+
+TEST_F(HttpEndpointTest, HeadOnUnknownPathIs404WithoutBody) {
+  std::string response = RawRequest(
+      endpoint_->port(),
+      "HEAD /nope HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_TRUE(Body(response).empty());
+}
+
+TEST_F(HttpEndpointTest, HealthzReportsUptimeAndTickerState) {
+  std::string response = Get(endpoint_->port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_ms\""), std::string::npos);
+  EXPECT_NE(body.find("\"ticker_running\""), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, TimeseriesRouteServesPlaneJson) {
+  std::string response = Get(endpoint_->port(), "/timeseries");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"timeseries\""), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, AlertsRouteServesSentinelJson) {
+  std::string response = Get(endpoint_->port(), "/alerts");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  std::string body = Body(response);
+  Status valid = obs::ValidateJson(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << body;
+  EXPECT_NE(body.find("\"sentinel\""), std::string::npos);
+  EXPECT_NE(body.find("\"alerts\""), std::string::npos);
 }
 
 TEST_F(HttpEndpointTest, NonGetMethodIs405) {

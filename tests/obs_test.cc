@@ -203,6 +203,25 @@ TEST(HistogramTest, ResetRestoresEmptyState) {
   EXPECT_EQ(h.min(), 9u);
 }
 
+TEST(HistogramTest, ResetBumpsGenerationRecordDoesNot) {
+  // The time-series plane snapshot-diffs histograms between ticks; the
+  // generation counter is how it detects a Reset() straddling a window
+  // (the delta would be garbage, so the window is marked invalid).
+  obs::Histogram h;
+  uint64_t gen0 = h.generation();
+  EXPECT_EQ(gen0 % 2, 0u) << "generation must be even at rest";
+  h.Record(7);
+  h.Record(1000);
+  EXPECT_EQ(h.generation(), gen0) << "Record must not bump generation";
+  h.Reset();
+  uint64_t gen1 = h.generation();
+  EXPECT_GT(gen1, gen0);
+  EXPECT_EQ(gen1 % 2, 0u) << "Reset must leave generation even";
+  // Every Reset advances it again — two resets are distinguishable.
+  h.Reset();
+  EXPECT_GT(h.generation(), gen1);
+}
+
 TEST(HistogramTest, BucketUpperBoundsAreInclusiveAndOrdered) {
   // A value must never exceed its bucket's upper bound, and bounds must
   // strictly increase (they become Prometheus `le` boundaries).

@@ -116,6 +116,30 @@ TEST(RecorderTest, StampsWallClockOnRecord) {
   EXPECT_TRUE(valid.ok()) << valid.ToString();
 }
 
+TEST(RecorderTest, StampsSteadyClockAndReturnsAssignedId) {
+  obs::QueryRecorder recorder;
+  uint64_t id_a = recorder.Record(MakeRecord("a", 1));
+  obs::QueryRecord pre = MakeRecord("pre", 1);
+  pre.steady_ns = 42;
+  uint64_t id_b = recorder.Record(std::move(pre));
+
+  // Record() returns the id it assigned — the time-series plane hands
+  // this to window exemplars so alerts resolve back to \history.
+  EXPECT_EQ(id_b, id_a + 1);
+  std::vector<obs::QueryRecord> history = recorder.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].id, id_a);
+  EXPECT_EQ(history[1].id, id_b);
+  // Un-stamped records get the monotonic clock; pre-stamped keep theirs.
+  EXPECT_GT(history[0].steady_ns, 0u);
+  EXPECT_EQ(history[1].steady_ns, 42u);
+  // The JSON dump carries the raw nanoseconds.
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"steady_ns\": 42"), std::string::npos) << json;
+  Status valid = obs::ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
 TEST(RecorderTest, RendersNearMissSummaries) {
   obs::QueryRecorder recorder;
   obs::QueryRecord rec = MakeRecord("SELECT DISTINCT SNO FROM SUPPLIER", 1);

@@ -1,0 +1,326 @@
+// Tests for the windowed time-series plane: counter deltas/rates, gauge
+// last-value windows, histogram snapshot-diff percentiles, the
+// generation-guarded reset straddle, per-class accumulators with
+// exemplars, firing-ratio synthesis, ring bounds, the background
+// ticker, and JSON validity of the export.
+
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sentinel.h"
+#include "test_util.h"
+
+namespace uniqopt {
+namespace {
+
+/// Finds a series by exact name; nullptr when absent.
+const obs::SeriesSnapshot* Find(
+    const std::vector<obs::SeriesSnapshot>& series,
+    const std::string& name) {
+  for (const obs::SeriesSnapshot& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  TimeSeriesTest() : plane_(8, &clock_, &registry_) {
+    plane_.set_enabled(true);
+  }
+
+  /// Snapshots the plane and finds a series by exact name. The snapshot
+  /// is kept alive in the fixture so the returned pointer stays valid
+  /// for the assertions that follow (a pointer into a temporary
+  /// Snapshot() would dangle).
+  const obs::SeriesSnapshot* Find(const std::string& name) {
+    snapshot_ = plane_.Snapshot();
+    return uniqopt::Find(snapshot_, name);
+  }
+
+  obs::ManualWindowClock clock_;
+  obs::MetricsRegistry registry_;
+  obs::TimeSeriesPlane plane_;
+  std::vector<obs::SeriesSnapshot> snapshot_;
+};
+
+TEST_F(TimeSeriesTest, CounterFirstTickOnlyEstablishesBaseline) {
+  registry_.GetCounter("work.done").Increment(100);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  // The cumulative 100 is not a window delta — no window yet.
+  EXPECT_EQ(Find("work.done"), nullptr);
+
+  registry_.GetCounter("work.done").Increment(40);
+  clock_.Advance(2000000000);  // 2s window
+  plane_.Tick();
+  const obs::SeriesSnapshot* s = Find("work.done");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, obs::SeriesKind::kCounter);
+  ASSERT_EQ(s->windows.size(), 1u);
+  EXPECT_EQ(s->windows[0].value, 40u);
+  EXPECT_NEAR(s->windows[0].rate, 20.0, 0.001);  // 40 over 2s
+}
+
+TEST_F(TimeSeriesTest, GaugeWindowKeepsLastValue) {
+  registry_.GetGauge("cache.bytes").Set(5000);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  registry_.GetGauge("cache.bytes").Set(7777);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  const obs::SeriesSnapshot* s = Find("cache.bytes");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, obs::SeriesKind::kGauge);
+  ASSERT_EQ(s->windows.size(), 2u);
+  EXPECT_EQ(s->windows[0].value, 5000u);
+  EXPECT_EQ(s->windows[1].value, 7777u);
+}
+
+TEST_F(TimeSeriesTest, HistogramWindowPercentilesComeFromWindowSamplesOnly) {
+  obs::Histogram& h = registry_.GetHistogram("op.ns");
+  // Old regime: slow samples, folded into the baseline.
+  for (int i = 0; i < 100; ++i) h.Record(100000);
+  clock_.Advance(1000000000);
+  plane_.Tick();  // baseline for op.ns
+  // New window: fast samples only. A cumulative p50 would still sit
+  // near 100000; the *window* p50 must reflect only the new samples.
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  const obs::SeriesSnapshot* s = Find("op.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, obs::SeriesKind::kHistogram);
+  ASSERT_GE(s->windows.size(), 1u);
+  const obs::WindowStats& w = s->windows.back();
+  EXPECT_TRUE(w.valid);
+  EXPECT_EQ(w.count, 100u);
+  // Bucket-midpoint estimate: within the histogram's 12.5% error bound.
+  EXPECT_LT(w.p50, 1200u);
+  EXPECT_GT(w.p50, 800u);
+  EXPECT_LT(w.p99, 1200u);
+}
+
+TEST_F(TimeSeriesTest, ResetStraddlingWindowIsInvalidatedNotNegative) {
+  obs::Histogram& h = registry_.GetHistogram("op.ns");
+  for (int i = 0; i < 50; ++i) h.Record(2000);
+  clock_.Advance(1000000000);
+  plane_.Tick();  // baseline
+  for (int i = 0; i < 10; ++i) h.Record(2000);
+  clock_.Advance(1000000000);
+  plane_.Tick();  // valid window: 10 samples
+  h.Record(3000);
+  h.Reset();  // generation bump lands inside the next window
+  h.Record(500);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  const obs::SeriesSnapshot* s = Find("op.ns");
+  ASSERT_NE(s, nullptr);
+  ASSERT_GE(s->windows.size(), 2u);
+  EXPECT_TRUE(s->windows[s->windows.size() - 2].valid);
+  EXPECT_EQ(s->windows[s->windows.size() - 2].count, 10u);
+  EXPECT_FALSE(s->windows.back().valid);  // straddled the reset
+
+  // The shadow re-baselines on the post-reset state: the next window is
+  // valid again and counts only its own samples.
+  for (int i = 0; i < 7; ++i) h.Record(4000);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  s = Find("op.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->windows.back().valid);
+  EXPECT_EQ(s->windows.back().count, 7u);
+}
+
+TEST_F(TimeSeriesTest, FiringRatioSynthesizedFromCounterDeltaPairs) {
+  obs::Counter& fired = registry_.GetCounter("rewrite.rule.X.fired");
+  obs::Counter& considered =
+      registry_.GetCounter("rewrite.rule.X.considered");
+  fired.Increment(1);
+  considered.Increment(1);
+  clock_.Advance(1000000000);
+  plane_.Tick();  // baseline
+  fired.Increment(3);
+  considered.Increment(4);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  const obs::SeriesSnapshot* s =
+      Find("rewrite.rule.X.firing_ratio");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, obs::SeriesKind::kRatio);
+  ASSERT_EQ(s->windows.size(), 1u);
+  EXPECT_NEAR(s->windows[0].ratio, 0.75, 0.001);
+
+  // A window where the rule was never considered produces no point
+  // (0/0 is a gap, not a zero).
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  s = Find("rewrite.rule.X.firing_ratio");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->windows.size(), 1u);
+}
+
+TEST_F(TimeSeriesTest, ClassSeriesFoldsSamplesAndCarriesWorstExemplar) {
+  const uint64_t kClass = 0xabcdef12;
+  plane_.RecordClassSample(kClass, "execute.ns", 1000, 7, 0x11);
+  plane_.RecordClassSample(kClass, "execute.ns", 9000, 8, 0x22);
+  plane_.RecordClassSample(kClass, "execute.ns", 2000, 9, 0x33);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  const obs::SeriesSnapshot* s =
+      Find("class.00000000abcdef12.execute.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, obs::SeriesKind::kClass);
+  EXPECT_EQ(s->class_fingerprint, kClass);
+  ASSERT_EQ(s->windows.size(), 1u);
+  const obs::WindowStats& w = s->windows[0];
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_EQ(w.sum, 12000u);
+  EXPECT_EQ(w.min, 1000u);
+  EXPECT_EQ(w.max, 9000u);
+  EXPECT_GE(w.p50, w.min);
+  EXPECT_LE(w.p50, w.max);
+  // The exemplar is the worst sample of the window: record #8.
+  EXPECT_EQ(w.exemplar.record_id, 8u);
+  EXPECT_EQ(w.exemplar.fingerprint, 0x22u);
+  EXPECT_EQ(w.exemplar.value, 9000u);
+
+  // The accumulator is per-window: the next window starts empty.
+  plane_.RecordClassSample(kClass, "execute.ns", 500, 10, 0x44);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  s = Find("class.00000000abcdef12.execute.ns");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->windows.size(), 2u);
+  EXPECT_EQ(s->windows[1].count, 1u);
+  EXPECT_EQ(s->windows[1].exemplar.record_id, 10u);
+}
+
+TEST_F(TimeSeriesTest, DisabledPlaneIgnoresClassSamples) {
+  plane_.set_enabled(false);
+  plane_.RecordClassSample(1, "execute.ns", 1000, 1, 1);
+  plane_.set_enabled(true);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  EXPECT_EQ(Find("class.0000000000000001.execute.ns"),
+            nullptr);
+}
+
+TEST_F(TimeSeriesTest, WindowRingIsBounded) {
+  registry_.GetCounter("busy").Increment();
+  clock_.Advance(1000000000);
+  plane_.Tick();  // baseline
+  for (int i = 0; i < 20; ++i) {
+    registry_.GetCounter("busy").Increment();
+    clock_.Advance(1000000000);
+    plane_.Tick();
+  }
+  const obs::SeriesSnapshot* s = Find("busy");
+  ASSERT_NE(s, nullptr);
+  // Ring of 8 (the fixture's windows_per_series), oldest evicted.
+  EXPECT_EQ(s->windows.size(), 8u);
+  for (size_t i = 1; i < s->windows.size(); ++i) {
+    EXPECT_EQ(s->windows[i].window, s->windows[i - 1].window + 1);
+  }
+  EXPECT_EQ(s->windows.back().window, 21u);
+}
+
+TEST_F(TimeSeriesTest, ClassCountIsBounded) {
+  for (uint64_t fp = 1;
+       fp <= obs::TimeSeriesPlane::kMaxClasses + 5; ++fp) {
+    plane_.RecordClassSample(fp, "execute.ns", 100, 0, 0);
+  }
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  size_t class_series = 0;
+  for (const obs::SeriesSnapshot& s : plane_.Snapshot()) {
+    if (s.kind == obs::SeriesKind::kClass) ++class_series;
+  }
+  EXPECT_EQ(class_series, obs::TimeSeriesPlane::kMaxClasses);
+}
+
+TEST_F(TimeSeriesTest, ResetDropsSeriesAndShadows) {
+  registry_.GetCounter("c").Increment();
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  registry_.GetCounter("c").Increment();
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  EXPECT_FALSE(plane_.Snapshot().empty());
+  plane_.Reset();
+  EXPECT_TRUE(plane_.Snapshot().empty());
+}
+
+TEST_F(TimeSeriesTest, ToJsonIsValidAndCarriesExemplars) {
+  plane_.RecordClassSample(0x42, "execute.ns", 1234, 3, 0x99);
+  registry_.GetCounter("c").Increment();
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  std::string json = plane_.ToJson();
+  Status valid = obs::ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(json.find("\"exemplar\""), std::string::npos);
+  EXPECT_NE(json.find("\"record_id\": 3"), std::string::npos);
+}
+
+TEST_F(TimeSeriesTest, ToTextRendersSparklineAndInvalidMarker) {
+  obs::Histogram& h = registry_.GetHistogram("op.ns");
+  h.Record(100);
+  clock_.Advance(1000000000);
+  plane_.Tick();  // baseline
+  h.Record(100);
+  clock_.Advance(1000000000);
+  plane_.Tick();
+  h.Reset();
+  clock_.Advance(1000000000);
+  plane_.Tick();  // straddles the reset → 'x' in the sparkline
+  std::string text = plane_.ToText("op.ns");
+  EXPECT_NE(text.find("op.ns"), std::string::npos);
+  EXPECT_NE(text.find('x'), std::string::npos);
+  EXPECT_NE(text.find("(invalid)"), std::string::npos);
+  // The no-filter form is a summary listing.
+  std::string summary = plane_.ToText();
+  EXPECT_NE(summary.find("timeline:"), std::string::npos);
+  EXPECT_NE(summary.find("op.ns"), std::string::npos);
+}
+
+TEST(TimeSeriesTickerTest, BackgroundTickerTicksAndStops) {
+  obs::ManualWindowClock clock;
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesPlane plane(8, &clock, &registry);
+  ASSERT_OK(plane.StartTicker(1));
+  EXPECT_TRUE(plane.ticker_running());
+  EXPECT_FALSE(plane.StartTicker(1).ok());  // already running
+  while (plane.ticks() < 3) {
+    clock.Advance(1000000);
+    std::this_thread::yield();
+  }
+  plane.StopTicker();
+  EXPECT_FALSE(plane.ticker_running());
+  plane.StopTicker();  // idempotent
+  uint64_t after = plane.ticks();
+  EXPECT_GE(after, 3u);
+}
+
+TEST(TimeSeriesTickerTest, StartTickerEnablesTheSampleFeed) {
+  obs::ManualWindowClock clock;
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesPlane plane(8, &clock, &registry);
+  EXPECT_FALSE(plane.enabled());
+  ASSERT_OK(plane.StartTicker(1000));
+  EXPECT_TRUE(plane.enabled());
+  plane.StopTicker();
+}
+
+}  // namespace
+}  // namespace uniqopt
