@@ -13,7 +13,14 @@
 //    plane's background ticker running (100ms windows) and the sample
 //    feed enabled — `bench.plan_cache.cold_ticker.ns`. check.sh
 //    --bench-gate compares its p50 against the ticker-off cold p50
-//    (BENCH_pr7.json), bounding what live monitoring costs.
+//    (BENCH_pr8.json), bounding what live monitoring costs.
+//  - BM_PrepareColdEquivOn: the cold pipeline with the symbolic
+//    equivalence prover certifying every applied rewrite —
+//    `bench.plan_cache.cold_equiv.ns`. check.sh --bench-gate bounds
+//    its p50 at <= 1.3x the prover-off cold p50 (BENCH_pr8.json):
+//    certifying rewrites must stay a small tax on prepare. The gated
+//    BM_PrepareCold baseline runs prover-off so the number stays
+//    comparable with pre-prover baselines in bench/baselines/.
 //  - BM_PrepareWarmHit: the same corpus against a pre-warmed cache —
 //    fingerprint + one shared-lock lookup. Latencies land in
 //    `bench.plan_cache.warm.ns`; check.sh --bench-gate asserts warm p50
@@ -74,6 +81,7 @@ void BM_PrepareCold(benchmark::State& state) {
   advisor_off.analysis.collect_near_misses = false;
   Optimizer optimizer(db, advisor_off, /*use_cost_model=*/false, no_cache);
   optimizer.set_advise(false);
+  optimizer.set_check_equiv(false);
   std::vector<std::string> corpus = CorpusSql();
   obs::Histogram& latency =
       obs::MetricsRegistry::Global().GetHistogram("bench.plan_cache.cold.ns");
@@ -87,11 +95,34 @@ void BM_PrepareCold(benchmark::State& state) {
 }
 BENCHMARK(BM_PrepareCold);
 
+void BM_PrepareColdEquivOn(benchmark::State& state) {
+  Database* db = MutableSupplierDb();
+  cache::PlanCacheOptions no_cache;
+  no_cache.enabled = false;
+  RewriteOptions advisor_off;
+  advisor_off.analysis.collect_near_misses = false;
+  Optimizer optimizer(db, advisor_off, /*use_cost_model=*/false, no_cache);
+  optimizer.set_advise(false);
+  optimizer.set_check_equiv(true);
+  std::vector<std::string> corpus = CorpusSql();
+  obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.plan_cache.cold_equiv.ns");
+  size_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedLatencyTimer timer(&latency);
+    auto prepared = optimizer.PrepareShared(corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(prepared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareColdEquivOn);
+
 void BM_PrepareColdAdvisorOn(benchmark::State& state) {
   Database* db = MutableSupplierDb();
   cache::PlanCacheOptions no_cache;
   no_cache.enabled = false;
   Optimizer optimizer(db, {}, /*use_cost_model=*/false, no_cache);
+  optimizer.set_check_equiv(false);
   std::vector<std::string> corpus = CorpusSql();
   obs::AdvisorStore::Global().set_enabled(true);
   obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
@@ -115,6 +146,7 @@ void BM_PrepareColdTickerOn(benchmark::State& state) {
   advisor_off.analysis.collect_near_misses = false;
   Optimizer optimizer(db, advisor_off, /*use_cost_model=*/false, no_cache);
   optimizer.set_advise(false);
+  optimizer.set_check_equiv(false);
   std::vector<std::string> corpus = CorpusSql();
   obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
   Status ticker = plane.StartTicker(100);

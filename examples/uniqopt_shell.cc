@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "equiv/schema_lint.h"
 #include "obs/export.h"
 #include "obs/http_endpoint.h"
 #include "obs/metrics.h"
@@ -138,7 +139,9 @@ int Run() {
       "(/metrics /trace /queries /advisor /timeseries /alerts /healthz)\n"
       "plus the 1s window ticker and the regression sentinel; \\export "
       "[trace|metrics|queries|advisor|timeline] "
-      "<file> dumps a payload;\n\\verify <q> runs the plan verifier; "
+      "<file> dumps a payload;\n\\verify <q> runs the plan verifier "
+      "(equivalence certificates included);\n\\schemalint audits the "
+      "catalog's declared constraints for inconsistencies;\n"
       "\\cache shows the plan cache (\\cache clear empties it);\n"
       "\\timeline [<filter>] renders windowed series; \\alerts lists "
       "sentinel alerts;\n\\sentinel on|off|reset controls the sentinel; "
@@ -375,6 +378,21 @@ int Run() {
                                         ? prepared->verification
                                         : optimizer.Verify(*prepared);
       std::printf("%s", report.ToString().c_str());
+      continue;
+    }
+    if (trimmed == "\\schemalint") {
+      std::vector<equiv::SchemaLintFinding> findings =
+          equiv::LintCatalog(db.catalog());
+      if (findings.empty()) {
+        std::printf("schema clean: no constraint inconsistencies found\n");
+      } else {
+        for (const equiv::SchemaLintFinding& f : findings) {
+          std::printf("%s\n", f.ToString().c_str());
+        }
+        size_t published = equiv::PublishSchemaFindings(findings);
+        std::printf("(%zu finding(s); %zu published to the advisor)\n",
+                    findings.size(), published);
+      }
       continue;
     }
 

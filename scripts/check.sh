@@ -11,11 +11,19 @@
 #                 against an 8-thread PrepareBatch) under ThreadSanitizer
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr7.json
+#                 scripts/bench_compare.py, and write BENCH_pr8.json
 #                 (including the plan-cache warm/cold p50 speedup, which
-#                 must be >= 10x, and the ticker-on vs ticker-off
+#                 must be >= 10x, the ticker-on vs ticker-off
 #                 cold-prepare p50 ratio, which must stay <= 1.5x — live
-#                 monitoring must not tax the prepare path)
+#                 monitoring must not tax the prepare path — and the
+#                 equiv-prover-on vs prover-off cold-prepare p50 ratio,
+#                 which must stay <= 1.3x: certifying every rewrite must
+#                 remain a small tax)
+#   --equiv-sweep run only the symbolic-equivalence sweep: the random
+#                 workload at the pinned seeds must yield zero
+#                 EQUIV_REFUTED certificates and an UNPROVEN share under
+#                 the pinned ceiling, plus the paper Examples 1-11 all
+#                 EQUIV_PROVEN
 #   --tidy        run only the clang-tidy gate (the default path runs it
 #                 too; it skips with a warning when clang-tidy is not
 #                 installed)
@@ -26,10 +34,12 @@ cd "$(dirname "$0")/.."
 RUN_TSAN=0
 RUN_BENCH_GATE=0
 TIDY_ONLY=0
+EQUIV_SWEEP_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --bench-gate) RUN_BENCH_GATE=1 ;;
+    --equiv-sweep) EQUIV_SWEEP_ONLY=1 ;;
     --tidy) TIDY_ONLY=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -54,6 +64,23 @@ run_tidy() {
 if [[ "$TIDY_ONLY" == 1 ]]; then
   run_tidy
   echo "== tidy gate done =="
+  exit 0
+fi
+
+# The equivalence-prover sweep: refuting a production rewrite is a
+# prover (or rewriter) soundness bug, so the sweep test hard-fails on
+# any EQUIV_REFUTED certificate and pins the honest-UNPROVEN share.
+run_equiv_sweep() {
+  echo "== equiv sweep: zero refuted over the random workload, Examples 1-11 proven =="
+  ./build/tests/equiv_test \
+    --gtest_filter='*RandomSweep*:*PaperExample*' --gtest_brief=1
+}
+
+if [[ "$EQUIV_SWEEP_ONLY" == 1 ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target equiv_test
+  run_equiv_sweep
+  echo "== equiv sweep done =="
   exit 0
 fi
 
@@ -88,6 +115,8 @@ if [[ "$slow_alerts" == 0 ]]; then
 fi
 echo "sentinel smoke ok: quiet=0 alerts, 5x slowdown=${slow_alerts} alert(s)"
 
+run_equiv_sweep
+
 run_tidy
 
 echo "== sanitizers: ASan/UBSan build of obs + analysis tests =="
@@ -97,7 +126,7 @@ cmake -B build-asan -S . \
   >/dev/null
 cmake --build build-asan -j --target obs_test analysis_test \
   export_test recorder_test http_endpoint_test advisor_test \
-  timeseries_test sentinel_test
+  timeseries_test sentinel_test equiv_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
 ./build-asan/tests/export_test
@@ -106,6 +135,7 @@ cmake --build build-asan -j --target obs_test analysis_test \
 ./build-asan/tests/advisor_test
 ./build-asan/tests/timeseries_test
 ./build-asan/tests/sentinel_test
+./build-asan/tests/equiv_test
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
@@ -115,7 +145,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     >/dev/null
   cmake --build build-tsan -j --target obs_test recorder_test \
     cache_test concurrent_prepare_test advisor_test \
-    timeseries_test sentinel_test
+    timeseries_test sentinel_test equiv_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
   ./build-tsan/tests/cache_test
@@ -123,6 +153,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/advisor_test
   ./build-tsan/tests/timeseries_test
   ./build-tsan/tests/sentinel_test
+  ./build-tsan/tests/equiv_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
@@ -146,7 +177,7 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
     fi
     summaries+=("$summary")
   done
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr7.json
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr8.json
 import json, sys
 benches = {}
 ok = True
@@ -161,6 +192,7 @@ for path in sys.argv[1:]:
 # cold prepare (p50 over p50, from the bench's own histograms).
 plan_cache = None
 ticker = None
+equiv = None
 try:
     with open("build/bench-gate/bench_plan_cache.json") as f:
         metrics = {m["name"]: m for m in json.load(f)["metrics"]}
@@ -185,18 +217,31 @@ try:
         "ok": overhead <= 1.5,
     }
     ok = ok and ticker["ok"]
+    # Certifying every rewrite with the symbolic equivalence prover must
+    # stay a small tax on the cold prepare path.
+    cold_equiv = metrics["bench.plan_cache.cold_equiv.ns"]["p50"]
+    equiv_overhead = cold_equiv / cold if cold else 0.0
+    equiv = {
+        "cold_p50_ns": cold,
+        "cold_equiv_p50_ns": cold_equiv,
+        "overhead": round(equiv_overhead, 3),
+        "ok": equiv_overhead <= 1.3,
+    }
+    ok = ok and equiv["ok"]
 except (OSError, KeyError) as e:
     plan_cache = plan_cache or {"ok": False, "error": str(e)}
     ticker = ticker or {"ok": False, "error": str(e)}
+    equiv = equiv or {"ok": False, "error": str(e)}
     ok = False
 
 json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
-           "plan_cache": plan_cache, "timeseries_ticker": ticker},
+           "plan_cache": plan_cache, "timeseries_ticker": ticker,
+           "equiv_prover": equiv},
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr7.json"
-  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr7.json'))['ok'] else 1)"; then
+  echo "bench gate summary written to BENCH_pr8.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr8.json'))['ok'] else 1)"; then
     gate_ok=0
   fi
   if [[ "$gate_ok" != 1 ]]; then

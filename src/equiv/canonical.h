@@ -1,0 +1,41 @@
+#ifndef UNIQOPT_EQUIV_CANONICAL_H_
+#define UNIQOPT_EQUIV_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "plan/plan.h"
+
+namespace uniqopt {
+namespace equiv {
+
+/// Canonical rendering of a bound expression: commutative operands are
+/// ordered, nested AND/OR chains are flattened and sorted, comparisons
+/// are oriented so the textually smaller operand comes first (flipping
+/// the operator where needed), and columns render positionally (`#i`) so
+/// two structurally identical predicates over differently named columns
+/// still canonicalize alike. Two expressions are equivalent modulo
+/// conjunct/disjunct order and comparison orientation iff their
+/// canonical texts match.
+std::string CanonicalExprText(const ExprPtr& expr);
+
+/// Flattens `predicate` into its conjunct set, drops TRUE literals, and
+/// returns the sorted canonical texts. The *set* view of a σ predicate:
+/// equal sets ⇒ equivalent filters.
+std::vector<std::string> CanonicalConjunctSet(const ExprPtr& predicate);
+
+/// Canonical rendering of a plan subtree: every predicate is replaced by
+/// its canonical conjunct set, every projection/grouping map renders
+/// positionally. Matching texts ⇒ the two subtrees are the same algebra
+/// term modulo predicate order.
+std::string CanonicalPlanText(const PlanPtr& plan);
+
+/// Pointer equality or matching canonical text.
+bool CanonicallyEqualPlans(const PlanPtr& a, const PlanPtr& b);
+bool CanonicallyEqualExprs(const ExprPtr& a, const ExprPtr& b);
+
+}  // namespace equiv
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EQUIV_CANONICAL_H_

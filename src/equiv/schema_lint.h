@@ -1,0 +1,67 @@
+#ifndef UNIQOPT_EQUIV_SCHEMA_LINT_H_
+#define UNIQOPT_EQUIV_SCHEMA_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace uniqopt {
+namespace equiv {
+
+/// Statically detectable catalog inconsistencies. The linter never
+/// blocks DDL — every finding is advisory and also feeds the constraint
+/// advisor store so `\advisor` and GET /advisor surface it next to the
+/// query-driven near-misses.
+enum class SchemaLintKind {
+  /// Two keys declare the same column set.
+  kDuplicateKey,
+  /// A declared key's column set strictly contains another key's — the
+  /// wider key is implied and every proof it powers is already powered
+  /// by the narrower one.
+  kRedundantKey,
+  /// A PRIMARY KEY column is declared nullable: the NOT NULL half of
+  /// the primary-key contract is missing and null-safe joins degrade.
+  kNullableKeyColumn,
+  /// A NOT NULL foreign-key source references a nullable key column of
+  /// the target — rows of the target with a NULL key can never be
+  /// referenced, and Theorem 2/3 gates lose the NOT NULL fact.
+  kNotNullFkConflict,
+  /// A foreign key whose referenced column set is not a declared
+  /// candidate key of the target (matches are not guaranteed unique).
+  kDanglingForeignKey,
+  /// A single-column CHECK admits no storable value: on a NOT NULL
+  /// column the table can hold no rows at all.
+  kUnsatisfiableCheck,
+  /// Foreign keys form a referential cycle; with NOT NULL sources on
+  /// every edge the inclusion dependencies compose into functional
+  /// dependencies both ways, implying each source column set is an
+  /// undeclared candidate key.
+  kForeignKeyCycle,
+};
+
+const char* SchemaLintKindName(SchemaLintKind kind);
+
+struct SchemaLintFinding {
+  SchemaLintKind kind = SchemaLintKind::kDuplicateKey;
+  std::string table;   ///< Table the finding is anchored to.
+  std::string object;  ///< Offending key/check/FK name (may be empty).
+  std::string detail;  ///< Human-readable explanation.
+
+  /// "KIND table object: detail" one-liner.
+  std::string ToString() const;
+};
+
+/// Analyzes every table of `catalog`; deterministic order (registration
+/// order, then constraint order). Pure — no store side effects.
+std::vector<SchemaLintFinding> LintCatalog(const Catalog& catalog);
+
+/// Folds the findings into the process-wide advisor store under
+/// "schema.lint.<kind>" goals so they rank alongside query-driven
+/// near-misses. Returns the number of findings published.
+size_t PublishSchemaFindings(const std::vector<SchemaLintFinding>& findings);
+
+}  // namespace equiv
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EQUIV_SCHEMA_LINT_H_

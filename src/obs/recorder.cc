@@ -99,6 +99,11 @@ std::string QueryRecord::ToString() const {
   if (!verify_summary.empty()) {
     out += "    verify: " + verify_summary + "\n";
   }
+  if (equiv_proven + equiv_unproven + equiv_refuted > 0) {
+    out += "    equiv: " + std::to_string(equiv_proven) + " proven / " +
+           std::to_string(equiv_unproven) + " unproven / " +
+           std::to_string(equiv_refuted) + " refuted\n";
+  }
   for (const std::string& miss : near_misses) {
     out += "    near-miss: " + miss + "\n";
   }
@@ -255,8 +260,11 @@ std::string QueryRecorder::ToJson() const {
     }
     out += "], \"analysis\": \"" + JsonEscape(r.proof_summary) + "\", ";
     out += "\"verify\": \"" + JsonEscape(r.verify_summary) + "\", ";
-    out +=
-        "\"verify_violations\": " + std::to_string(r.verify_violations) + "}";
+    out += "\"verify_violations\": " + std::to_string(r.verify_violations) +
+           ", ";
+    out += "\"equiv\": {\"proven\": " + std::to_string(r.equiv_proven) +
+           ", \"unproven\": " + std::to_string(r.equiv_unproven) +
+           ", \"refuted\": " + std::to_string(r.equiv_refuted) + "}}";
   }
   out += first ? "]}\n" : "\n]}\n";
   return out;

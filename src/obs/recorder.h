@@ -36,6 +36,11 @@ struct QueryRecord {
   /// verifier did not run for this query).
   std::string verify_summary;
   uint64_t verify_violations = 0;
+  /// Equivalence-prover verdict tallies for this query's rewrites (all
+  /// zero when the prover did not run or nothing was rewritten).
+  uint64_t equiv_proven = 0;
+  uint64_t equiv_unproven = 0;
+  uint64_t equiv_refuted = 0;
   uint64_t rows_out = 0;
   uint64_t rows_scanned = 0;
   /// Per-operator profile text when the run was metered (EXPLAIN

@@ -302,7 +302,7 @@ class Rewriter {
       if (verdict.ok() && verdict->at_most_one_match) {
         PlanPtr after = rebuild_as_join(project->mode());
         RewriteEvidence evidence;
-        evidence.before = project->input();  // the ExistsNode the proof covers
+        evidence.before = node;  // full π(EXISTS) subtree, matching `after`
         evidence.after = after;
         evidence.proof = std::move(verdict->proof);
         evidence.facts = std::move(verdict->trace);
@@ -324,7 +324,7 @@ class Rewriter {
       Considered(RewriteRuleId::kSubqueryToDistinctJoin);
       PlanPtr after = rebuild_as_join(DuplicateMode::kDist);
       RewriteEvidence evidence;
-      evidence.before = project->input();
+      evidence.before = node;
       evidence.after = after;
       evidence.facts = {
           "projection is DISTINCT: the Dist/Dist equivalence after "
@@ -346,7 +346,7 @@ class Rewriter {
       if (outer_unique) {
         PlanPtr after = rebuild_as_join(DuplicateMode::kDist);
         RewriteEvidence evidence;
-        evidence.before = project->input();
+        evidence.before = node;
         evidence.after = after;
         evidence.facts = {
             "outer projection duplicate-free (Corollary 1): " +
@@ -966,7 +966,7 @@ class Rewriter {
                                         project->columns());
       RewriteEvidence evidence;
       evidence.before = node;
-      evidence.after = exists;
+      evidence.after = after;  // full π(EXISTS) subtree, matching `before`
       evidence.proof = std::move(verdict->proof);
       evidence.facts = std::move(verdict->trace);
       Record(RewriteRuleId::kJoinToSubquery,
@@ -979,7 +979,7 @@ class Rewriter {
                                       project->columns());
     RewriteEvidence evidence;
     evidence.before = node;
-    evidence.after = exists;
+    evidence.after = after;
     evidence.facts = {
         "projection is DISTINCT: the join-to-EXISTS direction of the "
         "Dist/Dist equivalence holds unconditionally"};

@@ -105,11 +105,14 @@ struct RewriteOptions {
 /// reference implementation; a rewrite without evidence is itself a
 /// verifier violation.
 struct RewriteEvidence {
-  /// The subtree the rule matched (pre-image). For subquery→join rules
-  /// this is the ExistsNode the Theorem 2 proof talks about.
+  /// The full subtree the rule matched (pre-image), as an owned plan —
+  /// never a rendering. The equivalence prover (src/equiv/) normalizes
+  /// and matches this structure against `after`, so producers must hand
+  /// over the complete matched node (e.g. the π(EXISTS) subtree for
+  /// subquery→join, not just the inner ExistsNode).
   PlanPtr before;
-  /// The subtree the rule produced. For set-op→EXISTS rules this is the
-  /// ExistsNode whose correlation the null-semantics audit inspects.
+  /// The full subtree the rule produced. For set-op→EXISTS rules this is
+  /// the ExistsNode whose correlation the null-semantics audit inspects.
   PlanPtr after;
   /// Closure/key-coverage proof when the gating analysis recorded one
   /// (Algorithm 1 for DISTINCT removal, Theorem 2 for subquery→join).

@@ -334,11 +334,12 @@ Result<std::shared_ptr<const PreparedQuery>> Optimizer::PrepareShared(
     auto canonical = cache::CanonicalizeSql(sql);
     if (canonical.ok()) {
       cache::FingerprintOptions fopts;
-      // The verify flag shapes what a PreparedQuery contains
-      // (verification report present or not), so it is part of the key.
-      // extra_fingerprint_salt_ isolates what-if replay prepares from
-      // entries keyed to the real catalog.
-      fopts.salt = (verify_plans_ ? 1 : 0) | extra_fingerprint_salt_;
+      // The verify and equiv flags shape what a PreparedQuery contains
+      // (verification report / certificates present or not), so they
+      // are part of the key. extra_fingerprint_salt_ isolates what-if
+      // replay prepares from entries keyed to the real catalog.
+      fopts.salt = (verify_plans_ ? 1 : 0) | (check_equiv_ ? 4 : 0) |
+                   extra_fingerprint_salt_;
       fingerprint = cache::FingerprintSql(*canonical, version, fopts);
       if (cache::PlanCache::EntryPtr entry =
               cache_->Get(fingerprint, version)) {
@@ -425,6 +426,7 @@ verify::VerifyReport Optimizer::Verify(const PreparedQuery& query) const {
   input.rewrites = &query.rewrites;
   input.analysis = &query.analysis;
   input.options = rewrite_options_.analysis;
+  input.check_equiv = check_equiv_;
   return verify::VerifyPlan(input);
 }
 
@@ -478,6 +480,9 @@ Result<std::vector<Row>> Optimizer::Execute(
   if (query.verified) {
     rec.verify_summary = query.verification.Summary();
     rec.verify_violations = query.verification.violations.size();
+    rec.equiv_proven = query.verification.equiv_proven;
+    rec.equiv_unproven = query.verification.equiv_unproven;
+    rec.equiv_refuted = query.verification.equiv_refuted;
   }
   std::vector<Row> rows;
   Status exec_status;

@@ -160,6 +160,13 @@ class Optimizer {
   void set_advise(bool on) { advise_ = on; }
   bool advise() const { return advise_; }
 
+  /// Toggles the symbolic equivalence prover inside verification
+  /// (defaults to equiv::kCheckEquivByDefault, the CMake
+  /// UNIQOPT_CHECK_EQUIV option). Only consulted when verification
+  /// runs at all.
+  void set_check_equiv(bool on) { check_equiv_ = on; }
+  bool check_equiv() const { return check_equiv_; }
+
   /// Extra salt ORed into plan-cache fingerprints. What-if replay sets
   /// a private bit so hypothetical-catalog prepares can never be served
   /// from (or pollute) entries keyed to the real catalog.
@@ -188,6 +195,7 @@ class Optimizer {
   RewriteOptions rewrite_options_;
   bool use_cost_model_ = false;
   bool verify_plans_ = kVerifyPlansByDefault;
+  bool check_equiv_ = equiv::kCheckEquivByDefault;
   bool advise_ = true;
   uint64_t extra_fingerprint_salt_ = 0;
   std::shared_ptr<cache::PlanCache> cache_;

@@ -11,11 +11,11 @@ namespace verify {
 
 namespace {
 
-void AddViolation(VerifyReport* report, std::string code, std::string message,
+void AddViolation(VerifyReport* report, ViolationCode code, std::string message,
                   std::string context = {}) {
   Violation v;
   v.analyzer = Analyzer::kNullAudit;
-  v.code = std::move(code);
+  v.code = code;
   v.message = std::move(message);
   v.context = std::move(context);
   report->violations.push_back(std::move(v));
@@ -92,7 +92,7 @@ void AuditCorrelation(const ExistsNode& exists, const std::string& origin,
   const Schema& sub = exists.sub()->schema();
   size_t n = outer.num_columns();
   if (sub.num_columns() != n) {
-    AddViolation(report, "correlation-width-mismatch",
+    AddViolation(report, ViolationCode::kCorrelationWidthMismatch,
                  origin + ": tuple-equality correlation over operands of "
                           "different widths",
                  exists.correlation()->ToString());
@@ -120,7 +120,7 @@ void AuditCorrelation(const ExistsNode& exists, const std::string& origin,
       if (i.has_value()) {
         if (outer.column(*i).nullable || sub.column(*i).nullable) {
           AddViolation(
-              report, "plain-eq-on-nullable",
+              report, ViolationCode::kPlainEqOnNullable,
               origin + ": column " + outer.column(*i).QualifiedName() +
                   " compared with plain = but Theorem 3 requires the "
                   "null-safe =! (a side is nullable)",
@@ -130,14 +130,14 @@ void AuditCorrelation(const ExistsNode& exists, const std::string& origin,
         continue;
       }
     }
-    AddViolation(report, "malformed-correlation-conjunct",
+    AddViolation(report, ViolationCode::kMalformedCorrelationConjunct,
                  origin + ": correlation conjunct is neither a column-wise "
                           "equality nor the null-safe =! shape",
                  conj->ToString());
   }
   for (size_t i = 0; i < n; ++i) {
     if (!covered[i]) {
-      AddViolation(report, "missing-correlation-column",
+      AddViolation(report, ViolationCode::kMissingCorrelationColumn,
                    origin + ": column " + outer.column(i).QualifiedName() +
                        " has no correlation conjunct — the tuple equality "
                        "is incomplete",

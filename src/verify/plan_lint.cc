@@ -8,11 +8,11 @@ namespace verify {
 
 namespace {
 
-void AddViolation(VerifyReport* report, std::string code, std::string message,
+void AddViolation(VerifyReport* report, ViolationCode code, std::string message,
                   std::string context = {}) {
   Violation v;
   v.analyzer = Analyzer::kPlanLint;
-  v.code = std::move(code);
+  v.code = code;
   v.message = std::move(message);
   v.context = std::move(context);
   report->violations.push_back(std::move(v));
@@ -26,7 +26,7 @@ void CheckColumnRefs(const ExprPtr& expr, size_t width, const char* where,
   expr->CollectColumns(&cols);
   for (size_t c : cols) {
     if (c >= width) {
-      AddViolation(report, "dangling-column-ref",
+      AddViolation(report, ViolationCode::kDanglingColumnRef,
                    std::string(where) + " references column " +
                        std::to_string(c) + " but the frame has only " +
                        std::to_string(width) + " column(s)",
@@ -44,7 +44,7 @@ void CheckSchema(const PlanNode& node, const Schema& expected,
                  VerifyReport* report) {
   const Schema& actual = node.schema();
   if (actual.num_columns() != expected.num_columns()) {
-    AddViolation(report, "schema-width-mismatch",
+    AddViolation(report, ViolationCode::kSchemaWidthMismatch,
                  "operator records " + std::to_string(actual.num_columns()) +
                      " output column(s) but its children imply " +
                      std::to_string(expected.num_columns()),
@@ -54,7 +54,7 @@ void CheckSchema(const PlanNode& node, const Schema& expected,
   for (size_t i = 0; i < actual.num_columns(); ++i) {
     if (actual.column(i).type != expected.column(i).type) {
       AddViolation(
-          report, "schema-type-mismatch",
+          report, ViolationCode::kSchemaTypeMismatch,
           "output column " + std::to_string(i) + " recorded as " +
               TypeIdToString(actual.column(i).type) + " but children imply " +
               TypeIdToString(expected.column(i).type),
@@ -91,7 +91,7 @@ void LintNode(const PlanPtr& node, VerifyReport* report) {
       bool in_range = true;
       for (size_t c : proj.columns()) {
         if (c >= in.num_columns()) {
-          AddViolation(report, "dangling-column-ref",
+          AddViolation(report, ViolationCode::kDanglingColumnRef,
                        "projection selects column " + std::to_string(c) +
                            " but its input has only " +
                            std::to_string(in.num_columns()) + " column(s)",
@@ -123,7 +123,7 @@ void LintNode(const PlanPtr& node, VerifyReport* report) {
     case PlanKind::kSetOp: {
       const SetOpNode& setop = *As<SetOpNode>(node);
       if (!setop.left()->schema().UnionCompatible(setop.right()->schema())) {
-        AddViolation(report, "setop-incompatible-operands",
+        AddViolation(report, ViolationCode::kSetOpIncompatibleOperands,
                      "set operation over operands that are not union "
                      "compatible",
                      node->ToString());
@@ -138,7 +138,7 @@ void LintNode(const PlanPtr& node, VerifyReport* report) {
       bool in_range = true;
       for (size_t c : agg.group_columns()) {
         if (c >= in.num_columns()) {
-          AddViolation(report, "dangling-column-ref",
+          AddViolation(report, ViolationCode::kDanglingColumnRef,
                        "GROUP BY column " + std::to_string(c) +
                            " exceeds the input width " +
                            std::to_string(in.num_columns()),
@@ -151,7 +151,7 @@ void LintNode(const PlanPtr& node, VerifyReport* report) {
       for (const AggregateItem& item : agg.aggregates()) {
         if (item.func != AggFunc::kCountStar &&
             item.arg_column >= in.num_columns()) {
-          AddViolation(report, "dangling-column-ref",
+          AddViolation(report, ViolationCode::kDanglingColumnRef,
                        "aggregate argument column " +
                            std::to_string(item.arg_column) +
                            " exceeds the input width " +
@@ -213,21 +213,21 @@ void CheckRewriteEvidence(const std::vector<AppliedRewrite>& rewrites,
   for (const AppliedRewrite& r : rewrites) {
     const char* rule = RewriteRuleIdToString(r.rule);
     if (!r.evidence.condition_proven) {
-      AddViolation(report, "rewrite-without-proven-condition",
+      AddViolation(report, ViolationCode::kRewriteWithoutProvenCondition,
                    std::string(rule) +
                        " fired without marking its precondition proven",
                    r.description);
       continue;
     }
     if (r.evidence.before == nullptr || r.evidence.after == nullptr) {
-      AddViolation(report, "rewrite-missing-subtrees",
+      AddViolation(report, ViolationCode::kRewriteMissingSubtrees,
                    std::string(rule) +
                        " fired without recording its before/after subtrees",
                    r.description);
       continue;
     }
     if (!HasEvidenceBody(r.evidence)) {
-      AddViolation(report, "rewrite-missing-evidence",
+      AddViolation(report, ViolationCode::kRewriteMissingEvidence,
                    std::string(rule) +
                        " fired with neither a recorded proof nor derived "
                        "facts",
@@ -240,7 +240,7 @@ void CheckRewriteEvidence(const std::vector<AppliedRewrite>& rewrites,
 
 void LintPlan(const VerifyInput& input, VerifyReport* report) {
   if (input.optimized == nullptr) {
-    AddViolation(report, "missing-optimized-plan",
+    AddViolation(report, ViolationCode::kMissingOptimizedPlan,
                  "verifier invoked without an optimized plan");
     return;
   }
@@ -265,7 +265,7 @@ void LintPlan(const VerifyInput& input, VerifyReport* report) {
       }
     }
     if (!justified) {
-      AddViolation(report, "distinct-dropped-without-proof",
+      AddViolation(report, ViolationCode::kDistinctDroppedWithoutProof,
                    "the original plan eliminates duplicates at the top but "
                    "the optimized plan does not, and no duplicate-affecting "
                    "rewrite with evidence was recorded",

@@ -11,11 +11,11 @@ namespace verify {
 
 namespace {
 
-void AddViolation(VerifyReport* report, std::string code, std::string message,
+void AddViolation(VerifyReport* report, ViolationCode code, std::string message,
                   std::string context = {}) {
   Violation v;
   v.analyzer = Analyzer::kProofChecker;
-  v.code = std::move(code);
+  v.code = code;
   v.message = std::move(message);
   v.context = std::move(context);
   report->violations.push_back(std::move(v));
@@ -253,12 +253,12 @@ void CheckProofConsistency(const ProofTrace& proof, const char* what,
   if (!proof.recorded) return;
   ++report->proofs_checked;
   if (proof.conclusion.empty()) {
-    AddViolation(report, "proof-without-conclusion",
+    AddViolation(report, ViolationCode::kProofWithoutConclusion,
                  std::string(what) + " recorded a proof with no conclusion");
   }
   for (const ProofKeyOutcome& key : proof.keys) {
     if (key.covered != key.missing_columns.empty()) {
-      AddViolation(report, "proof-key-outcome-inconsistent",
+      AddViolation(report, ViolationCode::kProofKeyOutcomeInconsistent,
                    std::string(what) + ": key " + key.key_name + " of " +
                        key.table + " marked " +
                        (key.covered ? "covered" : "not covered") +
@@ -270,7 +270,7 @@ void CheckProofConsistency(const ProofTrace& proof, const char* what,
 void CheckDivergence(std::optional<bool> reference, const char* claim,
                      const std::string& description, VerifyReport* report) {
   if (!reference.has_value()) {
-    AddViolation(report, "proof-not-recheckable",
+    AddViolation(report, ViolationCode::kProofNotRecheckable,
                  std::string(claim) +
                      ": the reference implementation could not decompose "
                      "the evidence subtree",
@@ -278,7 +278,7 @@ void CheckDivergence(std::optional<bool> reference, const char* claim,
     return;
   }
   if (!*reference) {
-    AddViolation(report, "proof-divergence",
+    AddViolation(report, ViolationCode::kProofDivergence,
                  std::string(claim) +
                      ": production proved the condition but the reference "
                      "implementation cannot reproduce the proof",
@@ -298,7 +298,7 @@ void CheckRewriteProof(const AppliedRewrite& r,
     case RewriteRuleId::kRemoveRedundantDistinct: {
       if (const ProjectNode* proj = As<ProjectNode>(before)) {
         if (proj->mode() != DuplicateMode::kDist) {
-          AddViolation(report, "proof-claim-mismatch",
+          AddViolation(report, ViolationCode::kProofClaimMismatch,
                        std::string(rule) +
                            " evidence subtree is not a DISTINCT projection",
                        before->ToString());
@@ -329,7 +329,7 @@ void CheckRewriteProof(const AppliedRewrite& r,
                         report);
         return;
       }
-      AddViolation(report, "proof-claim-mismatch",
+      AddViolation(report, ViolationCode::kProofClaimMismatch,
                    std::string(rule) +
                        " evidence matches neither a DISTINCT projection nor "
                        "a set operation",
@@ -337,9 +337,16 @@ void CheckRewriteProof(const AppliedRewrite& r,
       return;
     }
     case RewriteRuleId::kSubqueryToJoin: {
+      // The evidence carries the full π(EXISTS) subtree; accept a bare
+      // ExistsNode too (older producers).
       const ExistsNode* exists = As<ExistsNode>(before);
       if (exists == nullptr) {
-        AddViolation(report, "proof-claim-mismatch",
+        if (const auto* proj = As<ProjectNode>(before)) {
+          exists = As<ExistsNode>(proj->input());
+        }
+      }
+      if (exists == nullptr) {
+        AddViolation(report, ViolationCode::kProofClaimMismatch,
                      std::string(rule) +
                          " evidence subtree is not an existential subquery",
                      before->ToString());
@@ -354,7 +361,12 @@ void CheckRewriteProof(const AppliedRewrite& r,
       if (!r.evidence.proof.recorded) return;
       const ExistsNode* exists = As<ExistsNode>(after);
       if (exists == nullptr) {
-        AddViolation(report, "proof-claim-mismatch",
+        if (const auto* proj = As<ProjectNode>(after)) {
+          exists = As<ExistsNode>(proj->input());
+        }
+      }
+      if (exists == nullptr) {
+        AddViolation(report, ViolationCode::kProofClaimMismatch,
                      std::string(rule) +
                          " evidence subtree is not an existential subquery",
                      after->ToString());
@@ -369,7 +381,7 @@ void CheckRewriteProof(const AppliedRewrite& r,
     case RewriteRuleId::kExceptToNotExists: {
       const ExistsNode* exists = As<ExistsNode>(after);
       if (exists == nullptr) {
-        AddViolation(report, "proof-claim-mismatch",
+        AddViolation(report, ViolationCode::kProofClaimMismatch,
                      std::string(rule) + " did not produce an EXISTS node",
                      after->ToString());
         return;
@@ -384,7 +396,7 @@ void CheckRewriteProof(const AppliedRewrite& r,
     case RewriteRuleId::kExistsToIntersect: {
       const SetOpNode* setop = As<SetOpNode>(after);
       if (setop == nullptr) {
-        AddViolation(report, "proof-claim-mismatch",
+        AddViolation(report, ViolationCode::kProofClaimMismatch,
                      std::string(rule) + " did not produce a set operation",
                      after->ToString());
         return;
@@ -397,7 +409,7 @@ void CheckRewriteProof(const AppliedRewrite& r,
     case RewriteRuleId::kEliminateGroupByOnKey: {
       const AggregateNode* agg = As<AggregateNode>(before);
       if (agg == nullptr) {
-        AddViolation(report, "proof-claim-mismatch",
+        AddViolation(report, ViolationCode::kProofClaimMismatch,
                      std::string(rule) +
                          " evidence subtree is not an aggregation",
                      before->ToString());
@@ -442,7 +454,7 @@ void CheckProofs(const VerifyInput& input, VerifyReport* report) {
         ReferenceAlgorithm1(input.original, input.options);
     if (reference.has_value()) {
       if (input.analysis->distinct_unnecessary && !*reference) {
-        AddViolation(report, "proof-divergence",
+        AddViolation(report, ViolationCode::kProofDivergence,
                      "production Algorithm 1 proved DISTINCT redundant but "
                      "the reference implementation cannot reproduce the "
                      "proof",
@@ -452,7 +464,7 @@ void CheckProofs(const VerifyInput& input, VerifyReport* report) {
                      std::string::npos) {
         // (A budget-exceeded NO is a deliberate production give-up, not
         // a lost derivation.)
-        AddViolation(report, "proof-divergence",
+        AddViolation(report, ViolationCode::kProofDivergence,
                      "the naive reference closure proves DISTINCT redundant "
                      "but production Algorithm 1 answered NO — production "
                      "lost a derivable binding",

@@ -17,13 +17,59 @@ const char* AnalyzerName(Analyzer a) {
       return "proof-checker";
     case Analyzer::kNullAudit:
       return "null-audit";
+    case Analyzer::kEquivProver:
+      return "equiv-prover";
+  }
+  return "unknown";
+}
+
+const char* ViolationCodeName(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kMissingOptimizedPlan:
+      return "missing-optimized-plan";
+    case ViolationCode::kDanglingColumnRef:
+      return "dangling-column-ref";
+    case ViolationCode::kSchemaWidthMismatch:
+      return "schema-width-mismatch";
+    case ViolationCode::kSchemaTypeMismatch:
+      return "schema-type-mismatch";
+    case ViolationCode::kSetOpIncompatibleOperands:
+      return "setop-incompatible-operands";
+    case ViolationCode::kRewriteWithoutProvenCondition:
+      return "rewrite-without-proven-condition";
+    case ViolationCode::kRewriteMissingSubtrees:
+      return "rewrite-missing-subtrees";
+    case ViolationCode::kRewriteMissingEvidence:
+      return "rewrite-missing-evidence";
+    case ViolationCode::kDistinctDroppedWithoutProof:
+      return "distinct-dropped-without-proof";
+    case ViolationCode::kProofWithoutConclusion:
+      return "proof-without-conclusion";
+    case ViolationCode::kProofKeyOutcomeInconsistent:
+      return "proof-key-outcome-inconsistent";
+    case ViolationCode::kProofNotRecheckable:
+      return "proof-not-recheckable";
+    case ViolationCode::kProofDivergence:
+      return "proof-divergence";
+    case ViolationCode::kProofClaimMismatch:
+      return "proof-claim-mismatch";
+    case ViolationCode::kCorrelationWidthMismatch:
+      return "correlation-width-mismatch";
+    case ViolationCode::kPlainEqOnNullable:
+      return "plain-eq-on-nullable";
+    case ViolationCode::kMalformedCorrelationConjunct:
+      return "malformed-correlation-conjunct";
+    case ViolationCode::kMissingCorrelationColumn:
+      return "missing-correlation-column";
+    case ViolationCode::kEquivRefuted:
+      return "equiv-refuted";
   }
   return "unknown";
 }
 
 std::string Violation::ToString() const {
-  std::string out = std::string("[") + AnalyzerName(analyzer) + "/" + code +
-                    "] " + message;
+  std::string out = std::string("[") + AnalyzerName(analyzer) + "/" +
+                    ViolationCodeName(code) + "] " + message;
   if (!context.empty()) {
     out += "\n    ";
     // Indent multi-line context (plan renderings) under the finding.
@@ -44,7 +90,13 @@ std::string VerifyReport::Summary() const {
               : std::to_string(violations.size()) + " violation(s)";
   out += " (" + std::to_string(nodes_checked) + " node(s), " +
          std::to_string(proofs_checked) + " proof(s), " +
-         std::to_string(correlations_audited) + " correlation(s))";
+         std::to_string(correlations_audited) + " correlation(s)";
+  if (!certificates.empty()) {
+    out += ", equiv " + std::to_string(equiv_proven) + " proven / " +
+           std::to_string(equiv_unproven) + " unproven / " +
+           std::to_string(equiv_refuted) + " refuted";
+  }
+  out += ")";
   return out;
 }
 
@@ -53,8 +105,61 @@ std::string VerifyReport::ToString() const {
   for (const Violation& v : violations) {
     out += "  " + v.ToString() + "\n";
   }
+  for (const equiv::Certificate& cert : certificates) {
+    std::string line = cert.ToString();
+    // Indent the witness lines under the certificate.
+    out += "  ";
+    for (char c : line) {
+      out += c;
+      if (c == '\n') out += "    ";
+    }
+    out += "\n";
+  }
   return out;
 }
+
+namespace {
+
+/// The equivalence-prover pass: one certificate per applied rewrite.
+/// Refutations become violations; unproven verdicts are honest coverage
+/// gaps and only tallied.
+void CertifyRewrites(const VerifyInput& input, VerifyReport* report) {
+  if (!input.check_equiv || input.rewrites == nullptr) return;
+  for (const AppliedRewrite& rw : *input.rewrites) {
+    equiv::Certificate cert = equiv::CertifyRewrite(rw);
+    switch (cert.verdict) {
+      case equiv::Verdict::kProven:
+        ++report->equiv_proven;
+        break;
+      case equiv::Verdict::kUnproven:
+        ++report->equiv_unproven;
+        break;
+      case equiv::Verdict::kRefuted: {
+        ++report->equiv_refuted;
+        Violation v;
+        v.analyzer = Analyzer::kEquivProver;
+        v.code = ViolationCode::kEquivRefuted;
+        v.message = cert.rule + " [" + cert.method + "]: " + cert.detail;
+        v.context = cert.witness;
+        report->violations.push_back(std::move(v));
+        break;
+      }
+    }
+    report->certificates.push_back(std::move(cert));
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (report->equiv_proven > 0) {
+    reg.GetCounter("equiv.proven").Increment(report->equiv_proven);
+  }
+  if (report->equiv_unproven > 0) {
+    reg.GetCounter("equiv.unproven").Increment(report->equiv_unproven);
+  }
+  if (report->equiv_refuted > 0) {
+    reg.GetCounter("equiv.refuted").Increment(report->equiv_refuted);
+  }
+}
+
+}  // namespace
 
 VerifyReport VerifyPlan(const VerifyInput& input) {
   obs::Span span("verify.plan");
@@ -62,6 +167,7 @@ VerifyReport VerifyPlan(const VerifyInput& input) {
   LintPlan(input, &report);
   CheckProofs(input, &report);
   AuditNullSemantics(input, &report);
+  CertifyRewrites(input, &report);
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("verify.runs").Increment();

@@ -7,29 +7,63 @@
 
 #include "analysis/algorithm1.h"
 #include "analysis/uniqueness.h"
+#include "equiv/equiv.h"
 #include "plan/plan.h"
 #include "rewrite/rewriter.h"
 
 namespace uniqopt {
 namespace verify {
 
-/// The three analyzers of the post-optimization verifier. Each violation
+/// The four analyzers of the post-optimization verifier. Each violation
 /// names the analyzer that raised it so dashboards and tests can slice
 /// by failure class.
 enum class Analyzer {
   kPlanLint,      ///< structural invariants of the optimized plan tree
   kProofChecker,  ///< independent re-derivation of uniqueness proofs
   kNullAudit,     ///< Theorem 3 null-safe `=!` correlation audit
+  kEquivProver,   ///< symbolic bag-semantics equivalence certificates
 };
 
 const char* AnalyzerName(Analyzer a);
 
-/// One verifier finding. `code` is a stable machine-readable slug (e.g.
-/// "dangling-column-ref"); `message` carries the human detail; `context`
-/// is a rendering of the offending node or proof for diagnostics.
+/// Closed set of verifier finding codes. An enum rather than free-form
+/// strings so a new analyzer cannot silently collide slugs and every
+/// switch over codes is exhaustiveness-checked under -Werror.
+enum class ViolationCode {
+  // plan-lint
+  kMissingOptimizedPlan,
+  kDanglingColumnRef,
+  kSchemaWidthMismatch,
+  kSchemaTypeMismatch,
+  kSetOpIncompatibleOperands,
+  kRewriteWithoutProvenCondition,
+  kRewriteMissingSubtrees,
+  kRewriteMissingEvidence,
+  kDistinctDroppedWithoutProof,
+  // proof-checker
+  kProofWithoutConclusion,
+  kProofKeyOutcomeInconsistent,
+  kProofNotRecheckable,
+  kProofDivergence,
+  kProofClaimMismatch,
+  // null-audit
+  kCorrelationWidthMismatch,
+  kPlainEqOnNullable,
+  kMalformedCorrelationConjunct,
+  kMissingCorrelationColumn,
+  // equiv-prover
+  kEquivRefuted,
+};
+
+/// The stable machine-readable slug, e.g. "dangling-column-ref".
+const char* ViolationCodeName(ViolationCode code);
+
+/// One verifier finding. `code` is the stable machine-readable slug;
+/// `message` carries the human detail; `context` is a rendering of the
+/// offending node, proof, or counterexample witness for diagnostics.
 struct Violation {
   Analyzer analyzer = Analyzer::kPlanLint;
-  std::string code;
+  ViolationCode code = ViolationCode::kMissingOptimizedPlan;
   std::string message;
   std::string context;
 
@@ -41,10 +75,17 @@ struct Violation {
 /// EXPLAIN output, and the shell's \verify command.
 struct VerifyReport {
   std::vector<Violation> violations;
+  /// One equivalence certificate per applied rewrite, in application
+  /// order (empty when the prover is off or nothing was rewritten).
+  std::vector<equiv::Certificate> certificates;
   /// Work counters, for "the verifier actually looked" assertions.
   size_t nodes_checked = 0;
   size_t proofs_checked = 0;
   size_t correlations_audited = 0;
+  /// Equivalence-prover verdict tallies over `certificates`.
+  size_t equiv_proven = 0;
+  size_t equiv_unproven = 0;
+  size_t equiv_refuted = 0;
 
   bool Clean() const { return violations.empty(); }
 
@@ -71,6 +112,10 @@ struct VerifyInput {
   /// implementation honors the same ablation settings so a disabled
   /// ingredient is not reported as a divergence.
   Algorithm1Options options;
+  /// Run the symbolic equivalence prover over `rewrites`. A refuted
+  /// certificate raises a kEquivRefuted violation; unproven ones are
+  /// tallied but are not failures.
+  bool check_equiv = equiv::kCheckEquivByDefault;
 };
 
 /// Runs all three analyzers and returns the combined report. Increments

@@ -28,7 +28,7 @@ using verify::VerifyReport;
 size_t CountCode(const VerifyReport& report, const std::string& code) {
   size_t n = 0;
   for (const verify::Violation& v : report.violations) {
-    if (v.code == code) ++n;
+    if (verify::ViolationCodeName(v.code) == code) ++n;
   }
   return n;
 }
