@@ -13,11 +13,11 @@
 //    plane's background ticker running (100ms windows) and the sample
 //    feed enabled — `bench.plan_cache.cold_ticker.ns`. check.sh
 //    --bench-gate compares its p50 against the ticker-off cold p50
-//    (BENCH_pr8.json), bounding what live monitoring costs.
+//    (BENCH_pr9.json), bounding what live monitoring costs.
 //  - BM_PrepareColdEquivOn: the cold pipeline with the symbolic
 //    equivalence prover certifying every applied rewrite —
 //    `bench.plan_cache.cold_equiv.ns`. check.sh --bench-gate bounds
-//    its p50 at <= 1.3x the prover-off cold p50 (BENCH_pr8.json):
+//    its p50 at <= 1.3x the prover-off cold p50 (BENCH_pr9.json):
 //    certifying rewrites must stay a small tax on prepare. The gated
 //    BM_PrepareCold baseline runs prover-off so the number stays
 //    comparable with pre-prover baselines in bench/baselines/.

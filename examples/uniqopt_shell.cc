@@ -33,8 +33,10 @@
 // second); `\inject <metric> <value> [count]` records synthetic
 // histogram samples (smoke tests provoke regressions with it);
 // `DROP TABLE <t>` drops a table (and the proofs leaning on its keys);
-// `\q` quits. Host variables are not supported interactively (use the
-// library API).
+// `\set dop <n>` / `\set batch <rows>` configure morsel-driven parallel
+// execution and the vectorized batch size for subsequent queries
+// (`\set` alone shows the current values); `\q` quits. Host variables
+// are not supported interactively (use the library API).
 
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +121,10 @@ int Run() {
   Database db;
   if (!MakeTestSupplierDatabase(&db).ok()) return 1;
   Optimizer optimizer(&db);
+  // Session physical defaults (\set dop / \set batch); mirrored into
+  // the optimizer so plan-cache fingerprints and cost-based
+  // alternatives track the session settings.
+  PhysicalOptions physical;
   ShellTraceSink trace_sink;
   obs::HttpEndpoint endpoint(trace_sink.buffer());
   obs::TimeSeriesPlane& plane = obs::TimeSeriesPlane::Global();
@@ -146,7 +152,8 @@ int Run() {
       "\\timeline [<filter>] renders windowed series; \\alerts lists "
       "sentinel alerts;\n\\sentinel on|off|reset controls the sentinel; "
       "\\tick closes a window by hand;\n\\inject <metric> <value> [n] "
-      "records synthetic samples; \\q quits.\n");
+      "records synthetic samples;\n\\set dop <n> and \\set batch <rows> "
+      "configure parallel/vectorized execution; \\q quits.\n");
 
   std::string line;
   while (true) {
@@ -232,6 +239,35 @@ int Run() {
       }
       recorder.SetSlowThresholdNs(static_cast<uint64_t>(ms) * 1000000);
       std::printf("slow threshold set to %llu ms\n", ms);
+      continue;
+    }
+    if (trimmed == "\\set" || trimmed.rfind("\\set ", 0) == 0) {
+      std::vector<std::string> args;
+      for (const std::string& piece : Split(
+               trimmed.size() > 4 ? trimmed.substr(5) : "", ' ')) {
+        if (!piece.empty()) args.push_back(piece);
+      }
+      if (args.empty()) {
+        std::printf("dop=%u batch=%zu\n", physical.dop,
+                    physical.batch_size);
+        continue;
+      }
+      char* end = nullptr;
+      unsigned long long value =
+          args.size() == 2 ? std::strtoull(args[1].c_str(), &end, 10) : 0;
+      bool value_ok = args.size() == 2 && end != nullptr && *end == '\0';
+      if (value_ok && args[0] == "dop" && value >= 1 && value <= 64) {
+        physical.dop = static_cast<unsigned>(value);
+      } else if (value_ok && args[0] == "batch" && value <= 1000000) {
+        physical.batch_size = static_cast<size_t>(value);
+      } else {
+        std::printf(
+            "usage: \\set dop <1..64> | \\set batch <0..1000000> "
+            "(batch 0 = tuple-at-a-time)\n");
+        continue;
+      }
+      optimizer.set_default_physical(physical);
+      std::printf("dop=%u batch=%zu\n", physical.dop, physical.batch_size);
       continue;
     }
     if (trimmed == "\\timeline" || trimmed.rfind("\\timeline ", 0) == 0) {
@@ -428,7 +464,7 @@ int Run() {
       continue;
     }
     if (explain_analyze) {
-      auto report = optimizer.ExplainAnalyze(*prepared);
+      auto report = optimizer.ExplainAnalyze(*prepared, {}, physical);
       if (!report.ok()) {
         std::printf("error: %s\n", report.status().ToString().c_str());
         continue;
@@ -437,7 +473,7 @@ int Run() {
       continue;
     }
     ExecStats stats;
-    auto rows = optimizer.Execute(*prepared, {}, {}, &stats);
+    auto rows = optimizer.Execute(*prepared, {}, physical, &stats);
     if (!rows.ok()) {
       std::printf("error: %s\n", rows.status().ToString().c_str());
       continue;

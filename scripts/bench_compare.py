@@ -37,6 +37,19 @@ last-window statistics, and the worst exemplar (the QueryRecord id to
 look up in `\\history`). With --baseline pointing at an earlier timeline
 export, the gate compares per-series median window p50 under the same
 --latency-tolerance and fails on regressions (exit code 1).
+
+A third mode gates the parallel execution layer's scaling invariants
+rather than a baseline diff: --exec-scaling reads --current (a
+bench_parallel_exec --metrics-json dump) and checks the speedup ratios
+between the bench.exec.* histograms' p50s:
+
+ * serial / parallel (dop 8)  >= --parallel-speedup-floor (default 3.0)
+ * serial / batch    (dop 1)  >= --batch-speedup-floor    (default 1.5)
+
+These are ratios within one run, so they hold on any machine speed; a
+baseline diff alone would not catch the batch path silently degrading
+into the tuple path when both got faster. Combine with --baseline to
+also run the ordinary regression diff.
 """
 
 import argparse
@@ -165,6 +178,52 @@ def compare(baseline, current, args):
                 f"{args.cache_hit_tolerance} points)")
 
     return checked, regressions
+
+
+def exec_scaling(current, args):
+    """--exec-scaling mode: check speedup-ratio invariants between the
+    bench.exec.* series of one bench_parallel_exec run."""
+    failures = []
+    ratios = {}
+
+    def p50(name):
+        m = current.get(name)
+        if m is None or m.get("type") != "histogram":
+            return None
+        return histogram_latency(m)
+
+    serial = p50("bench.exec.serial.ns")
+    if serial is None:
+        return {}, [f"exec-scaling: bench.exec.serial.ns missing from "
+                    f"{args.current}"]
+
+    for name in ("bench.exec.batch.ns", "bench.exec.dop2.ns",
+                 "bench.exec.dop4.ns", "bench.exec.parallel.ns",
+                 "bench.exec.join_distinct.ns",
+                 "bench.exec.join_eliminated.ns",
+                 "bench.exec.join_distinct_dop8.ns",
+                 "bench.exec.join_eliminated_dop8.ns"):
+        lat = p50(name)
+        if lat is not None and lat > 0:
+            ratios[name] = serial / lat
+
+    def gate(name, floor, label):
+        lat = p50(name)
+        if lat is None:
+            failures.append(f"exec-scaling: {name} missing (needed for the "
+                            f"{label} gate)")
+            return
+        speedup = serial / lat
+        if speedup < floor:
+            failures.append(
+                f"exec-scaling: {label} speedup {speedup:.2f}x < "
+                f"{floor:.2f}x floor (serial p50 {serial:.0f}ns, "
+                f"{name} p50 {lat:.0f}ns)")
+
+    gate("bench.exec.parallel.ns", args.parallel_speedup_floor,
+         "parallel dop-8")
+    gate("bench.exec.batch.ns", args.batch_speedup_floor, "batch dop-1")
+    return ratios, failures
 
 
 def load_timeline(path):
@@ -304,10 +363,48 @@ def main():
                              "(default 15)")
     parser.add_argument("--summary", default=None,
                         help="write a JSON verdict summary to this path")
+    parser.add_argument("--exec-scaling", action="store_true",
+                        help="gate the bench.exec.* speedup ratios of "
+                             "--current instead of diffing a baseline")
+    parser.add_argument("--parallel-speedup-floor", type=float, default=3.0,
+                        help="min serial/parallel p50 ratio (default 3.0)")
+    parser.add_argument("--batch-speedup-floor", type=float, default=1.5,
+                        help="min serial/batch p50 ratio (default 1.5)")
     args = parser.parse_args()
 
     if args.timeline:
         return run_timeline(args)
+    if args.exec_scaling:
+        if not args.current:
+            parser.error("--exec-scaling requires --current")
+        current = load_metrics(args.current)
+        ratios, failures = exec_scaling(current, args)
+        print(f"bench_compare --exec-scaling: {args.current}")
+        for name in sorted(ratios):
+            print(f"  {name}: {ratios[name]:.2f}x vs serial")
+        for f in failures:
+            print(f"  REGRESSION: {f}")
+        verdict = "FAIL" if failures else "OK"
+        print(f"  verdict: {verdict}")
+        if args.summary:
+            with open(args.summary, "w") as f:
+                json.dump(
+                    {
+                        "current": args.current,
+                        "exec_scaling": {
+                            "speedups_vs_serial": ratios,
+                            "parallel_speedup_floor":
+                                args.parallel_speedup_floor,
+                            "batch_speedup_floor": args.batch_speedup_floor,
+                        },
+                        "regressions": failures,
+                        "ok": not failures,
+                    },
+                    f,
+                    indent=2,
+                )
+                f.write("\n")
+        return 1 if failures else 0
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required "
                      "(or use --timeline)")

@@ -8,17 +8,25 @@
 #                 the plan-cache / advisor / time-series hammers
 #                 (cache_test + concurrent_prepare_test + advisor_test +
 #                 sentinel_test, whose hammer drives the plane's Tick()
-#                 against an 8-thread PrepareBatch) under ThreadSanitizer
+#                 against an 8-thread PrepareBatch) under ThreadSanitizer,
+#                 plus the parallel-execution hammers: cost_model_test
+#                 (the formerly racy NDV cache under concurrent
+#                 DistinctCount) and parallel_exec_test (concurrent
+#                 PrepareBatch + morsel-parallel Execute, shared join
+#                 builds, the differential serial-vs-parallel sweep)
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr8.json
+#                 scripts/bench_compare.py, and write BENCH_pr9.json
 #                 (including the plan-cache warm/cold p50 speedup, which
 #                 must be >= 10x, the ticker-on vs ticker-off
 #                 cold-prepare p50 ratio, which must stay <= 1.5x — live
-#                 monitoring must not tax the prepare path — and the
+#                 monitoring must not tax the prepare path — the
 #                 equiv-prover-on vs prover-off cold-prepare p50 ratio,
 #                 which must stay <= 1.3x: certifying every rewrite must
-#                 remain a small tax)
+#                 remain a small tax — and the parallel-exec scaling
+#                 gates: batch dop-1 p50 >= 1.5x over tuple-at-a-time
+#                 serial and morsel-parallel dop-8 p50 >= 3x, via
+#                 bench_compare.py --exec-scaling)
 #   --equiv-sweep run only the symbolic-equivalence sweep: the random
 #                 workload at the pinned seeds must yield zero
 #                 EQUIV_REFUTED certificates and an UNPROVEN share under
@@ -115,6 +123,10 @@ if [[ "$slow_alerts" == 0 ]]; then
 fi
 echo "sentinel smoke ok: quiet=0 alerts, 5x slowdown=${slow_alerts} alert(s)"
 
+echo "== parallel exec smoke: paper Examples 1-11 at dop 8, merged stats non-zero =="
+./build/tests/parallel_exec_test \
+  --gtest_filter='*PaperExamplesDop8MergedStatsNonZero*' --gtest_brief=1
+
 run_equiv_sweep
 
 run_tidy
@@ -126,7 +138,8 @@ cmake -B build-asan -S . \
   >/dev/null
 cmake --build build-asan -j --target obs_test analysis_test \
   export_test recorder_test http_endpoint_test advisor_test \
-  timeseries_test sentinel_test equiv_test
+  timeseries_test sentinel_test equiv_test cost_model_test \
+  parallel_exec_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
 ./build-asan/tests/export_test
@@ -136,6 +149,8 @@ cmake --build build-asan -j --target obs_test analysis_test \
 ./build-asan/tests/timeseries_test
 ./build-asan/tests/sentinel_test
 ./build-asan/tests/equiv_test
+./build-asan/tests/cost_model_test
+./build-asan/tests/parallel_exec_test
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
@@ -145,7 +160,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     >/dev/null
   cmake --build build-tsan -j --target obs_test recorder_test \
     cache_test concurrent_prepare_test advisor_test \
-    timeseries_test sentinel_test equiv_test
+    timeseries_test sentinel_test equiv_test cost_model_test \
+    parallel_exec_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
   ./build-tsan/tests/cache_test
@@ -154,17 +170,20 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/timeseries_test
   ./build-tsan/tests/sentinel_test
   ./build-tsan/tests/equiv_test
+  ./build-tsan/tests/cost_model_test
+  ./build-tsan/tests/parallel_exec_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
   echo "== bench gate: run benchmarks vs bench/baselines =="
   cmake --build build -j --target \
-    bench_distinct_removal bench_ims_gateway bench_analyzer bench_plan_cache
+    bench_distinct_removal bench_ims_gateway bench_analyzer \
+    bench_plan_cache bench_parallel_exec
   mkdir -p build/bench-gate
   gate_ok=1
   summaries=()
   for bench in bench_distinct_removal bench_ims_gateway bench_analyzer \
-               bench_plan_cache; do
+               bench_plan_cache bench_parallel_exec; do
     current="build/bench-gate/${bench}.json"
     summary="build/bench-gate/${bench}.summary.json"
     "./build/bench/${bench}" --benchmark_min_time=0.05 \
@@ -177,7 +196,14 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
     fi
     summaries+=("$summary")
   done
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr8.json
+  # Scaling invariants of the parallel execution layer: ratios within
+  # one run, so they gate on any machine speed.
+  if ! python3 scripts/bench_compare.py --exec-scaling \
+      --current build/bench-gate/bench_parallel_exec.json \
+      --summary build/bench-gate/exec_scaling.summary.json; then
+    gate_ok=0
+  fi
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr9.json
 import json, sys
 benches = {}
 ok = True
@@ -234,14 +260,33 @@ except (OSError, KeyError) as e:
     equiv = equiv or {"ok": False, "error": str(e)}
     ok = False
 
+# Parallel execution scaling: batch dop-1 >= 1.5x and morsel-parallel
+# dop-8 >= 3x over the tuple-at-a-time serial p50, as judged by
+# bench_compare.py --exec-scaling on the same metrics dump.
+try:
+    with open("build/bench-gate/exec_scaling.summary.json") as f:
+        s = json.load(f)
+    exec_scaling = {
+        "speedups_vs_serial": s["exec_scaling"]["speedups_vs_serial"],
+        "batch_speedup_floor": s["exec_scaling"]["batch_speedup_floor"],
+        "parallel_speedup_floor":
+            s["exec_scaling"]["parallel_speedup_floor"],
+        "regressions": s["regressions"],
+        "ok": s["ok"],
+    }
+    ok = ok and exec_scaling["ok"]
+except (OSError, KeyError) as e:
+    exec_scaling = {"ok": False, "error": str(e)}
+    ok = False
+
 json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
            "plan_cache": plan_cache, "timeseries_ticker": ticker,
-           "equiv_prover": equiv},
+           "equiv_prover": equiv, "exec_scaling": exec_scaling},
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr8.json"
-  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr8.json'))['ok'] else 1)"; then
+  echo "bench gate summary written to BENCH_pr9.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr9.json'))['ok'] else 1)"; then
     gate_ok=0
   fi
   if [[ "$gate_ok" != 1 ]]; then

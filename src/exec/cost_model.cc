@@ -28,8 +28,13 @@ double Log2(double x) { return x <= 2 ? 1.0 : std::log2(x); }
 double CostEstimator::DistinctCount(const std::string& table,
                                     size_t column) const {
   auto key = std::make_pair(table, column);
-  auto it = ndv_cache_.find(key);
-  if (it != ndv_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(ndv_mu_);
+    auto it = ndv_cache_.find(key);
+    if (it != ndv_cache_.end()) return it->second;
+  }
+  // Compute outside the lock: the scan is the expensive part, and a
+  // duplicate computation by a racing thread yields the same value.
   double ndv = 1;
   auto t = db_->GetTable(table);
   if (t.ok()) {
@@ -37,6 +42,7 @@ double CostEstimator::DistinctCount(const std::string& table,
     for (const Row& row : (*t)->rows()) values.insert(row[column]);
     ndv = std::max<size_t>(1, values.size());
   }
+  std::lock_guard<std::mutex> lock(ndv_mu_);
   ndv_cache_.emplace(key, ndv);
   return ndv;
 }
@@ -128,7 +134,17 @@ double CostEstimator::EstimateRows(const PlanPtr& plan) const {
 
 PlanEstimate CostEstimator::Estimate(const PlanPtr& plan,
                                      const PhysicalOptions& options) const {
-  return EstimateNode(plan, options);
+  PlanEstimate e = EstimateNode(plan, options);
+  if (options.dop > 1) {
+    // Morsel-driven lowering: work divides across workers, but each
+    // worker pays a startup cost and the gather point pays one exchange
+    // unit per output row (concatenation / merge of thread-local
+    // pre-aggregation). Small plans therefore correctly prefer dop=1.
+    constexpr double kWorkerStartup = 250;
+    double dop = static_cast<double>(options.dop);
+    e.cost = e.cost / dop + kWorkerStartup * dop + e.rows;
+  }
+  return e;
 }
 
 PlanEstimate CostEstimator::EstimateNode(
@@ -286,7 +302,8 @@ size_t ChooseBestAlternative(const CostEstimator& estimator,
 }
 
 std::vector<PlanAlternative> StandardAlternatives(const PlanPtr& original,
-                                                  const PlanPtr& rewritten) {
+                                                  const PlanPtr& rewritten,
+                                                  unsigned dop) {
   std::vector<PlanAlternative> out;
   auto add = [&](const PlanPtr& plan, const char* which) {
     PhysicalOptions hash;
@@ -304,6 +321,14 @@ std::vector<PlanAlternative> StandardAlternatives(const PlanPtr& original,
       PhysicalOptions merge = hash;
       merge.sort_merge_intersect = true;
       out.push_back({plan, merge, std::string(which) + "/sort-merge", {}});
+    }
+    if (dop > 1) {
+      PhysicalOptions parallel = hash;
+      parallel.dop = dop;
+      out.push_back({plan, parallel,
+                     std::string(which) + "/parallel-dop" +
+                         std::to_string(dop),
+                     {}});
     }
   };
   add(original, "original");

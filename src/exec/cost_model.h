@@ -2,6 +2,7 @@
 #define UNIQOPT_EXEC_COST_MODEL_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,11 @@ class CostEstimator {
   double ColumnDistinct(const PlanPtr& plan, size_t column) const;
 
   const Database* db_;
+  /// One estimator may be shared by concurrent preparations (the
+  /// optimizer's PrepareBatch costs plans from worker threads), and
+  /// DistinctCount fills this cache from const methods — every access
+  /// goes through the mutex.
+  mutable std::mutex ndv_mu_;
   mutable std::map<std::pair<std::string, size_t>, double> ndv_cache_;
 };
 
@@ -73,9 +79,12 @@ size_t ChooseBestAlternative(const CostEstimator& estimator,
 
 /// Builds the standard candidate set for a query: the original and the
 /// rewritten plan, each under hash and nested-loop/sort strategies
-/// (and, for set operations, the sort-merge variant).
+/// (and, for set operations, the sort-merge variant). With dop > 1, a
+/// parallel-at-dop hash variant of each plan joins the pool and
+/// competes under the parallel lowering cost.
 std::vector<PlanAlternative> StandardAlternatives(const PlanPtr& original,
-                                                  const PlanPtr& rewritten);
+                                                  const PlanPtr& rewritten,
+                                                  unsigned dop = 1);
 
 }  // namespace uniqopt
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/batch.h"
 #include "types/row.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -14,7 +15,10 @@ namespace uniqopt {
 
 /// Work counters accumulated across one execution. The §5/§6 claims are
 /// about work avoided (sort comparisons, inner scans, pointer chases), so
-/// operators account for it explicitly.
+/// operators account for it explicitly. Under parallel execution each
+/// worker accumulates into a thread-local ExecStats which the
+/// coordinator folds into the caller's via Merge() after joining, so
+/// the totals stay exact at any degree of parallelism.
 struct ExecStats {
   size_t rows_scanned = 0;      ///< base-table rows read
   size_t rows_sorted = 0;       ///< rows fed into a sort
@@ -23,20 +27,40 @@ struct ExecStats {
   size_t hash_build_rows = 0;   ///< rows inserted into hash tables
   size_t inner_loop_rows = 0;   ///< inner rows visited by nested loops
   size_t rows_output = 0;       ///< rows returned by the root operator
+  size_t morsels_claimed = 0;   ///< scan morsels claimed (parallel only)
 
   void Reset() { *this = ExecStats(); }
+  /// Folds another worker's counters into this one.
+  void Merge(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    rows_sorted += other.rows_sorted;
+    sort_comparisons += other.sort_comparisons;
+    hash_probes += other.hash_probes;
+    hash_build_rows += other.hash_build_rows;
+    inner_loop_rows += other.inner_loop_rows;
+    rows_output += other.rows_output;
+    morsels_claimed += other.morsels_claimed;
+  }
   std::string ToString() const;
 };
 
-/// Per-execution context: host variable values (the paper's `h`) and the
-/// stats sink.
+/// Per-execution context: host variable values (the paper's `h`), the
+/// stats sink, and the batch size driving the vectorized path (0 =
+/// tuple-at-a-time).
 struct ExecContext {
   std::vector<Value> params;
   ExecStats stats;
+  /// When > 0, ExecuteToVector and the materializing operators drive
+  /// their inputs through NextBatch with batches of this many rows.
+  size_t batch_size = 0;
 };
 
 /// Volcano-style iterator. Usage: Open → Next until false → Close.
-/// Operators own their children.
+/// Operators own their children. A batch-at-a-time path (NextBatch) is
+/// layered on top: operators with a vectorized implementation override
+/// it, everything else falls back to looping Next so exotic operators
+/// keep working unchanged. An operator instance is driven in exactly
+/// one of the two modes per execution.
 class Operator {
  public:
   explicit Operator(Schema schema) : schema_(std::move(schema)) {}
@@ -52,6 +76,20 @@ class Operator {
   virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
   virtual void Close() = 0;
 
+  /// Produces the next batch of rows into `*out` (after resetting it).
+  /// Returns false exactly at end of stream, with `*out` empty; a true
+  /// return carries at least one row (possibly fewer than capacity).
+  virtual Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) {
+    out->Reset();
+    Row row;
+    while (out->size() < out->capacity()) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, Next(ctx, &row));
+      if (!more) break;
+      out->Append(std::move(row));
+    }
+    return !out->empty();
+  }
+
   /// Operator name for EXPLAIN-style output.
   virtual std::string name() const = 0;
 
@@ -62,6 +100,7 @@ class Operator {
 using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Drains `op` into a vector (Open/Next/Close), counting output rows.
+/// Uses the batch path when ctx->batch_size > 0.
 Result<std::vector<Row>> ExecuteToVector(Operator* op, ExecContext* ctx);
 
 }  // namespace uniqopt

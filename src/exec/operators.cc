@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace uniqopt {
 
@@ -13,17 +14,27 @@ std::string ExecStats::ToString() const {
   out += " hash_build_rows=" + std::to_string(hash_build_rows);
   out += " inner_loop_rows=" + std::to_string(inner_loop_rows);
   out += " rows_output=" + std::to_string(rows_output);
+  out += " morsels_claimed=" + std::to_string(morsels_claimed);
   return out;
 }
 
 Result<std::vector<Row>> ExecuteToVector(Operator* op, ExecContext* ctx) {
   UNIQOPT_RETURN_NOT_OK(op->Open(ctx));
   std::vector<Row> out;
-  Row row;
-  while (true) {
-    UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
-    if (!more) break;
-    out.push_back(row);
+  if (ctx->batch_size > 0) {
+    RowBatch batch(ctx->batch_size);
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, op->NextBatch(ctx, &batch));
+      if (!more) break;
+      for (size_t i = 0; i < batch.size(); ++i) out.push_back(batch.row(i));
+    }
+  } else {
+    Row row;
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
+      if (!more) break;
+      out.push_back(row);
+    }
   }
   op->Close();
   ctx->stats.rows_output += out.size();
@@ -32,15 +43,29 @@ Result<std::vector<Row>> ExecuteToVector(Operator* op, ExecContext* ctx) {
 
 namespace {
 
-/// Drains a child operator into a vector.
+size_t BatchCapacity(const ExecContext* ctx) {
+  return ctx->batch_size > 0 ? ctx->batch_size : RowBatch::kDefaultBatchSize;
+}
+
+/// Drains a child operator into a vector, via the batch path when the
+/// context enables it.
 Result<std::vector<Row>> Drain(Operator* op, ExecContext* ctx) {
   UNIQOPT_RETURN_NOT_OK(op->Open(ctx));
   std::vector<Row> rows;
-  Row row;
-  while (true) {
-    UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
-    if (!more) break;
-    rows.push_back(row);
+  if (ctx->batch_size > 0) {
+    RowBatch batch(ctx->batch_size);
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, op->NextBatch(ctx, &batch));
+      if (!more) break;
+      for (size_t i = 0; i < batch.size(); ++i) rows.push_back(batch.row(i));
+    }
+  } else {
+    Row row;
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, op->Next(ctx, &row));
+      if (!more) break;
+      rows.push_back(row);
+    }
   }
   op->Close();
   return rows;
@@ -61,10 +86,24 @@ Result<bool> TableScanOp::Next(ExecContext* ctx, Row* row) {
   return true;
 }
 
+Result<bool> TableScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Reset();
+  const std::vector<Row>& rows = table_->rows();
+  if (pos_ >= rows.size()) return false;
+  size_t n = std::min(out->capacity(), rows.size() - pos_);
+  out->Borrow(rows.data() + pos_, n);
+  pos_ += n;
+  ctx->stats.rows_scanned += n;
+  return true;
+}
+
 void TableScanOp::Close() {}
 
 // ------------------------------------------------------------------- Filter
-Status FilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status FilterOp::Open(ExecContext* ctx) {
+  if (ctx->batch_size > 0) program_ = PredicateProgram::Compile(predicate_);
+  return child_->Open(ctx);
+}
 
 Result<bool> FilterOp::Next(ExecContext* ctx, Row* row) {
   while (true) {
@@ -76,16 +115,38 @@ Result<bool> FilterOp::Next(ExecContext* ctx, Row* row) {
   }
 }
 
+Result<bool> FilterOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, out));
+    if (!more) return false;
+    program_.FilterSel(out->data(), &out->selection(), ctx->params);
+    if (!out->selection().empty()) return true;  // else pull the next batch
+  }
+}
+
 void FilterOp::Close() { child_->Close(); }
 
 // ------------------------------------------------------------------ Project
-Status ProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status ProjectOp::Open(ExecContext* ctx) {
+  input_batch_ = RowBatch(BatchCapacity(ctx));
+  return child_->Open(ctx);
+}
 
 Result<bool> ProjectOp::Next(ExecContext* ctx, Row* row) {
   Row input;
   UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &input));
   if (!more) return false;
   *row = input.Project(columns_);
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Reset();
+  UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &input_batch_));
+  if (!more) return false;
+  for (size_t i = 0; i < input_batch_.size(); ++i) {
+    out->Append(input_batch_.row(i).Project(columns_));
+  }
   return true;
 }
 
@@ -101,20 +162,31 @@ Status SortDistinctOp::Open(ExecContext* ctx) {
     ++*comparisons;
     return a.Compare(b) < 0;
   });
+  // Compact to one row per `=!`-equal group (Row::Compare treats NULLs
+  // as equal, matching `=!`); emission is then a plain slice, shared by
+  // the tuple and batch paths.
+  rows_.erase(std::unique(rows_.begin(), rows_.end(),
+                          [](const Row& a, const Row& b) {
+                            return a.Compare(b) == 0;
+                          }),
+              rows_.end());
   pos_ = 0;
   return Status::OK();
 }
 
 Result<bool> SortDistinctOp::Next(ExecContext*, Row* row) {
-  while (pos_ < rows_.size()) {
-    // Row::Compare treats NULLs as equal, matching `=!`.
-    if (pos_ == 0 || rows_[pos_].Compare(rows_[pos_ - 1]) != 0) {
-      *row = rows_[pos_++];
-      return true;
-    }
-    ++pos_;
-  }
-  return false;
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+Result<bool> SortDistinctOp::NextBatch(ExecContext*, RowBatch* out) {
+  out->Reset();
+  if (pos_ >= rows_.size()) return false;
+  size_t n = std::min(out->capacity(), rows_.size() - pos_);
+  out->Borrow(rows_.data() + pos_, n);
+  pos_ += n;
+  return true;
 }
 
 void SortDistinctOp::Close() { rows_.clear(); }
@@ -122,6 +194,7 @@ void SortDistinctOp::Close() { rows_.clear(); }
 // ------------------------------------------------------------- HashDistinct
 Status HashDistinctOp::Open(ExecContext* ctx) {
   seen_.clear();
+  input_batch_ = RowBatch(BatchCapacity(ctx));
   return child_->Open(ctx);
 }
 
@@ -131,6 +204,22 @@ Result<bool> HashDistinctOp::Next(ExecContext* ctx, Row* row) {
     if (!more) return false;
     ++ctx->stats.hash_probes;
     if (seen_.insert(*row).second) return true;
+  }
+}
+
+Result<bool> HashDistinctOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Reset();
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more,
+                             child_->NextBatch(ctx, &input_batch_));
+    if (!more) return !out->empty();
+    for (size_t i = 0; i < input_batch_.size(); ++i) {
+      const Row& row = input_batch_.row(i);
+      ++ctx->stats.hash_probes;
+      if (seen_.insert(row).second) out->Append(row);
+    }
+    if (out->size() >= out->capacity()) return true;
+    if (!out->empty()) return true;
   }
 }
 
@@ -183,6 +272,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   }
   UNIQOPT_RETURN_NOT_OK(left_->Open(ctx));
   have_left_ = false;
+  probe_batch_ = RowBatch(BatchCapacity(ctx));
   return Status::OK();
 }
 
@@ -210,6 +300,33 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* row) {
       }
     }
     have_left_ = false;
+  }
+}
+
+Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Reset();
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more,
+                             left_->NextBatch(ctx, &probe_batch_));
+    if (!more) return !out->empty();
+    for (size_t i = 0; i < probe_batch_.size(); ++i) {
+      const Row& probe = probe_batch_.row(i);
+      Row key = probe.Project(left_keys_);
+      bool has_null = false;
+      for (size_t k = 0; k < key.size(); ++k) has_null |= key[k].is_null();
+      ++ctx->stats.hash_probes;
+      if (has_null) continue;
+      auto [it, end] = build_.equal_range(key);
+      for (; it != end; ++it) {
+        Row candidate = Row::Concat(probe, it->second);
+        if (residual_ == nullptr ||
+            residual_->EvaluatePredicate(candidate, ctx->params) ==
+                Tribool::kTrue) {
+          out->Append(std::move(candidate));
+        }
+      }
+    }
+    if (!out->empty()) return true;  // else probe the next batch
   }
 }
 
@@ -346,70 +463,135 @@ void SetOpOp::Close() {
   emitted_.clear();
 }
 
-// ------------------------------------------------------- HashAggregate
-Status HashAggregateOp::Open(ExecContext* ctx) {
-  output_.clear();
-  pos_ = 0;
-  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Row> rows, Drain(child_.get(), ctx));
+// --------------------------------------------------- GroupedAggregator
+GroupedAggregator::GroupedAggregator(const Schema& input_schema,
+                                     std::vector<size_t> group_columns,
+                                     std::vector<AggregateItem> aggregates)
+    : group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)) {
+  arg_types_.reserve(aggregates_.size());
+  for (const AggregateItem& agg : aggregates_) {
+    arg_types_.push_back(agg.func == AggFunc::kCountStar
+                             ? TypeId::kInteger
+                             : input_schema.column(agg.arg_column).type);
+  }
+}
 
-  // Group rows; keep insertion order for deterministic output.
-  std::unordered_map<Row, size_t, RowHash, RowNullSafeEqual> group_index;
-  std::vector<Row> group_keys;
-  std::vector<std::vector<AggState>> states;
-  for (const Row& row : rows) {
-    Row key = row.Project(group_columns_);
-    ++ctx->stats.hash_probes;
-    auto [it, inserted] = group_index.emplace(std::move(key),
-                                              group_keys.size());
-    if (inserted) {
-      group_keys.push_back(row.Project(group_columns_));
-      states.emplace_back(aggregates_.size());
+size_t GroupedAggregator::GroupSlot(const Row& key_source) {
+  // Scalar aggregate: one global group, no per-row key projection or
+  // hashing. group_index_ still learns the (empty) key so MergeFrom
+  // finds the same slot.
+  if (group_columns_.empty()) {
+    if (states_.empty()) {
+      group_index_.emplace(Row(), 0);
+      group_keys_.emplace_back();
+      states_.emplace_back(aggregates_.size());
     }
-    std::vector<AggState>& group = states[it->second];
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const AggregateItem& agg = aggregates_[a];
-      AggState& st = group[a];
-      if (agg.func == AggFunc::kCountStar) {
-        ++st.count;
-        continue;
-      }
-      const Value& v = row[agg.arg_column];
-      if (v.is_null()) continue;  // SQL: aggregates ignore NULLs
+    return 0;
+  }
+  Row key = key_source.Project(group_columns_);
+  auto [it, inserted] = group_index_.emplace(std::move(key),
+                                             group_keys_.size());
+  if (inserted) {
+    group_keys_.push_back(key_source.Project(group_columns_));
+    states_.emplace_back(aggregates_.size());
+  }
+  return it->second;
+}
+
+void GroupedAggregator::Fold(std::vector<AggState>* group,
+                             const Row& row) const {
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const AggregateItem& agg = aggregates_[a];
+    AggState& st = (*group)[a];
+    if (agg.func == AggFunc::kCountStar) {
       ++st.count;
-      st.any = true;
-      switch (agg.func) {
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          if (v.type() == TypeId::kInteger) {
-            st.sum_int += v.AsInteger();
-          }
-          st.sum_double += v.AsNumeric();
-          break;
-        case AggFunc::kMin:
-          if (st.count == 1 || v.Compare(st.min) < 0) st.min = v;
-          break;
-        case AggFunc::kMax:
-          if (st.count == 1 || v.Compare(st.max) > 0) st.max = v;
-          break;
-        default:
-          break;
+      continue;
+    }
+    const Value& v = row[agg.arg_column];
+    if (v.is_null()) continue;  // SQL: aggregates ignore NULLs
+    ++st.count;
+    st.any = true;
+    switch (agg.func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == TypeId::kInteger) {
+          st.sum_int += v.AsInteger();
+        }
+        st.sum_double += v.AsNumeric();
+        break;
+      case AggFunc::kMin:
+        if (st.count == 1) {
+          st.min = v;
+        } else if (v.type() == TypeId::kInteger &&
+                   st.min.type() == TypeId::kInteger) {
+          // Integer fast path: both sides non-NULL here, compare inline.
+          if (v.AsInteger() < st.min.AsInteger()) st.min = v;
+        } else if (v.Compare(st.min) < 0) {
+          st.min = v;
+        }
+        break;
+      case AggFunc::kMax:
+        if (st.count == 1) {
+          st.max = v;
+        } else if (v.type() == TypeId::kInteger &&
+                   st.max.type() == TypeId::kInteger) {
+          if (v.AsInteger() > st.max.AsInteger()) st.max = v;
+        } else if (v.Compare(st.max) > 0) {
+          st.max = v;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void GroupedAggregator::Accumulate(const Row& row, ExecStats* stats) {
+  ++stats->hash_probes;
+  Fold(&states_[GroupSlot(row)], row);
+}
+
+void GroupedAggregator::MergeFrom(const GroupedAggregator& other) {
+  for (size_t g = 0; g < other.group_keys_.size(); ++g) {
+    // other.group_keys_[g] is already projected onto the group columns.
+    auto [it, inserted] = group_index_.emplace(other.group_keys_[g],
+                                               group_keys_.size());
+    if (inserted) {
+      group_keys_.push_back(other.group_keys_[g]);
+      states_.emplace_back(aggregates_.size());
+    }
+    std::vector<AggState>& mine = states_[it->second];
+    const std::vector<AggState>& theirs = other.states_[g];
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      AggState& st = mine[a];
+      const AggState& o = theirs[a];
+      st.count += o.count;
+      st.sum_int += o.sum_int;
+      st.sum_double += o.sum_double;
+      if (o.any) {
+        if (!st.any || o.min.Compare(st.min) < 0) st.min = o.min;
+        if (!st.any || o.max.Compare(st.max) > 0) st.max = o.max;
+        st.any = true;
       }
     }
   }
-  // A scalar aggregate always yields one group.
-  if (group_columns_.empty() && group_keys.empty()) {
-    group_keys.emplace_back();
-    states.emplace_back(aggregates_.size());
-  }
-  // Materialize output rows.
-  for (size_t g = 0; g < group_keys.size(); ++g) {
-    Row out = group_keys[g];
+}
+
+std::vector<Row> GroupedAggregator::Finalize() const {
+  std::vector<Row> out_rows;
+  // A scalar aggregate always yields one group, even over empty input.
+  const bool scalar_empty = group_columns_.empty() && group_keys_.empty();
+  size_t groups = scalar_empty ? 1 : group_keys_.size();
+  const std::vector<AggState> empty_states(aggregates_.size());
+  for (size_t g = 0; g < groups; ++g) {
+    Row out = scalar_empty ? Row() : group_keys_[g];
+    const std::vector<AggState>& group =
+        scalar_empty ? empty_states : states_[g];
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggregateItem& agg = aggregates_[a];
-      const AggState& st = states[g][a];
-      TypeId arg_type = agg.func == AggFunc::kCountStar
-                            ? TypeId::kInteger
-                            : child_->schema().column(agg.arg_column).type;
+      const AggState& st = group[a];
+      TypeId arg_type = arg_types_[a];
       switch (agg.func) {
         case AggFunc::kCountStar:
         case AggFunc::kCount:
@@ -437,14 +619,53 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
           break;
       }
     }
-    output_.push_back(std::move(out));
+    out_rows.push_back(std::move(out));
   }
+  return out_rows;
+}
+
+// ------------------------------------------------------- HashAggregate
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  output_.clear();
+  pos_ = 0;
+  GroupedAggregator agg(child_->schema(), group_columns_, aggregates_);
+  UNIQOPT_RETURN_NOT_OK(child_->Open(ctx));
+  if (ctx->batch_size > 0) {
+    // Accumulate straight off borrowed batches — no materialization of
+    // the input, no per-row copies.
+    RowBatch batch(ctx->batch_size);
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &batch));
+      if (!more) break;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        agg.Accumulate(batch.row(i), &ctx->stats);
+      }
+    }
+  } else {
+    Row row;
+    while (true) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
+      if (!more) break;
+      agg.Accumulate(row, &ctx->stats);
+    }
+  }
+  child_->Close();
+  output_ = agg.Finalize();
   return Status::OK();
 }
 
 Result<bool> HashAggregateOp::Next(ExecContext*, Row* row) {
   if (pos_ >= output_.size()) return false;
   *row = output_[pos_++];
+  return true;
+}
+
+Result<bool> HashAggregateOp::NextBatch(ExecContext*, RowBatch* out) {
+  out->Reset();
+  if (pos_ >= output_.size()) return false;
+  size_t n = std::min(out->capacity(), output_.size() - pos_);
+  out->Borrow(output_.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 
@@ -487,6 +708,15 @@ Status SortMergeIntersectOp::Open(ExecContext* ctx) {
 Result<bool> SortMergeIntersectOp::Next(ExecContext*, Row* row) {
   if (pos_ >= out_.size()) return false;
   *row = out_[pos_++];
+  return true;
+}
+
+Result<bool> SortMergeIntersectOp::NextBatch(ExecContext*, RowBatch* out) {
+  out->Reset();
+  if (pos_ >= out_.size()) return false;
+  size_t n = std::min(out->capacity(), out_.size() - pos_);
+  out->Borrow(out_.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 

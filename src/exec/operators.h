@@ -8,6 +8,7 @@
 
 #include "exec/operator.h"
 #include "expr/expr.h"
+#include "expr/predicate_program.h"
 #include "plan/plan.h"
 #include "storage/table.h"
 
@@ -21,6 +22,8 @@ class TableScanOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* row) override;
+  /// Borrows a contiguous slice of the table's storage — zero copies.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "TableScan"; }
 
@@ -52,12 +55,18 @@ class FilterOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* row) override;
+  /// Compacts the child batch's selection vector in place — dropped
+  /// rows cost nothing beyond the predicate evaluation. Runs the
+  /// predicate as a compiled PredicateProgram rather than per-row tree
+  /// interpretation.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "Filter"; }
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  PredicateProgram program_;
 };
 
 /// π_All onto a column list (no duplicate elimination).
@@ -70,12 +79,14 @@ class ProjectOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "Project"; }
 
  private:
   OperatorPtr child_;
   std::vector<size_t> columns_;
+  RowBatch input_batch_;
 };
 
 /// Duplicate elimination by sort: materializes, sorts (counting
@@ -87,7 +98,9 @@ class SortDistinctOp final : public Operator {
       : Operator(child->schema()), child_(std::move(child)) {}
 
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> Next(ExecContext*, Row* row) override;
+  /// Emits borrowed slices of the sorted, deduplicated materialization.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "SortDistinct"; }
 
@@ -105,12 +118,14 @@ class HashDistinctOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "HashDistinct"; }
 
  private:
   OperatorPtr child_;
   std::unordered_set<Row, RowHash, RowNullSafeEqual> seen_;
+  RowBatch input_batch_;
 };
 
 /// Extended Cartesian product; materializes the right input.
@@ -152,6 +167,8 @@ class HashJoinOp final : public Operator {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* row) override;
+  /// Probes a whole input batch per call, emitting all matches.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "HashJoin"; }
 
@@ -167,6 +184,7 @@ class HashJoinOp final : public Operator {
   std::pair<decltype(build_)::const_iterator,
             decltype(build_)::const_iterator>
       matches_;
+  RowBatch probe_batch_;
 };
 
 /// Nested-loop semi (EXISTS) or anti (NOT EXISTS) join: emits each outer
@@ -256,6 +274,50 @@ class SetOpOp final : public Operator {
   std::unordered_set<Row, RowHash, RowNullSafeEqual> emitted_;
 };
 
+/// Grouping + aggregate folding under `=!`, factored out of
+/// HashAggregateOp so parallel workers can pre-aggregate thread-locally
+/// and merge partial states at the pipeline breaker (AVG merges as
+/// sum + count, MIN/MAX by comparison, COUNT/SUM by addition).
+class GroupedAggregator {
+ public:
+  GroupedAggregator(const Schema& input_schema,
+                    std::vector<size_t> group_columns,
+                    std::vector<AggregateItem> aggregates);
+
+  /// Folds one input row into its group's states. Counts one hash probe
+  /// into `stats`, matching the serial HashAggregateOp accounting.
+  void Accumulate(const Row& row, ExecStats* stats);
+
+  /// Folds another aggregator's partial states into this one. Both must
+  /// have been built with the same grouping/aggregate spec.
+  void MergeFrom(const GroupedAggregator& other);
+
+  /// Materializes the output rows (group key columns ⊕ aggregate
+  /// results). A scalar aggregate over empty input yields one row
+  /// (COUNT = 0, other aggregates NULL).
+  std::vector<Row> Finalize() const;
+
+ private:
+  struct AggState {
+    int64_t count = 0;        // non-NULL inputs (or rows for COUNT(*))
+    int64_t sum_int = 0;
+    double sum_double = 0;
+    Value min;
+    Value max;
+    bool any = false;         // saw a non-NULL input
+  };
+
+  void Fold(std::vector<AggState>* group, const Row& row) const;
+  size_t GroupSlot(const Row& key_source);
+
+  std::vector<size_t> group_columns_;
+  std::vector<AggregateItem> aggregates_;
+  std::vector<TypeId> arg_types_;  ///< result type per aggregate
+  std::unordered_map<Row, size_t, RowHash, RowNullSafeEqual> group_index_;
+  std::vector<Row> group_keys_;
+  std::vector<std::vector<AggState>> states_;
+};
+
 /// Hash aggregation for the GROUP BY extension: groups rows under `=!`
 /// (NULL group keys compare equal, like DISTINCT) and folds aggregate
 /// states per group. A scalar aggregate (no group columns) over empty
@@ -271,20 +333,13 @@ class HashAggregateOp final : public Operator {
         aggregates_(std::move(aggregates)) {}
 
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> Next(ExecContext*, Row* row) override;
+  /// Emits borrowed slices of the materialized aggregate output.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "HashAggregate"; }
 
  private:
-  struct AggState {
-    int64_t count = 0;        // non-NULL inputs (or rows for COUNT(*))
-    int64_t sum_int = 0;
-    double sum_double = 0;
-    Value min;
-    Value max;
-    bool any = false;         // saw a non-NULL input
-  };
-
   OperatorPtr child_;
   std::vector<size_t> group_columns_;
   std::vector<AggregateItem> aggregates_;
@@ -303,7 +358,8 @@ class SortMergeIntersectOp final : public Operator {
         right_(std::move(right)) {}
 
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> Next(ExecContext*, Row* row) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   void Close() override;
   std::string name() const override { return "SortMergeIntersect"; }
 

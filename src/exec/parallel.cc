@@ -1,0 +1,460 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "exec/operators.h"
+#include "obs/metrics.h"
+
+namespace uniqopt {
+
+// ------------------------------------------------------ SharedJoinBuild
+Status SharedJoinBuild::EnsureBuilt(Operator* build_side, ExecContext* ctx,
+                                    const std::vector<size_t>& keys) {
+  bool drainer = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kIdle) {
+      state_ = State::kDraining;
+      drainer = true;
+    }
+  }
+  if (drainer) {
+    // Drain the build side once (this worker's operator instance; the
+    // other workers' build subtrees are never opened) and partition the
+    // keyed rows by hash. NULL join keys never match under 3VL `=`, so
+    // they are dropped here, exactly like the serial HashJoinOp build.
+    Status drain_status = [&]() -> Status {
+      UNIQOPT_RETURN_NOT_OK(build_side->Open(ctx));
+      size_t partitions = rows_.size();
+      auto add = [&](const Row& r) {
+        Row key = r.Project(keys);
+        bool has_null = false;
+        for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+        if (has_null) return;
+        size_t p = key.Hash() % partitions;
+        rows_[p].emplace_back(std::move(key), r);
+      };
+      if (ctx->batch_size > 0) {
+        RowBatch batch(ctx->batch_size);
+        while (true) {
+          UNIQOPT_ASSIGN_OR_RETURN(bool more,
+                                   build_side->NextBatch(ctx, &batch));
+          if (!more) break;
+          for (size_t i = 0; i < batch.size(); ++i) add(batch.row(i));
+        }
+      } else {
+        Row row;
+        while (true) {
+          UNIQOPT_ASSIGN_OR_RETURN(bool more, build_side->Next(ctx, &row));
+          if (!more) break;
+          add(row);
+        }
+      }
+      build_side->Close();
+      return Status::OK();
+    }();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!drain_status.ok()) {
+      state_ = State::kFailed;
+      failure_ = drain_status;
+      cv_.notify_all();
+      return drain_status;
+    }
+    state_ = State::kBuilding;
+    cv_.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return state_ != State::kIdle && state_ != State::kDraining;
+    });
+    if (state_ == State::kFailed) return failure_;
+    if (state_ == State::kPublished) return Status::OK();
+  }
+  // kBuilding: claim partitions and build their hash tables. The atomic
+  // counter gives each partition exactly one builder, so the per-table
+  // writes are unsynchronized; publication below transfers them via the
+  // mutex.
+  while (true) {
+    size_t p = next_partition_.fetch_add(1, std::memory_order_relaxed);
+    if (p >= tables_.size()) break;
+    BuildTable& table = tables_[p];
+    for (std::pair<Row, Row>& kv : rows_[p]) {
+      ++ctx->stats.hash_build_rows;
+      table.emplace(std::move(kv.first), std::move(kv.second));
+    }
+    rows_[p].clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (++partitions_built_ == tables_.size()) {
+      state_ = State::kPublished;
+      cv_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [&] { return state_ == State::kPublished ||
+                        state_ == State::kFailed; });
+  return state_ == State::kFailed ? failure_ : Status::OK();
+}
+
+// ------------------------------------------------ SharedHashJoinProbeOp
+Status SharedHashJoinProbeOp::Open(ExecContext* ctx) {
+  UNIQOPT_RETURN_NOT_OK(build_->EnsureBuilt(right_.get(), ctx, right_keys_));
+  UNIQOPT_RETURN_NOT_OK(left_->Open(ctx));
+  have_left_ = false;
+  probe_batch_ = RowBatch(ctx->batch_size > 0 ? ctx->batch_size
+                                              : RowBatch::kDefaultBatchSize);
+  return Status::OK();
+}
+
+Result<bool> SharedHashJoinProbeOp::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    if (!have_left_) {
+      UNIQOPT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &left_row_));
+      if (!more) return false;
+      Row key = left_row_.Project(left_keys_);
+      bool has_null = false;
+      for (size_t i = 0; i < key.size(); ++i) has_null |= key[i].is_null();
+      ++ctx->stats.hash_probes;
+      matches_ = has_null
+                     ? std::pair<SharedJoinBuild::BuildTable::const_iterator,
+                                 SharedJoinBuild::BuildTable::const_iterator>{}
+                     : build_->Probe(key);
+      have_left_ = true;
+    }
+    while (matches_.first != matches_.second) {
+      Row candidate = Row::Concat(left_row_, matches_.first->second);
+      ++matches_.first;
+      if (residual_ == nullptr ||
+          residual_->EvaluatePredicate(candidate, ctx->params) ==
+              Tribool::kTrue) {
+        *row = std::move(candidate);
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+Result<bool> SharedHashJoinProbeOp::NextBatch(ExecContext* ctx,
+                                              RowBatch* out) {
+  out->Reset();
+  while (true) {
+    UNIQOPT_ASSIGN_OR_RETURN(bool more,
+                             left_->NextBatch(ctx, &probe_batch_));
+    if (!more) return !out->empty();
+    for (size_t i = 0; i < probe_batch_.size(); ++i) {
+      const Row& probe = probe_batch_.row(i);
+      Row key = probe.Project(left_keys_);
+      bool has_null = false;
+      for (size_t k = 0; k < key.size(); ++k) has_null |= key[k].is_null();
+      ++ctx->stats.hash_probes;
+      if (has_null) continue;
+      auto [it, end] = build_->Probe(key);
+      for (; it != end; ++it) {
+        Row candidate = Row::Concat(probe, it->second);
+        if (residual_ == nullptr ||
+            residual_->EvaluatePredicate(candidate, ctx->params) ==
+                Tribool::kTrue) {
+          out->Append(std::move(candidate));
+        }
+      }
+    }
+    if (!out->empty()) return true;
+  }
+}
+
+void SharedHashJoinProbeOp::Close() {
+  // right_ is opened/closed inside SharedJoinBuild by the draining
+  // worker only; closing it here would double-close.
+  left_->Close();
+}
+
+// ----------------------------------------------------- parallel executor
+namespace {
+
+/// How the per-worker streams merge at the gather point.
+enum class MergeMode {
+  kConcat,     ///< order-insensitive concatenation of worker outputs
+  kAggregate,  ///< thread-local pre-aggregation, merged then finalized
+  kDistinct,   ///< thread-local dedup, merged into a global seen-set
+};
+
+/// The driving base-table Get of a worker pipeline: the scan whose rows
+/// are split into morsels. Follows the probe/streaming side of each
+/// node; bails (nullptr) on mid-pipeline breakers (DISTINCT,
+/// aggregation, set ops), whose partial per-worker inputs would not
+/// compose.
+const PlanNode* FindDriver(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kGet:
+      return plan.get();
+    case PlanKind::kSelect:
+      return FindDriver(As<SelectNode>(plan)->input());
+    case PlanKind::kProject: {
+      const ProjectNode* p = As<ProjectNode>(plan);
+      if (p->mode() != DuplicateMode::kAll) return nullptr;
+      return FindDriver(p->input());
+    }
+    case PlanKind::kProduct:
+      // The planner probes with the left side; the right side is
+      // drained/built per worker (or shared, for hash joins).
+      return FindDriver(As<ProductNode>(plan)->left());
+    case PlanKind::kExists:
+      return FindDriver(As<ExistsNode>(plan)->outer());
+    case PlanKind::kSetOp:
+    case PlanKind::kAggregate:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Occurrences of `target` (by pointer) in the plan. Rewrites may share
+/// subtrees, so the driving Get can legitimately appear on both sides
+/// of a self-join; splitting one cursor across two scan positions would
+/// be wrong, so such plans fall back to serial.
+size_t CountNode(const PlanPtr& plan, const PlanNode* target) {
+  size_t n = plan.get() == target ? 1 : 0;
+  switch (plan->kind()) {
+    case PlanKind::kGet:
+      break;
+    case PlanKind::kSelect:
+      n += CountNode(As<SelectNode>(plan)->input(), target);
+      break;
+    case PlanKind::kProject:
+      n += CountNode(As<ProjectNode>(plan)->input(), target);
+      break;
+    case PlanKind::kProduct: {
+      const ProductNode* p = As<ProductNode>(plan);
+      n += CountNode(p->left(), target) + CountNode(p->right(), target);
+      break;
+    }
+    case PlanKind::kExists: {
+      const ExistsNode* e = As<ExistsNode>(plan);
+      n += CountNode(e->outer(), target) + CountNode(e->sub(), target);
+      break;
+    }
+    case PlanKind::kSetOp: {
+      const SetOpNode* s = As<SetOpNode>(plan);
+      n += CountNode(s->left(), target) + CountNode(s->right(), target);
+      break;
+    }
+    case PlanKind::kAggregate:
+      n += CountNode(As<AggregateNode>(plan)->input(), target);
+      break;
+  }
+  return n;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Result<std::optional<std::vector<Row>>> TryParallelExecute(
+    const PlanPtr& plan, const Database& db, ExecContext* ctx,
+    const PhysicalOptions& options, ExecProfile* profile) {
+  unsigned dop = std::min(options.dop, 64u);
+  if (dop <= 1) return std::optional<std::vector<Row>>();
+
+  // Pick the gather strategy from the root and derive the per-worker
+  // pipeline. A root DISTINCT or aggregation is the pipeline breaker:
+  // workers run the pipeline below it with thread-local state, and the
+  // breaker itself happens once at the merge.
+  MergeMode mode = MergeMode::kConcat;
+  PlanPtr worker_plan = plan;
+  const AggregateNode* agg_root = nullptr;
+  const ProjectNode* distinct_root = nullptr;
+  if (plan->kind() == PlanKind::kAggregate) {
+    agg_root = As<AggregateNode>(plan);
+    mode = MergeMode::kAggregate;
+    worker_plan = agg_root->input();
+  } else if (plan->kind() == PlanKind::kProject &&
+             As<ProjectNode>(plan)->mode() == DuplicateMode::kDist) {
+    distinct_root = As<ProjectNode>(plan);
+    mode = MergeMode::kDistinct;
+    // Workers project without eliminating; the dedup happens against
+    // thread-local seen-sets merged at the gather point.
+    worker_plan = ProjectNode::Make(distinct_root->input(),
+                                    DuplicateMode::kAll,
+                                    distinct_root->columns());
+  }
+
+  const PlanNode* driver = FindDriver(worker_plan);
+  if (driver == nullptr) return std::optional<std::vector<Row>>();
+  if (CountNode(worker_plan, driver) != 1) {
+    return std::optional<std::vector<Row>>();
+  }
+  auto table =
+      db.GetTable(static_cast<const GetNode*>(driver)->table().name());
+  if (!table.ok()) return std::optional<std::vector<Row>>();
+
+  MorselCursor cursor((*table)->rows().size());
+  ParallelLoweringHooks hooks;
+  hooks.driver = driver;
+  hooks.driver_table = *table;
+  hooks.cursor = &cursor;
+  hooks.build_partitions = dop;
+
+  // Lower all worker trees serially before any thread starts — the
+  // shared-build map and profile need no locking, and plan-shape errors
+  // surface before threads exist.
+  std::vector<OperatorPtr> roots;
+  roots.reserve(dop);
+  for (unsigned w = 0; w < dop; ++w) {
+    auto lowered = CreatePhysicalPlan(worker_plan, db, options,
+                                     /*profile=*/nullptr, &hooks);
+    if (!lowered.ok()) return lowered.status();
+    roots.push_back(std::move(*lowered));
+  }
+
+  struct WorkerState {
+    ExecContext ctx;
+    Status status;
+    std::vector<Row> rows;
+    uint64_t produced = 0;
+    uint64_t busy_ns = 0;
+  };
+  std::vector<WorkerState> workers(dop);
+  std::vector<GroupedAggregator> aggs;
+  std::vector<std::unordered_set<Row, RowHash, RowNullSafeEqual>> seen;
+  if (mode == MergeMode::kAggregate) {
+    aggs.reserve(dop);
+    for (unsigned w = 0; w < dop; ++w) {
+      aggs.emplace_back(agg_root->input()->schema(),
+                        agg_root->group_columns(), agg_root->aggregates());
+    }
+  } else if (mode == MergeMode::kDistinct) {
+    seen.resize(dop);
+  }
+
+  auto run_worker = [&](unsigned w) {
+    WorkerState& ws = workers[w];
+    ws.ctx.params = ctx->params;
+    ws.ctx.batch_size = options.batch_size;
+    uint64_t start = NowNs();
+    Operator* root = roots[w].get();
+    if (mode == MergeMode::kConcat) {
+      auto r = ExecuteToVector(root, &ws.ctx);
+      if (r.ok()) {
+        ws.rows = std::move(*r);
+        ws.produced = ws.rows.size();
+      } else {
+        ws.status = r.status();
+      }
+    } else {
+      ws.status = [&]() -> Status {
+        UNIQOPT_RETURN_NOT_OK(root->Open(&ws.ctx));
+        auto consume = [&](const Row& row) {
+          if (mode == MergeMode::kAggregate) {
+            aggs[w].Accumulate(row, &ws.ctx.stats);
+          } else {
+            ++ws.ctx.stats.hash_probes;
+            seen[w].insert(row);
+          }
+          ++ws.produced;
+        };
+        if (ws.ctx.batch_size > 0) {
+          RowBatch batch(ws.ctx.batch_size);
+          while (true) {
+            UNIQOPT_ASSIGN_OR_RETURN(bool more,
+                                     root->NextBatch(&ws.ctx, &batch));
+            if (!more) break;
+            for (size_t i = 0; i < batch.size(); ++i) consume(batch.row(i));
+          }
+        } else {
+          Row row;
+          while (true) {
+            UNIQOPT_ASSIGN_OR_RETURN(bool more, root->Next(&ws.ctx, &row));
+            if (!more) break;
+            consume(row);
+          }
+        }
+        root->Close();
+        return Status::OK();
+      }();
+    }
+    ws.busy_ns = NowNs() - start;
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(dop - 1);
+    for (unsigned w = 1; w < dop; ++w) pool.emplace_back(run_worker, w);
+    run_worker(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const WorkerState& ws : workers) {
+    if (!ws.status.ok()) return ws.status;
+  }
+
+  // Merge thread-local stats into the caller's — totals stay exact
+  // under parallelism (per-operator profiling and the class-window
+  // exemplars read the same numbers serial execution would produce).
+  uint64_t total_morsels = 0;
+  for (WorkerState& ws : workers) {
+    ctx->stats.Merge(ws.ctx.stats);
+    total_morsels += ws.ctx.stats.morsels_claimed;
+  }
+
+  std::vector<Row> out;
+  switch (mode) {
+    case MergeMode::kConcat: {
+      size_t total = 0;
+      for (const WorkerState& ws : workers) total += ws.rows.size();
+      out.reserve(total);
+      for (WorkerState& ws : workers) {
+        for (Row& r : ws.rows) out.push_back(std::move(r));
+      }
+      break;
+    }
+    case MergeMode::kAggregate: {
+      for (unsigned w = 1; w < dop; ++w) aggs[0].MergeFrom(aggs[w]);
+      out = aggs[0].Finalize();
+      ctx->stats.rows_output += out.size();
+      break;
+    }
+    case MergeMode::kDistinct: {
+      auto& global = seen[0];
+      for (unsigned w = 1; w < dop; ++w) {
+        for (const Row& r : seen[w]) {
+          ++ctx->stats.hash_probes;  // the merge is real dedup work
+          global.insert(r);
+        }
+      }
+      out.assign(global.begin(), global.end());
+      ctx->stats.rows_output += out.size();
+      break;
+    }
+  }
+
+  // Feed the shared observability plane from the execution layer, so
+  // every caller (optimizer, shell, benches) moves the same series the
+  // \timeline plane and the regression sentinel watch.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("exec.morsels").Increment(total_morsels);
+  obs::Histogram& busy = reg.GetHistogram("exec.worker.busy.ns");
+  std::vector<WorkerProfile> worker_profiles;
+  worker_profiles.reserve(dop);
+  for (const WorkerState& ws : workers) {
+    busy.Record(ws.busy_ns);
+    worker_profiles.push_back(WorkerProfile{ws.ctx.stats.morsels_claimed,
+                                            ws.produced, ws.busy_ns});
+  }
+  if (profile != nullptr) {
+    profile->SetParallel(dop, options.batch_size,
+                         std::move(worker_profiles));
+  }
+  return std::optional<std::vector<Row>>(std::move(out));
+}
+
+}  // namespace uniqopt

@@ -1,0 +1,218 @@
+#ifndef UNIQOPT_EXEC_PARALLEL_H_
+#define UNIQOPT_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/planner.h"
+#include "exec/profile.h"
+#include "expr/expr.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// Morsel-driven scan parallelism (Leis et al. style, scaled to this
+/// engine): the driving base-table scan is split into fixed-size row
+/// ranges ("morsels") claimed from an atomic cursor, so workers
+/// self-balance — a worker stalled on an expensive morsel simply claims
+/// fewer of them.
+class MorselCursor {
+ public:
+  static constexpr size_t kDefaultMorselRows = 4096;
+
+  explicit MorselCursor(size_t total_rows,
+                        size_t morsel_rows = kDefaultMorselRows)
+      : total_(total_rows),
+        morsel_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+
+  /// Claims the next unclaimed morsel into [*begin, *end); returns
+  /// false when the table is exhausted.
+  bool Claim(size_t* begin, size_t* end) {
+    size_t b = next_.fetch_add(morsel_, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    *begin = b;
+    *end = std::min(b + morsel_, total_);
+    return true;
+  }
+
+  size_t total_rows() const { return total_; }
+  size_t morsel_rows() const { return morsel_; }
+
+ private:
+  const size_t total_;
+  const size_t morsel_;
+  std::atomic<size_t> next_{0};
+};
+
+/// The parallel replacement for the driving TableScanOp: every claimed
+/// morsel is handed out as a zero-copy borrowed batch (or iterated
+/// tuple-at-a-time). All workers share one cursor; each op instance
+/// belongs to one worker.
+class MorselScanOp final : public Operator {
+ public:
+  MorselScanOp(const Table* table, Schema schema, MorselCursor* cursor)
+      : Operator(std::move(schema)), table_(table), cursor_(cursor) {}
+
+  Status Open(ExecContext*) override {
+    begin_ = end_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (begin_ >= end_) {
+      if (!cursor_->Claim(&begin_, &end_)) return false;
+      ++ctx->stats.morsels_claimed;
+    }
+    *row = table_->rows()[begin_++];
+    ++ctx->stats.rows_scanned;
+    return true;
+  }
+
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override {
+    out->Reset();
+    while (begin_ >= end_) {
+      if (!cursor_->Claim(&begin_, &end_)) return false;
+      ++ctx->stats.morsels_claimed;
+    }
+    size_t n = std::min(out->capacity(), end_ - begin_);
+    out->Borrow(table_->rows().data() + begin_, n);
+    begin_ += n;
+    ctx->stats.rows_scanned += n;
+    return true;
+  }
+
+  void Close() override {}
+  std::string name() const override { return "MorselScan"; }
+
+ private:
+  const Table* table_;
+  MorselCursor* cursor_;
+  size_t begin_ = 0;
+  size_t end_ = 0;
+};
+
+/// A hash-join build shared across workers: the first worker to arrive
+/// drains the build side once and partitions its rows by key hash; all
+/// present workers then claim partitions and build the per-partition
+/// hash tables; once every partition is built the table is published
+/// read-only and probing proceeds in parallel with no further
+/// synchronization.
+class SharedJoinBuild {
+ public:
+  using BuildTable =
+      std::unordered_multimap<Row, Row, RowHash, RowNullSafeEqual>;
+
+  explicit SharedJoinBuild(size_t partitions)
+      : rows_(partitions == 0 ? 1 : partitions),
+        tables_(partitions == 0 ? 1 : partitions) {}
+
+  /// Blocks until the shared table is published (participating in the
+  /// drain/partition-build work as needed). `build_side` is the calling
+  /// worker's own build-side operator; only the first caller's instance
+  /// is ever opened. Build rows are counted into the caller's stats for
+  /// the partitions this caller built.
+  Status EnsureBuilt(Operator* build_side, ExecContext* ctx,
+                     const std::vector<size_t>& keys);
+
+  /// Matches for a non-NULL probe key; only valid after EnsureBuilt
+  /// succeeded.
+  std::pair<BuildTable::const_iterator, BuildTable::const_iterator>
+  Probe(const Row& key) const {
+    const BuildTable& t = tables_[key.Hash() % tables_.size()];
+    return t.equal_range(key);
+  }
+
+ private:
+  enum class State { kIdle, kDraining, kBuilding, kPublished, kFailed };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  Status failure_;
+  /// Partitioned build rows (keyed rows, NULL keys already dropped),
+  /// written by the draining worker, consumed by partition builders.
+  std::vector<std::vector<std::pair<Row, Row>>> rows_;
+  std::vector<BuildTable> tables_;
+  std::atomic<size_t> next_partition_{0};
+  size_t partitions_built_ = 0;
+};
+
+/// Hash equi-join probing a SharedJoinBuild. Mirrors HashJoinOp's probe
+/// semantics (NULL keys never match, residual applied per candidate);
+/// the build side is drained/partitioned once per query, not per
+/// worker.
+class SharedHashJoinProbeOp final : public Operator {
+ public:
+  SharedHashJoinProbeOp(OperatorPtr left, OperatorPtr right,
+                        std::vector<size_t> left_keys,
+                        std::vector<size_t> right_keys, ExprPtr residual,
+                        std::shared_ptr<SharedJoinBuild> build)
+      : Operator(Schema::Concat(left->schema(), right->schema())),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        build_(std::move(build)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
+  void Close() override;
+  std::string name() const override { return "SharedHashJoinProbe"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  ExprPtr residual_;
+  std::shared_ptr<SharedJoinBuild> build_;
+  Row left_row_;
+  bool have_left_ = false;
+  std::pair<SharedJoinBuild::BuildTable::const_iterator,
+            SharedJoinBuild::BuildTable::const_iterator>
+      matches_;
+  RowBatch probe_batch_;
+};
+
+/// Hooks handed to the Lowering by the parallel executor. All worker
+/// trees are lowered serially on the coordinator before any worker
+/// thread starts, so the maps need no locking.
+struct ParallelLoweringHooks {
+  /// The driving GetNode (pointer identity — plan nodes are immutable
+  /// and shared across the worker lowerings); lowered to a MorselScanOp
+  /// instead of a TableScanOp.
+  const PlanNode* driver = nullptr;
+  const Table* driver_table = nullptr;
+  MorselCursor* cursor = nullptr;
+  /// Shared hash-join builds keyed by the SelectNode that lowers to the
+  /// join; created lazily by the first worker lowering, reused by the
+  /// rest.
+  std::unordered_map<const PlanNode*, std::shared_ptr<SharedJoinBuild>>
+      shared_builds;
+  /// Partition count for new shared builds (usually = dop).
+  size_t build_partitions = 1;
+};
+
+/// Attempts morsel-driven parallel execution of `plan` at
+/// `options.dop` workers. Returns std::nullopt when the plan shape is
+/// not supported (no driving base-table scan, or a pipeline breaker
+/// mid-pipeline) — the caller then falls back to the serial executor.
+/// On success the caller's ctx->stats holds the merged per-worker
+/// counters, and `profile` (when non-null) carries the per-worker
+/// Gather section.
+Result<std::optional<std::vector<Row>>> TryParallelExecute(
+    const PlanPtr& plan, const Database& db, ExecContext* ctx,
+    const PhysicalOptions& options, ExecProfile* profile = nullptr);
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXEC_PARALLEL_H_

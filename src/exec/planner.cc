@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "exec/operators.h"
+#include "exec/parallel.h"
 #include "expr/equality.h"
 #include "expr/normalize.h"
 
@@ -53,8 +54,8 @@ bool ExtractEquiPair(const ExprPtr& conjunct, size_t left_width,
 class Lowering {
  public:
   Lowering(const Database& db, const PhysicalOptions& options,
-           ExecProfile* profile)
-      : db_(db), options_(options), profile_(profile) {}
+           ExecProfile* profile, ParallelLoweringHooks* hooks)
+      : db_(db), options_(options), profile_(profile), hooks_(hooks) {}
 
   /// Lowers one plan node; with a profile attached, the node's operator
   /// (plus any helper operators lowered inline for it, e.g. pushed-down
@@ -104,6 +105,10 @@ class Lowering {
   }
 
   Result<OperatorPtr> LowerGet(const GetNode& node) {
+    if (hooks_ != nullptr && &node == hooks_->driver) {
+      return OperatorPtr(new MorselScanOp(hooks_->driver_table,
+                                          node.schema(), hooks_->cursor));
+    }
     UNIQOPT_ASSIGN_OR_RETURN(const Table* table,
                              db_.GetTable(node.table().name()));
     return OperatorPtr(new TableScanOp(table, node.schema()));
@@ -174,6 +179,19 @@ class Lowering {
     if (!left_keys.empty()) {
       ExprPtr res = residual.empty() ? nullptr
                                      : Expr::MakeAnd(std::move(residual));
+      if (hooks_ != nullptr) {
+        // All worker lowerings hit this node (pointer identity — plan
+        // nodes are shared, not copied, across lowerings), so the first
+        // one creates the shared build and the rest reuse it.
+        std::shared_ptr<SharedJoinBuild>& build =
+            hooks_->shared_builds[&node];
+        if (build == nullptr) {
+          build = std::make_shared<SharedJoinBuild>(hooks_->build_partitions);
+        }
+        return OperatorPtr(new SharedHashJoinProbeOp(
+            std::move(left), std::move(right), std::move(left_keys),
+            std::move(right_keys), std::move(res), build));
+      }
       return OperatorPtr(new HashJoinOp(std::move(left), std::move(right),
                                         std::move(left_keys),
                                         std::move(right_keys),
@@ -244,6 +262,7 @@ class Lowering {
   const Database& db_;
   const PhysicalOptions& options_;
   ExecProfile* profile_;
+  ParallelLoweringHooks* hooks_;
   int depth_ = 0;
 };
 
@@ -252,8 +271,9 @@ class Lowering {
 Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
                                        const Database& db,
                                        const PhysicalOptions& options,
-                                       ExecProfile* profile) {
-  Lowering lowering(db, options, profile);
+                                       ExecProfile* profile,
+                                       ParallelLoweringHooks* hooks) {
+  Lowering lowering(db, options, profile, hooks);
   return lowering.Lower(plan);
 }
 
@@ -261,6 +281,14 @@ Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
                                      ExecContext* ctx,
                                      const PhysicalOptions& options,
                                      ExecProfile* profile) {
+  if (options.dop > 1) {
+    UNIQOPT_ASSIGN_OR_RETURN(
+        std::optional<std::vector<Row>> parallel,
+        TryParallelExecute(plan, db, ctx, options, profile));
+    if (parallel.has_value()) return std::move(*parallel);
+    // Unsupported plan shape: fall through to the serial executor.
+  }
+  ctx->batch_size = options.batch_size;
   UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr root,
                            CreatePhysicalPlan(plan, db, options, profile));
   return ExecuteToVector(root.get(), ctx);

@@ -26,7 +26,34 @@ struct PhysicalOptions {
   bool sort_merge_intersect = false;
   /// Push single-side conjuncts of a Select-over-Product below the join.
   bool predicate_pushdown = true;
+  /// Rows per batch on the vectorized NextBatch path (scans hand out
+  /// zero-copy views, filters compact selection vectors). 0 reverts to
+  /// tuple-at-a-time Volcano iteration.
+  size_t batch_size = RowBatch::kDefaultBatchSize;
+  /// Degree of parallelism for morsel-driven execution. With dop > 1,
+  /// ExecutePlan splits the driving base-table scan into fixed-size
+  /// morsels claimed by `dop` workers via an atomic cursor; plans whose
+  /// shape the parallel lowering does not support fall back to serial.
+  unsigned dop = 1;
+
+  /// Folds every knob into a fingerprint-salt word, so plan-cache
+  /// entries prepared under different physical defaults never collide.
+  uint64_t CacheSalt() const {
+    uint64_t salt = 0;
+    salt |= join == JoinStrategy::kHash ? 1u : 0u;
+    salt |= distinct == DistinctStrategy::kHash ? 2u : 0u;
+    salt |= sort_merge_intersect ? 4u : 0u;
+    salt |= predicate_pushdown ? 8u : 0u;
+    salt |= static_cast<uint64_t>(dop & 0xffu) << 8;
+    salt |= static_cast<uint64_t>(batch_size & 0xffffffffu) << 16;
+    return salt;
+  }
 };
+
+/// Internal hooks threaded through the lowering by the parallel
+/// executor (morsel-cursor scan substitution, shared hash-join builds).
+/// Defined in exec/parallel.h; callers outside the executor pass none.
+struct ParallelLoweringHooks;
 
 /// Lowers a logical plan to an executable operator tree over `db`. With
 /// `profile` non-null every lowered plan node is wrapped in a metering
@@ -34,9 +61,13 @@ struct PhysicalOptions {
 Result<OperatorPtr> CreatePhysicalPlan(const PlanPtr& plan,
                                        const Database& db,
                                        const PhysicalOptions& options = {},
-                                       ExecProfile* profile = nullptr);
+                                       ExecProfile* profile = nullptr,
+                                       ParallelLoweringHooks* hooks = nullptr);
 
-/// Lower + execute in one step.
+/// Lower + execute in one step. With options.dop > 1 the plan runs on
+/// the morsel-driven parallel executor when its shape supports it
+/// (serial fallback otherwise); options.batch_size selects the
+/// vectorized NextBatch path in either mode.
 Result<std::vector<Row>> ExecutePlan(const PlanPtr& plan, const Database& db,
                                      ExecContext* ctx,
                                      const PhysicalOptions& options = {},

@@ -167,6 +167,16 @@ class Optimizer {
   void set_check_equiv(bool on) { check_equiv_ = on; }
   bool check_equiv() const { return check_equiv_; }
 
+  /// Default physical options for this optimizer: the shell's \set
+  /// dop/batch land here. Folded (via CacheSalt) into plan-cache
+  /// fingerprints so entries prepared under different physical defaults
+  /// never collide, and consulted by cost-based preparation (dop > 1
+  /// adds parallel alternatives to the candidate pool).
+  void set_default_physical(const PhysicalOptions& physical) {
+    default_physical_ = physical;
+  }
+  const PhysicalOptions& default_physical() const { return default_physical_; }
+
   /// Extra salt ORed into plan-cache fingerprints. What-if replay sets
   /// a private bit so hypothetical-catalog prepares can never be served
   /// from (or pollute) entries keyed to the real catalog.
@@ -197,6 +207,7 @@ class Optimizer {
   bool verify_plans_ = kVerifyPlansByDefault;
   bool check_equiv_ = equiv::kCheckEquivByDefault;
   bool advise_ = true;
+  PhysicalOptions default_physical_;
   uint64_t extra_fingerprint_salt_ = 0;
   std::shared_ptr<cache::PlanCache> cache_;
 };

@@ -1,6 +1,9 @@
 // Tests for the cost model and cost-based strategy choice — the piece
 // the paper leaves to "the optimizer's cost model" (§5).
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "exec/cost_model.h"
@@ -141,6 +144,45 @@ TEST_F(CostModelTest, EstimatesAreOrderOfMagnitudeSane) {
     EXPECT_LT(estimated / actual, 4.0) << sql;
     EXPECT_GT(estimated / actual, 0.25) << sql;
   }
+}
+
+TEST_F(CostModelTest, ConcurrentDistinctCountIsRaceFree) {
+  // One estimator shared by many threads, all filling the NDV cache —
+  // the exact situation concurrent PrepareBatch puts the cost phase in.
+  // Run under TSan (scripts/check.sh --tsan) this is the regression
+  // test for the formerly unguarded mutable ndv_cache_.
+  std::vector<std::thread> pool;
+  std::atomic<bool> mismatch{false};
+  auto worker = [&] {
+    for (int round = 0; round < 20; ++round) {
+      if (estimator_->DistinctCount("SUPPLIER", 0) != 200.0 ||
+          estimator_->DistinctCount("PARTS", 1) != 10.0 ||
+          estimator_->DistinctCount("PARTS", 0) <= 0.0) {
+        mismatch.store(true);
+      }
+    }
+  };
+  for (int t = 0; t < 7; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST_F(CostModelTest, ParallelAlternativeWinsOnlyForLargeWork) {
+  // dop > 1 adds per-worker startup + gather cost: a big join should
+  // prefer the parallel lowering, a one-row point lookup should not.
+  PlanPtr big = Bind(
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO");
+  std::vector<PlanAlternative> alts = StandardAlternatives(big, big, 8);
+  size_t best = ChooseBestAlternative(*estimator_, &alts);
+  EXPECT_EQ(alts[best].physical.dop, 8u) << alts[best].label;
+
+  PlanPtr small = Bind("SELECT * FROM SUPPLIER WHERE SNO = 7");
+  std::vector<PlanAlternative> small_alts =
+      StandardAlternatives(small, small, 8);
+  size_t small_best = ChooseBestAlternative(*estimator_, &small_alts);
+  EXPECT_EQ(small_alts[small_best].physical.dop, 1u)
+      << small_alts[small_best].label;
 }
 
 }  // namespace

@@ -47,8 +47,10 @@ OperatorPtr IntSource(const char* name, std::vector<int64_t> values,
   for (size_t i = 0; i < values.size(); ++i) {
     bool is_null = false;
     for (size_t p : null_positions) is_null = is_null || p == i;
-    rows.push_back(Row({is_null ? Value::Null(TypeId::kInteger)
-                                : Value::Integer(values[i])}));
+    std::vector<Value> cells;
+    cells.push_back(is_null ? Value::Null(TypeId::kInteger)
+                            : Value::Integer(values[i]));
+    rows.push_back(Row(std::move(cells)));
   }
   return OperatorPtr(new VectorSourceOp(OneIntColumn(name),
                                         std::move(rows)));
