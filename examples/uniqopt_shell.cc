@@ -53,7 +53,10 @@
 #include "obs/recorder.h"
 #include "obs/sentinel.h"
 #include "obs/timeseries.h"
+#include "obs/advisor.h"
 #include "obs/trace.h"
+#include "txn/dml.h"
+#include "txn/dml_executor.h"
 #include "uniqopt/uniqopt.h"
 
 namespace {
@@ -139,7 +142,10 @@ int Run() {
       "EXPLAIN ANALYZE <q> executes\nwith per-operator metering. "
       "\\metrics dumps counters; \\trace on|off toggles spans;\n"
       "\\history shows the flight recorder; \\advisor lists constraint "
-      "suggestions\n(\\advisor replay [n] what-if replays the top n); "
+      "suggestions\n(\\advisor replay [n] what-if replays the top n; "
+      "\\advisor adopt [n] turns suggestion n\ninto a real CREATE UNIQUE "
+      "INDEX, validating existing rows); INSERT/UPDATE/DELETE\nrun on "
+      "the transactional DML plane with key enforcement; "
       "\\slow [ms] sets the "
       "slow-query threshold;\n\\serve <port> starts the HTTP endpoint "
       "(/metrics /trace /queries /advisor /timeseries /alerts /healthz)\n"
@@ -207,6 +213,53 @@ int Run() {
         continue;
       }
       std::printf("%s", replay->ToText().c_str());
+      continue;
+    }
+    if (trimmed.rfind("\\advisor adopt", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          trimmed.size() > 14 ? trimmed.substr(14) : ""));
+      char* end = nullptr;
+      unsigned long long n =
+          arg.empty() ? 1 : std::strtoull(arg.c_str(), &end, 10);
+      if (!arg.empty() && (end == nullptr || *end != '\0' || n == 0)) {
+        std::printf("usage: \\advisor adopt [<suggestion-#>]\n");
+        continue;
+      }
+      std::vector<obs::AdvisorSuggestion> suggestions =
+          obs::AdvisorStore::Global().Suggestions();
+      if (n > suggestions.size()) {
+        std::printf("error: only %zu suggestion(s) in the advisor store\n",
+                    suggestions.size());
+        continue;
+      }
+      const obs::AdvisorSuggestion& pick = suggestions[n - 1];
+      if (pick.kind == obs::MissingFactKind::kNotNull ||
+          pick.replay_key_columns.empty()) {
+        std::printf(
+            "error: suggestion %llu (%s on %s) is not adoptable as a "
+            "unique index\n",
+            n, obs::MissingFactKindName(pick.kind), pick.table.c_str());
+        continue;
+      }
+      std::string index_name = "ADV_" + pick.table;
+      std::string column_list;
+      for (const std::string& col : pick.replay_key_columns) {
+        index_name += "_" + col;
+        if (!column_list.empty()) column_list += ", ";
+        column_list += col;
+      }
+      auto validated = db.CreateUniqueIndex(pick.table, index_name,
+                                            pick.replay_key_columns);
+      if (!validated.ok()) {
+        std::printf("error: %s\n", validated.status().ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "CREATE UNIQUE INDEX %s ON %s (%s): OK — %zu existing row(s) "
+          "validated\n(suggestion stays listed until \\advisor clear; "
+          "replay will now show no flips)\n",
+          index_name.c_str(), pick.table.c_str(), column_list.c_str(),
+          *validated);
       continue;
     }
     if (trimmed == "\\cache") {
@@ -445,6 +498,16 @@ int Run() {
     if (upper.rfind("CREATE ", 0) == 0 || upper.rfind("DROP ", 0) == 0) {
       Status st = db.ExecuteDdl(trimmed);
       std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    if (txn::IsDmlSql(trimmed)) {
+      txn::DmlExecutor executor(&db);
+      auto dml = executor.ExecuteSql(trimmed);
+      if (!dml.ok()) {
+        std::printf("error: %s\n", dml.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", dml->ToString().c_str());
+      }
       continue;
     }
 

@@ -50,6 +50,17 @@ These are ratios within one run, so they hold on any machine speed; a
 baseline diff alone would not catch the batch path silently degrading
 into the tuple path when both got faster. Combine with --baseline to
 also run the ordinary regression diff.
+
+A fourth mode gates the index-backed execution layer the same way:
+--index-exec reads --current (a bench_index_exec --metrics-json dump)
+and checks the within-run p50 ratios of the bench.index.* histograms:
+
+ * full_scan / point_lookup >= --index-lookup-speedup-floor (default 10.0)
+ * join_hash / join_unique  >= --index-join-speedup-floor   (default 1.0)
+
+i.e. a unique-index point probe must beat the equivalent full scan by
+an order of magnitude, and dropping the hash-join build phase must
+never be slower than building.
 """
 
 import argparse
@@ -226,6 +237,44 @@ def exec_scaling(current, args):
     return ratios, failures
 
 
+def index_exec(current, args):
+    """--index-exec mode: check speedup-ratio invariants between the
+    bench.index.* series of one bench_index_exec run."""
+    failures = []
+    ratios = {}
+
+    def p50(name):
+        m = current.get(name)
+        if m is None or m.get("type") != "histogram":
+            return None
+        return histogram_latency(m)
+
+    def gate(fast_name, slow_name, floor, label):
+        fast = p50(fast_name)
+        slow = p50(slow_name)
+        if fast is None or slow is None:
+            missing = fast_name if fast is None else slow_name
+            failures.append(f"index-exec: {missing} missing from "
+                            f"{args.current} (needed for the {label} gate)")
+            return
+        if fast <= 0:
+            failures.append(f"index-exec: {fast_name} p50 is zero")
+            return
+        speedup = slow / fast
+        ratios[label] = speedup
+        if speedup < floor:
+            failures.append(
+                f"index-exec: {label} speedup {speedup:.2f}x < "
+                f"{floor:.2f}x floor ({slow_name} p50 {slow:.0f}ns, "
+                f"{fast_name} p50 {fast:.0f}ns)")
+
+    gate("bench.index.point_lookup.ns", "bench.index.full_scan.ns",
+         args.index_lookup_speedup_floor, "point-lookup")
+    gate("bench.index.join_unique.ns", "bench.index.join_hash.ns",
+         args.index_join_speedup_floor, "unique-index-join")
+    return ratios, failures
+
+
 def load_timeline(path):
     """Loads a `\\export timeline` / GET /timeseries JSON document."""
     with open(path) as f:
@@ -370,6 +419,17 @@ def main():
                         help="min serial/parallel p50 ratio (default 3.0)")
     parser.add_argument("--batch-speedup-floor", type=float, default=1.5,
                         help="min serial/batch p50 ratio (default 1.5)")
+    parser.add_argument("--index-exec", action="store_true",
+                        help="gate the bench.index.* speedup ratios of "
+                             "--current instead of diffing a baseline")
+    parser.add_argument("--index-lookup-speedup-floor", type=float,
+                        default=10.0,
+                        help="min full-scan/point-lookup p50 ratio "
+                             "(default 10.0)")
+    parser.add_argument("--index-join-speedup-floor", type=float,
+                        default=1.0,
+                        help="min hash-join/unique-index-join p50 ratio "
+                             "(default 1.0)")
     args = parser.parse_args()
 
     if args.timeline:
@@ -396,6 +456,38 @@ def main():
                             "parallel_speedup_floor":
                                 args.parallel_speedup_floor,
                             "batch_speedup_floor": args.batch_speedup_floor,
+                        },
+                        "regressions": failures,
+                        "ok": not failures,
+                    },
+                    f,
+                    indent=2,
+                )
+                f.write("\n")
+        return 1 if failures else 0
+    if args.index_exec:
+        if not args.current:
+            parser.error("--index-exec requires --current")
+        current = load_metrics(args.current)
+        ratios, failures = index_exec(current, args)
+        print(f"bench_compare --index-exec: {args.current}")
+        for name in sorted(ratios):
+            print(f"  {name}: {ratios[name]:.2f}x vs scan baseline")
+        for f in failures:
+            print(f"  REGRESSION: {f}")
+        verdict = "FAIL" if failures else "OK"
+        print(f"  verdict: {verdict}")
+        if args.summary:
+            with open(args.summary, "w") as f:
+                json.dump(
+                    {
+                        "current": args.current,
+                        "index_exec": {
+                            "speedups_vs_scan": ratios,
+                            "index_lookup_speedup_floor":
+                                args.index_lookup_speedup_floor,
+                            "index_join_speedup_floor":
+                                args.index_join_speedup_floor,
                         },
                         "regressions": failures,
                         "ok": not failures,

@@ -13,20 +13,27 @@
 #                 (the formerly racy NDV cache under concurrent
 #                 DistinctCount) and parallel_exec_test (concurrent
 #                 PrepareBatch + morsel-parallel Execute, shared join
-#                 builds, the differential serial-vs-parallel sweep)
+#                 builds, the differential serial-vs-parallel sweep),
+#                 plus the DML plane hammers: dml_test and
+#                 dml_oracle_test (8 threads of single-writer commits
+#                 racing snapshot readers over the COW table versions)
 #   --bench-gate  run the gated benchmarks with --metrics-json, compare
 #                 against bench/baselines/*.json via
-#                 scripts/bench_compare.py, and write BENCH_pr9.json
+#                 scripts/bench_compare.py, and write BENCH_pr10.json
 #                 (including the plan-cache warm/cold p50 speedup, which
 #                 must be >= 10x, the ticker-on vs ticker-off
 #                 cold-prepare p50 ratio, which must stay <= 1.5x — live
 #                 monitoring must not tax the prepare path — the
 #                 equiv-prover-on vs prover-off cold-prepare p50 ratio,
 #                 which must stay <= 1.3x: certifying every rewrite must
-#                 remain a small tax — and the parallel-exec scaling
+#                 remain a small tax — the parallel-exec scaling
 #                 gates: batch dop-1 p50 >= 1.5x over tuple-at-a-time
 #                 serial and morsel-parallel dop-8 p50 >= 3x, via
-#                 bench_compare.py --exec-scaling)
+#                 bench_compare.py --exec-scaling — and the index-exec
+#                 gates: unique-index point lookup p50 >= 10x over the
+#                 full scan and the build-free unique-index join no
+#                 slower than the classic hash join, via
+#                 bench_compare.py --index-exec)
 #   --equiv-sweep run only the symbolic-equivalence sweep: the random
 #                 workload at the pinned seeds must yield zero
 #                 EQUIV_REFUTED certificates and an UNPROVEN share under
@@ -127,6 +134,29 @@ echo "== parallel exec smoke: paper Examples 1-11 at dop 8, merged stats non-zer
 ./build/tests/parallel_exec_test \
   --gtest_filter='*PaperExamplesDop8MergedStatsNonZero*' --gtest_brief=1
 
+echo "== dml smoke: unique-violation rollback leaves the table byte-identical =="
+# Two scripted shell sessions against the same seed database: one just
+# dumps SUPPLIER, the other first runs an INSERT that collides with a
+# committed primary key. The violating statement must report a
+# ConstraintViolation and change nothing — after dropping that one error
+# line the two transcripts must match byte for byte.
+clean_dump=$(printf 'SELECT * FROM SUPPLIER;\n\\q\n' \
+  | ./build/examples/uniqopt_shell 2>/dev/null)
+violated_run=$(printf "INSERT INTO SUPPLIER VALUES (90, 'Dup', 'Chicago', 10.0, 'Active');\nSELECT * FROM SUPPLIER;\n\\q\n" \
+  | ./build/examples/uniqopt_shell 2>/dev/null)
+if ! grep -q 'error: ConstraintViolation: duplicate key' <<< "$violated_run"; then
+  echo "dml smoke FAILED: duplicate insert did not raise ConstraintViolation" >&2
+  exit 1
+fi
+violated_dump=$(grep -v 'error: ConstraintViolation' <<< "$violated_run")
+if [[ "$clean_dump" != "$violated_dump" ]]; then
+  echo "dml smoke FAILED: table changed after a rolled-back INSERT" >&2
+  diff <(echo "$clean_dump") <(echo "$violated_dump") >&2 || true
+  exit 1
+fi
+echo "dml smoke ok: duplicate-key INSERT rolled back, transcript byte-identical"
+./build/tests/dml_test --gtest_filter='*RollsBack*' --gtest_brief=1
+
 run_equiv_sweep
 
 run_tidy
@@ -139,7 +169,7 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j --target obs_test analysis_test \
   export_test recorder_test http_endpoint_test advisor_test \
   timeseries_test sentinel_test equiv_test cost_model_test \
-  parallel_exec_test
+  parallel_exec_test dml_test index_exec_test dml_oracle_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/analysis_test
 ./build-asan/tests/export_test
@@ -151,6 +181,9 @@ cmake --build build-asan -j --target obs_test analysis_test \
 ./build-asan/tests/equiv_test
 ./build-asan/tests/cost_model_test
 ./build-asan/tests/parallel_exec_test
+./build-asan/tests/dml_test
+./build-asan/tests/index_exec_test
+./build-asan/tests/dml_oracle_test
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: ThreadSanitizer build of concurrent obs tests =="
@@ -161,7 +194,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j --target obs_test recorder_test \
     cache_test concurrent_prepare_test advisor_test \
     timeseries_test sentinel_test equiv_test cost_model_test \
-    parallel_exec_test
+    parallel_exec_test dml_test dml_oracle_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/recorder_test
   ./build-tsan/tests/cache_test
@@ -172,18 +205,20 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/equiv_test
   ./build-tsan/tests/cost_model_test
   ./build-tsan/tests/parallel_exec_test
+  ./build-tsan/tests/dml_test
+  ./build-tsan/tests/dml_oracle_test
 fi
 
 if [[ "$RUN_BENCH_GATE" == 1 ]]; then
   echo "== bench gate: run benchmarks vs bench/baselines =="
   cmake --build build -j --target \
     bench_distinct_removal bench_ims_gateway bench_analyzer \
-    bench_plan_cache bench_parallel_exec
+    bench_plan_cache bench_parallel_exec bench_index_exec
   mkdir -p build/bench-gate
   gate_ok=1
   summaries=()
   for bench in bench_distinct_removal bench_ims_gateway bench_analyzer \
-               bench_plan_cache bench_parallel_exec; do
+               bench_plan_cache bench_parallel_exec bench_index_exec; do
     current="build/bench-gate/${bench}.json"
     summary="build/bench-gate/${bench}.summary.json"
     "./build/bench/${bench}" --benchmark_min_time=0.05 \
@@ -203,7 +238,15 @@ if [[ "$RUN_BENCH_GATE" == 1 ]]; then
       --summary build/bench-gate/exec_scaling.summary.json; then
     gate_ok=0
   fi
-  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr9.json
+  # Index-exec invariants: the unique-index point probe must beat the
+  # full scan by >= 10x, and dropping the join build phase must never be
+  # slower than building. Ratios within one run, machine-independent.
+  if ! python3 scripts/bench_compare.py --index-exec \
+      --current build/bench-gate/bench_index_exec.json \
+      --summary build/bench-gate/index_exec.summary.json; then
+    gate_ok=0
+  fi
+  python3 - "${summaries[@]}" <<'EOF' > BENCH_pr10.json
 import json, sys
 benches = {}
 ok = True
@@ -279,14 +322,35 @@ except (OSError, KeyError) as e:
     exec_scaling = {"ok": False, "error": str(e)}
     ok = False
 
+# Index-backed execution: point probe >= 10x over the full scan and the
+# build-free unique-index join no slower than the classic hash join, as
+# judged by bench_compare.py --index-exec on the same metrics dump.
+try:
+    with open("build/bench-gate/index_exec.summary.json") as f:
+        s = json.load(f)
+    index_exec = {
+        "speedups_vs_scan": s["index_exec"]["speedups_vs_scan"],
+        "index_lookup_speedup_floor":
+            s["index_exec"]["index_lookup_speedup_floor"],
+        "index_join_speedup_floor":
+            s["index_exec"]["index_join_speedup_floor"],
+        "regressions": s["regressions"],
+        "ok": s["ok"],
+    }
+    ok = ok and index_exec["ok"]
+except (OSError, KeyError) as e:
+    index_exec = {"ok": False, "error": str(e)}
+    ok = False
+
 json.dump({"gate": "bench_compare", "ok": ok, "benches": benches,
            "plan_cache": plan_cache, "timeseries_ticker": ticker,
-           "equiv_prover": equiv, "exec_scaling": exec_scaling},
+           "equiv_prover": equiv, "exec_scaling": exec_scaling,
+           "index_exec": index_exec},
           sys.stdout, indent=2)
 sys.stdout.write("\n")
 EOF
-  echo "bench gate summary written to BENCH_pr9.json"
-  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr9.json'))['ok'] else 1)"; then
+  echo "bench gate summary written to BENCH_pr10.json"
+  if ! python3 -c "import json,sys; sys.exit(0 if json.load(open('BENCH_pr10.json'))['ok'] else 1)"; then
     gate_ok=0
   fi
   if [[ "$gate_ok" != 1 ]]; then

@@ -71,6 +71,14 @@ Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
   return &it->second;
 }
 
+Result<TableDef*> Catalog::GetTableMutable(const std::string& name) {
+  auto it = tables_.find(ToUpperAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return &it->second;
+}
+
 bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(ToUpperAscii(name)) > 0;
 }

@@ -48,9 +48,19 @@ class Catalog {
     return version_.load(std::memory_order_acquire);
   }
 
- private:
+  /// Advances the schema version. Called internally by DDL, and by the
+  /// storage layer on every committed DML statement and CREATE UNIQUE
+  /// INDEX so cached plans (whose fingerprints mix the version) can
+  /// never serve results computed against superseded constraints.
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Mutable definition access for in-place constraint DDL (CREATE
+  /// UNIQUE INDEX). The map node is stable, so pointers held by Table
+  /// instances stay valid across the mutation; callers must serialize
+  /// against concurrent prepares (same contract as AddTable/DropTable).
+  Result<TableDef*> GetTableMutable(const std::string& name);
+
+ private:
   std::map<std::string, TableDef> tables_;  // keyed by upper-cased name
   std::vector<std::string> order_;
   std::atomic<uint64_t> version_{1};

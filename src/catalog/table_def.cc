@@ -1,5 +1,7 @@
 #include "catalog/table_def.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace uniqopt {
@@ -43,6 +45,40 @@ Status TableDef::SetPrimaryKey(std::vector<std::string> column_names) {
 
 Status TableDef::AddUniqueKey(std::vector<std::string> column_names) {
   return AddKey(KeyKind::kUnique, std::move(column_names));
+}
+
+Status TableDef::AddNamedUniqueKey(std::string key_name,
+                                   std::vector<std::string> column_names) {
+  if (column_names.empty()) {
+    return Status::InvalidArgument("key must name at least one column");
+  }
+  KeyConstraint key;
+  key.kind = KeyKind::kUnique;
+  key.name = std::move(key_name);
+  for (const std::string& cn : column_names) {
+    UNIQOPT_ASSIGN_OR_RETURN(size_t ord, ColumnOrdinal(cn));
+    for (size_t existing : key.columns) {
+      if (existing == ord) {
+        return Status::InvalidArgument("duplicate column in key: " + cn);
+      }
+    }
+    key.columns.push_back(ord);
+  }
+  std::vector<size_t> sorted_new = key.columns;
+  std::sort(sorted_new.begin(), sorted_new.end());
+  for (const KeyConstraint& k : keys_) {
+    if (EqualsIgnoreCase(k.name, key.name)) {
+      return Status::AlreadyExists("key name already in use: " + key.name);
+    }
+    std::vector<size_t> sorted_existing = k.columns;
+    std::sort(sorted_existing.begin(), sorted_existing.end());
+    if (sorted_existing == sorted_new) {
+      return Status::AlreadyExists("a key on these columns already exists: " +
+                                   k.name);
+    }
+  }
+  keys_.push_back(std::move(key));
+  return Status::OK();
 }
 
 Status TableDef::AddForeignKey(std::vector<std::string> column_names,

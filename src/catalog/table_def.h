@@ -66,6 +66,11 @@ class TableDef {
   Status SetPrimaryKey(std::vector<std::string> column_names);
   /// Declares an additional candidate key (UNIQUE).
   Status AddUniqueKey(std::vector<std::string> column_names);
+  /// Declares a UNIQUE candidate key under an explicit name (CREATE
+  /// UNIQUE INDEX). Fails if the name or the exact column set is
+  /// already taken by a declared key.
+  Status AddNamedUniqueKey(std::string key_name,
+                           std::vector<std::string> column_names);
   /// Adds a CHECK table constraint over this table's columns.
   void AddCheck(CheckConstraint check) {
     checks_.push_back(std::move(check));

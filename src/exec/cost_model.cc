@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "exec/index_exec.h"
 #include "expr/equality.h"
 #include "expr/normalize.h"
 
@@ -38,8 +39,11 @@ double CostEstimator::DistinctCount(const std::string& table,
   double ndv = 1;
   auto t = db_->GetTable(table);
   if (t.ok()) {
+    // Scan a pinned snapshot: concurrent DML commits must not move the
+    // row storage under this read.
+    TableSnapshot snapshot = (*t)->Snapshot();
     std::unordered_set<Value, ValueHash, ValueEq> values;
-    for (const Row& row : (*t)->rows()) values.insert(row[column]);
+    for (const Row& row : snapshot->rows) values.insert(row[column]);
     ndv = std::max<size_t>(1, values.size());
   }
   std::lock_guard<std::mutex> lock(ndv_mu_);
@@ -172,20 +176,51 @@ PlanEstimate CostEstimator::EstimateNode(
         e.rows = std::max(1.0, left.rows * right.rows * sel);
         bool has_equi = false;
         size_t left_width = product->left()->schema().num_columns();
+        std::vector<size_t> left_keys;
+        std::vector<size_t> right_keys;
         for (const ExprPtr& conj : FlattenAnd(node->predicate())) {
           EqualityAtom a = ClassifyAtom(conj);
           if (a.type == AtomType::kType2ColumnColumn &&
               ((a.column < left_width) != (a.other_column < left_width))) {
             has_equi = true;
+            size_t lc = a.column < left_width ? a.column : a.other_column;
+            size_t rc = a.column < left_width ? a.other_column : a.column;
+            left_keys.push_back(lc);
+            right_keys.push_back(rc - left_width);
           }
         }
         if (options.join == PhysicalOptions::JoinStrategy::kHash &&
             has_equi) {
-          e.cost = left.cost + right.cost + left.rows + right.rows + e.rows;
+          // Mirror the planner: a bare keyed Get on the build side is
+          // probed through its unique index — the build phase (and the
+          // build-side scan) disappears. Parallel lowerings (dop > 1)
+          // keep the shared hash build.
+          const GetNode* right_get = As<GetNode>(product->right());
+          if (options.use_indexes && options.dop <= 1 &&
+              right_get != nullptr &&
+              MatchUniqueIndexJoin(right_get->table(), left_keys,
+                                   right_keys)
+                  .has_value()) {
+            e.cost = left.cost + left.rows + e.rows;
+          } else {
+            e.cost =
+                left.cost + right.cost + left.rows + right.rows + e.rows;
+          }
         } else {
           e.cost = left.cost + right.cost + left.rows * right.rows;
         }
         return e;
+      }
+      // A unique-index point lookup touches one hash bucket: constant
+      // cost regardless of table size. This is what makes keyed point
+      // queries prefer the probe over every scan-based alternative.
+      if (options.use_indexes && options.dop <= 1) {
+        const GetNode* get = As<GetNode>(node->input());
+        if (get != nullptr &&
+            MatchIndexLookup(get->table(), node->predicate())
+                .has_value()) {
+          return PlanEstimate{1, 2};
+        }
       }
       PlanEstimate in = EstimateNode(node->input(), options);
       PlanEstimate e;

@@ -1,0 +1,137 @@
+#ifndef UNIQOPT_EXEC_INDEX_EXEC_H_
+#define UNIQOPT_EXEC_INDEX_EXEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "exec/operator.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+
+/// Index-backed execution: the unique hash indexes that the DML plane
+/// maintains to *enforce* declared keys double as access paths. A
+/// predicate whose Type-1 equality conjuncts cover a declared key
+/// identifies at most one row (the paper's §2 single-row guarantee), so
+/// the scan collapses to one hash probe; a hash join whose build side is
+/// a bare keyed Get needs no build phase at all — the committed index
+/// already IS the hash table.
+///
+/// The Match* helpers below are shared by the planner's lowering and the
+/// cost model so the two always agree on when an index applies.
+
+/// How a point-lookup probe value is obtained at Open time: a literal
+/// from the query text or a host-variable slot (exactly one is set).
+struct IndexProbe {
+  std::optional<Value> constant;
+  std::optional<size_t> host_var;
+
+  Value Resolve(const std::vector<Value>& params) const {
+    return constant.has_value() ? *constant : params.at(*host_var);
+  }
+};
+
+/// σ[pred](Get(T)) matched to a unique-index point lookup. `probes` are
+/// arranged in the key's declared column order; conjuncts not consumed
+/// by the probe remain in `residual` (table coordinates).
+struct IndexLookupMatch {
+  size_t key_index = 0;
+  std::vector<IndexProbe> probes;
+  std::vector<ExprPtr> residual;
+};
+
+/// Matches when Type-1 equality conjuncts of `predicate` cover every
+/// column of some declared key of `def` (first-declared key wins, which
+/// puts PRIMARY KEY ahead of later UNIQUE declarations). Returns nullopt
+/// when no key is fully covered.
+std::optional<IndexLookupMatch> MatchIndexLookup(const TableDef& def,
+                                                 const ExprPtr& predicate);
+
+/// A hash join whose right (build) side can be replaced by unique-index
+/// probes: the right-side equi-columns are exactly a declared key.
+struct IndexJoinMatch {
+  size_t key_index = 0;
+  /// Probe-side (left) columns rearranged into the key's column order.
+  std::vector<size_t> left_keys;
+};
+
+/// Matches when `right_keys` (build-side columns, right coordinates,
+/// paired positionally with `left_keys`) form exactly the column set of
+/// a declared key of `right_def`. Duplicate right columns or extra
+/// equi-pairs fall back to the classic hash build.
+std::optional<IndexJoinMatch> MatchUniqueIndexJoin(
+    const TableDef& right_def, const std::vector<size_t>& left_keys,
+    const std::vector<size_t>& right_keys);
+
+/// "NAME" for named keys, else "T(A,B)" — used in operator names so
+/// EXPLAIN ANALYZE shows which index carried the probe.
+std::string KeyDisplayName(const TableDef& def, size_t key_index);
+
+/// Point lookup: probes the table's unique index `key_index` once and
+/// emits at most one row (filtered through `residual` when present).
+/// A NULL probe value emits nothing — SQL `=` never matches NULL, even
+/// though the index itself files NULL keys under `=!`.
+class IndexLookupOp final : public Operator {
+ public:
+  IndexLookupOp(const Table* table, Schema schema, size_t key_index,
+                std::vector<IndexProbe> probes, ExprPtr residual,
+                std::string key_name);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override {
+    return "IndexLookup(" + key_name_ + ")";
+  }
+
+ private:
+  const Table* table_;
+  size_t key_index_;
+  std::vector<IndexProbe> probes_;
+  ExprPtr residual_;
+  std::string key_name_;
+  /// Pinned for the lifetime of the operator so a borrowed matched row
+  /// stays valid across a concurrent writer's commit.
+  TableSnapshot snapshot_;
+  std::optional<Row> match_;
+};
+
+/// Join probing the build side's unique index instead of building a hash
+/// table: for each left row, project the key columns, probe, and emit
+/// the concatenated row. Output is identical to HashJoinOp when the
+/// right equi-columns are a declared key (at most one match per probe).
+/// `right_filter` holds pushed-down right-side conjuncts in right
+/// coordinates; `residual` is evaluated over the concatenated row.
+class UniqueIndexJoinOp final : public Operator {
+ public:
+  UniqueIndexJoinOp(OperatorPtr left, const Table* right_table,
+                    const Schema& right_schema, size_t key_index,
+                    std::vector<size_t> left_keys, ExprPtr right_filter,
+                    ExprPtr residual, std::string key_name);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close() override;
+  std::string name() const override {
+    return "UniqueIndexJoin(" + key_name_ + ")";
+  }
+
+ private:
+  OperatorPtr left_;
+  const Table* right_table_;
+  size_t key_index_;
+  std::vector<size_t> left_keys_;
+  ExprPtr right_filter_;
+  ExprPtr residual_;
+  std::string key_name_;
+  /// Key-column types of the build side, for probe-value coercion.
+  std::vector<TypeId> key_types_;
+  TableSnapshot snapshot_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_EXEC_INDEX_EXEC_H_

@@ -28,6 +28,7 @@ struct ExecStats {
   size_t inner_loop_rows = 0;   ///< inner rows visited by nested loops
   size_t rows_output = 0;       ///< rows returned by the root operator
   size_t morsels_claimed = 0;   ///< scan morsels claimed (parallel only)
+  size_t index_probes = 0;      ///< unique-index point/join probes
 
   void Reset() { *this = ExecStats(); }
   /// Folds another worker's counters into this one.
@@ -40,6 +41,7 @@ struct ExecStats {
     inner_loop_rows += other.inner_loop_rows;
     rows_output += other.rows_output;
     morsels_claimed += other.morsels_claimed;
+    index_probes += other.index_probes;
   }
   std::string ToString() const;
 };

@@ -15,6 +15,7 @@ std::string ExecStats::ToString() const {
   out += " inner_loop_rows=" + std::to_string(inner_loop_rows);
   out += " rows_output=" + std::to_string(rows_output);
   out += " morsels_claimed=" + std::to_string(morsels_claimed);
+  out += " index_probes=" + std::to_string(index_probes);
   return out;
 }
 
@@ -75,20 +76,26 @@ Result<std::vector<Row>> Drain(Operator* op, ExecContext* ctx) {
 
 // ---------------------------------------------------------------- TableScan
 Status TableScanOp::Open(ExecContext*) {
+  // Pin the committed version for the whole execution: concurrent DML
+  // publishes new versions, but this scan keeps reading the immutable
+  // state it opened against (snapshot isolation for readers). The pin
+  // is held past Close() so batches that borrowed storage slices stay
+  // valid until the operator tree is destroyed.
+  snapshot_ = table_->Snapshot();
   pos_ = 0;
   return Status::OK();
 }
 
 Result<bool> TableScanOp::Next(ExecContext* ctx, Row* row) {
-  if (pos_ >= table_->rows().size()) return false;
-  *row = table_->rows()[pos_++];
+  if (pos_ >= snapshot_->rows.size()) return false;
+  *row = snapshot_->rows[pos_++];
   ++ctx->stats.rows_scanned;
   return true;
 }
 
 Result<bool> TableScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   out->Reset();
-  const std::vector<Row>& rows = table_->rows();
+  const std::vector<Row>& rows = snapshot_->rows;
   if (pos_ >= rows.size()) return false;
   size_t n = std::min(out->capacity(), rows.size() - pos_);
   out->Borrow(rows.data() + pos_, n);

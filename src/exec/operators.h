@@ -29,6 +29,7 @@ class TableScanOp final : public Operator {
 
  private:
   const Table* table_;
+  TableSnapshot snapshot_;  ///< pinned at Open; immutable under DML
   size_t pos_ = 0;
 };
 

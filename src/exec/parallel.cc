@@ -297,10 +297,11 @@ Result<std::optional<std::vector<Row>>> TryParallelExecute(
       db.GetTable(static_cast<const GetNode*>(driver)->table().name());
   if (!table.ok()) return std::optional<std::vector<Row>>();
 
-  MorselCursor cursor((*table)->rows().size());
+  TableSnapshot driver_snapshot = (*table)->Snapshot();
+  MorselCursor cursor(driver_snapshot->rows.size());
   ParallelLoweringHooks hooks;
   hooks.driver = driver;
-  hooks.driver_table = *table;
+  hooks.driver_snapshot = std::move(driver_snapshot);
   hooks.cursor = &cursor;
   hooks.build_partitions = dop;
 

@@ -57,8 +57,13 @@ class MorselCursor {
 /// belongs to one worker.
 class MorselScanOp final : public Operator {
  public:
-  MorselScanOp(const Table* table, Schema schema, MorselCursor* cursor)
-      : Operator(std::move(schema)), table_(table), cursor_(cursor) {}
+  /// All workers receive the SAME snapshot (pinned once by the
+  /// coordinator before sizing the cursor), so a DML commit racing the
+  /// query can never tear the morsel range or mix table versions.
+  MorselScanOp(TableSnapshot snapshot, Schema schema, MorselCursor* cursor)
+      : Operator(std::move(schema)),
+        snapshot_(std::move(snapshot)),
+        cursor_(cursor) {}
 
   Status Open(ExecContext*) override {
     begin_ = end_ = 0;
@@ -70,7 +75,7 @@ class MorselScanOp final : public Operator {
       if (!cursor_->Claim(&begin_, &end_)) return false;
       ++ctx->stats.morsels_claimed;
     }
-    *row = table_->rows()[begin_++];
+    *row = snapshot_->rows[begin_++];
     ++ctx->stats.rows_scanned;
     return true;
   }
@@ -82,7 +87,7 @@ class MorselScanOp final : public Operator {
       ++ctx->stats.morsels_claimed;
     }
     size_t n = std::min(out->capacity(), end_ - begin_);
-    out->Borrow(table_->rows().data() + begin_, n);
+    out->Borrow(snapshot_->rows.data() + begin_, n);
     begin_ += n;
     ctx->stats.rows_scanned += n;
     return true;
@@ -92,7 +97,7 @@ class MorselScanOp final : public Operator {
   std::string name() const override { return "MorselScan"; }
 
  private:
-  const Table* table_;
+  TableSnapshot snapshot_;
   MorselCursor* cursor_;
   size_t begin_ = 0;
   size_t end_ = 0;
@@ -191,7 +196,9 @@ struct ParallelLoweringHooks {
   /// and shared across the worker lowerings); lowered to a MorselScanOp
   /// instead of a TableScanOp.
   const PlanNode* driver = nullptr;
-  const Table* driver_table = nullptr;
+  /// One snapshot shared by every worker's MorselScanOp — pinned before
+  /// the cursor is sized so ranges and rows come from the same version.
+  TableSnapshot driver_snapshot;
   MorselCursor* cursor = nullptr;
   /// Shared hash-join builds keyed by the SelectNode that lowers to the
   /// join; created lazily by the first worker lowering, reused by the

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "exec/index_exec.h"
 #include "exec/operators.h"
 #include "exec/parallel.h"
 #include "expr/equality.h"
@@ -106,7 +107,7 @@ class Lowering {
 
   Result<OperatorPtr> LowerGet(const GetNode& node) {
     if (hooks_ != nullptr && &node == hooks_->driver) {
-      return OperatorPtr(new MorselScanOp(hooks_->driver_table,
+      return OperatorPtr(new MorselScanOp(hooks_->driver_snapshot,
                                           node.schema(), hooks_->cursor));
     }
     UNIQOPT_ASSIGN_OR_RETURN(const Table* table,
@@ -135,6 +136,29 @@ class Lowering {
     }
     const ProductNode* product = As<ProductNode>(node.input());
     if (product == nullptr) {
+      // σ over a bare keyed Get whose equality conjuncts cover a
+      // declared key is at most one row: probe the unique index instead
+      // of scanning. Parallel lowerings keep the scan — a single probe
+      // has nothing to parallelize.
+      if (options_.use_indexes && hooks_ == nullptr) {
+        const GetNode* get = As<GetNode>(node.input());
+        if (get != nullptr) {
+          std::optional<IndexLookupMatch> match =
+              MatchIndexLookup(get->table(), node.predicate());
+          if (match.has_value()) {
+            UNIQOPT_ASSIGN_OR_RETURN(const Table* table,
+                                     db_.GetTable(get->table().name()));
+            ExprPtr residual =
+                match->residual.empty()
+                    ? nullptr
+                    : Expr::MakeAnd(std::move(match->residual));
+            return OperatorPtr(new IndexLookupOp(
+                table, node.schema(), match->key_index,
+                std::move(match->probes), std::move(residual),
+                KeyDisplayName(get->table(), match->key_index)));
+          }
+        }
+      }
       UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr child, Lower(node.input()));
       return OperatorPtr(new FilterOp(std::move(child), node.predicate()));
     }
@@ -165,6 +189,37 @@ class Lowering {
         }
       }
       residual.push_back(conj);
+    }
+    // When the build side is a bare Get and the build-side equi-columns
+    // are exactly a declared key, the committed unique index already IS
+    // the hash table: probe it and skip the build phase entirely.
+    if (!left_keys.empty() && options_.use_indexes && hooks_ == nullptr) {
+      const GetNode* right_get = As<GetNode>(product->right());
+      if (right_get != nullptr) {
+        std::optional<IndexJoinMatch> match = MatchUniqueIndexJoin(
+            right_get->table(), left_keys, right_keys);
+        if (match.has_value()) {
+          UNIQOPT_ASSIGN_OR_RETURN(const Table* right_table,
+                                   db_.GetTable(right_get->table().name()));
+          UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr left,
+                                   Lower(product->left()));
+          if (!left_only.empty()) {
+            left = OperatorPtr(new FilterOp(
+                std::move(left), Expr::MakeAnd(std::move(left_only))));
+          }
+          ExprPtr right_filter =
+              right_only.empty() ? nullptr
+                                 : Expr::MakeAnd(std::move(right_only));
+          ExprPtr res = residual.empty()
+                            ? nullptr
+                            : Expr::MakeAnd(std::move(residual));
+          return OperatorPtr(new UniqueIndexJoinOp(
+              std::move(left), right_table, right_get->schema(),
+              match->key_index, std::move(match->left_keys),
+              std::move(right_filter), std::move(res),
+              KeyDisplayName(right_get->table(), match->key_index)));
+        }
+      }
     }
     UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr left, Lower(product->left()));
     UNIQOPT_ASSIGN_OR_RETURN(OperatorPtr right, Lower(product->right()));

@@ -35,6 +35,12 @@ struct PhysicalOptions {
   /// morsels claimed by `dop` workers via an atomic cursor; plans whose
   /// shape the parallel lowering does not support fall back to serial.
   unsigned dop = 1;
+  /// Lower equality predicates that cover a declared unique key to
+  /// index point lookups, and join builds whose build side is a bare
+  /// keyed Get to unique-index probes (the committed index IS the hash
+  /// table, so the build phase disappears). Off reverts to scans and
+  /// classic hash builds — the benchmark baseline.
+  bool use_indexes = true;
 
   /// Folds every knob into a fingerprint-salt word, so plan-cache
   /// entries prepared under different physical defaults never collide.
@@ -44,6 +50,7 @@ struct PhysicalOptions {
     salt |= distinct == DistinctStrategy::kHash ? 2u : 0u;
     salt |= sort_merge_intersect ? 4u : 0u;
     salt |= predicate_pushdown ? 8u : 0u;
+    salt |= use_indexes ? 16u : 0u;
     salt |= static_cast<uint64_t>(dop & 0xffu) << 8;
     salt |= static_cast<uint64_t>(batch_size & 0xffffffffu) << 16;
     return salt;

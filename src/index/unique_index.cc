@@ -1,0 +1,30 @@
+#include "index/unique_index.h"
+
+namespace uniqopt {
+
+Status UniqueIndex::Insert(const Row& row, size_t ordinal,
+                           const std::string& key_name,
+                           const std::string& table_name) {
+  Row key = row.Project(key_columns_);
+  auto [it, inserted] = map_.emplace(std::move(key), ordinal);
+  if (!inserted) {
+    return Status::ConstraintViolation(
+        "duplicate key " + it->first.ToString() + " for " + key_name +
+        " on " + table_name);
+  }
+  return Status::OK();
+}
+
+Result<UniqueIndex> UniqueIndex::Build(const std::vector<Row>& rows,
+                                       std::vector<size_t> key_columns,
+                                       const std::string& key_name,
+                                       const std::string& table_name) {
+  UniqueIndex index(std::move(key_columns));
+  index.map_.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    UNIQOPT_RETURN_NOT_OK(index.Insert(rows[i], i, key_name, table_name));
+  }
+  return index;
+}
+
+}  // namespace uniqopt

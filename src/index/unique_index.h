@@ -1,0 +1,71 @@
+#ifndef UNIQOPT_INDEX_UNIQUE_INDEX_H_
+#define UNIQOPT_INDEX_UNIQUE_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+
+namespace uniqopt {
+
+/// A unique hash index over one declared key of a table version.
+///
+/// Keys are projected key rows compared under the paper's null-equality
+/// operator `=!` (§2.1): NULL is one special value, so at most one row
+/// may carry NULL in any key column position. This matches the SQL2
+/// UNIQUE semantics Table enforcement has always used, which is what
+/// lets the optimizer treat a declared key as a key dependency
+/// (Theorem 1) — and what lets the executor treat the index itself as a
+/// pre-built hash-join table.
+///
+/// The index is a value type owned by an immutable TableVersion: DML
+/// builds a fresh index for the next version and publishes both
+/// together, so readers never observe an index out of sync with rows.
+class UniqueIndex {
+ public:
+  UniqueIndex() = default;
+  explicit UniqueIndex(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  size_t size() const { return map_.size(); }
+
+  /// Inserts the key projection of `row` (stored at position `ordinal`).
+  /// A `=!`-duplicate key yields ConstraintViolation naming `key_name`.
+  Status Insert(const Row& row, size_t ordinal, const std::string& key_name,
+                const std::string& table_name);
+
+  /// Position of the row whose key is `=!`-equal to `key`, if any. The
+  /// key must be projected in key_columns() order. Callers implementing
+  /// SQL `=` probes (WHERE col = :v, join keys) must short-circuit NULL
+  /// probe values to "no match" before calling — the index itself files
+  /// NULL as an ordinary value.
+  std::optional<size_t> Lookup(const Row& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const Row& key) const { return Lookup(key).has_value(); }
+
+  /// Builds an index over `rows` for the given key columns; the first
+  /// `=!`-duplicate pair aborts the build with ConstraintViolation.
+  /// Used both to maintain indexes across DML versions and to validate
+  /// existing rows when CREATE UNIQUE INDEX declares a key after the
+  /// fact.
+  static Result<UniqueIndex> Build(const std::vector<Row>& rows,
+                                   std::vector<size_t> key_columns,
+                                   const std::string& key_name,
+                                   const std::string& table_name);
+
+ private:
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Row, size_t, RowHash, RowNullSafeEqual> map_;
+};
+
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_INDEX_UNIQUE_INDEX_H_

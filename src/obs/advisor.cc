@@ -128,6 +128,24 @@ void AdvisorStore::Clear() {
   MetricsRegistry::Global().GetGauge("advisor.suggestions").Set(0);
 }
 
+void AdvisorStore::PurgeTable(const std::string& table) {
+  size_t remaining = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string prefix = table + '\0';
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    remaining = entries_.size();
+  }
+  MetricsRegistry::Global().GetGauge("advisor.suggestions").Set(
+      static_cast<int64_t>(remaining));
+}
+
 size_t AdvisorStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -107,6 +107,12 @@ class AdvisorStore {
 
   void Clear();
 
+  /// Drops every suggestion for `table` (exact, case-sensitive — tables
+  /// are recorded under their catalog-canonical upper-cased names).
+  /// Called by Database::DropTable so `\advisor replay`/`adopt` never
+  /// reference a table that no longer exists.
+  void PurgeTable(const std::string& table);
+
   size_t size() const;
 
   /// Human-readable table for the `\advisor` shell command.

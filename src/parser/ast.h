@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expr/expr.h"
@@ -139,10 +140,48 @@ struct DropTableStmt {
   std::string table_name;
 };
 
-/// A parsed SQL statement: either DDL or a query.
+/// `CREATE UNIQUE INDEX <name> ON <table> (columns)` — declares a
+/// candidate key after the fact. Existing rows are validated under `=!`
+/// before the key is declared; on success the key both enforces future
+/// writes and licenses the optimizer's uniqueness proofs. This is the
+/// DDL `\advisor adopt` emits.
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table_name;
+  std::vector<std::string> columns;
+};
+
+/// `INSERT INTO <table> [(columns)] VALUES (...), (...)`. Each value is
+/// a literal or host variable; omitted columns receive NULL.
+struct InsertStmt {
+  std::string table_name;
+  std::vector<std::string> columns;  ///< empty: schema order
+  std::vector<std::vector<AstExprPtr>> rows;
+};
+
+/// `UPDATE <table> SET col = expr, ... [WHERE ...]`. Assignment sources
+/// and the WHERE predicate are scalar expressions over the table's own
+/// columns (no subqueries).
+struct UpdateStmt {
+  std::string table_name;
+  std::vector<std::pair<std::string, AstExprPtr>> assignments;
+  AstExprPtr where;  ///< may be null (all rows)
+};
+
+/// `DELETE FROM <table> [WHERE ...]`.
+struct DeleteStmt {
+  std::string table_name;
+  AstExprPtr where;  ///< may be null (all rows)
+};
+
+/// A parsed SQL statement: DDL, DML, or a query.
 struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;  ///< exactly one of
   std::unique_ptr<DropTableStmt> drop_table;      ///< these is set
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<InsertStmt> insert_stmt;
+  std::unique_ptr<UpdateStmt> update_stmt;
+  std::unique_ptr<DeleteStmt> delete_stmt;
   QueryPtr query;
 };
 

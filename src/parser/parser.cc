@@ -16,7 +16,9 @@ const std::set<std::string>& ReservedWords() {
       "IN",     "BETWEEN",  "IS",     "NULL",  "EXISTS",  "DISTINCT",
       "ALL",    "INTERSECT", "EXCEPT", "UNION", "CREATE",  "TABLE",
       "DROP",   "PRIMARY", "KEY",     "UNIQUE", "CHECK", "TRUE", "FALSE",
-      "ORDER",  "GROUP",    "BY",     "HAVING", "AS"};
+      "ORDER",  "GROUP",    "BY",     "HAVING", "AS",
+      "INSERT", "INTO",     "VALUES", "UPDATE", "SET", "DELETE",
+      "INDEX",  "ON"};
   return *kWords;
 }
 
@@ -28,9 +30,19 @@ class Parser {
   Result<StatementPtr> ParseStatementTop() {
     auto stmt = std::make_unique<Statement>();
     if (PeekKeyword("CREATE")) {
-      UNIQOPT_ASSIGN_OR_RETURN(stmt->create_table, ParseCreateTable());
+      if (PeekKeyword("UNIQUE", 1) || PeekKeyword("INDEX", 1)) {
+        UNIQOPT_ASSIGN_OR_RETURN(stmt->create_index, ParseCreateIndex());
+      } else {
+        UNIQOPT_ASSIGN_OR_RETURN(stmt->create_table, ParseCreateTable());
+      }
     } else if (PeekKeyword("DROP")) {
       UNIQOPT_ASSIGN_OR_RETURN(stmt->drop_table, ParseDropTable());
+    } else if (PeekKeyword("INSERT")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->insert_stmt, ParseInsert());
+    } else if (PeekKeyword("UPDATE")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->update_stmt, ParseUpdate());
+    } else if (PeekKeyword("DELETE")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->delete_stmt, ParseDelete());
     } else {
       UNIQOPT_ASSIGN_OR_RETURN(stmt->query, ParseQueryExpr());
     }
@@ -434,6 +446,102 @@ class Parser {
         break;
     }
     return ErrorHere("expected expression");
+  }
+
+  // -- DML ------------------------------------------------------------------
+
+  /// A DML scalar: ParsePrimary plus a leading unary minus on numeric
+  /// literals (queries never needed negatives; `VALUES (-1)` does).
+  Result<AstExprPtr> ParseDmlScalar() {
+    if (PeekSymbol("-") && (Peek(1).type == TokenType::kInteger ||
+                            Peek(1).type == TokenType::kDouble)) {
+      size_t offset = Peek().offset;
+      Advance();
+      const Token& t = Peek();
+      auto node = std::make_unique<AstExpr>();
+      node->offset = offset;
+      node->kind = AstExprKind::kLiteral;
+      node->literal = t.type == TokenType::kInteger
+                          ? Value::Integer(-std::stoll(t.text))
+                          : Value::Double(-std::stod(t.text));
+      Advance();
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->table_name,
+                             ExpectIdentifier("table name"));
+    if (PeekSymbol("(")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->columns, ParseColumnNameList());
+    }
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    do {
+      UNIQOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<AstExprPtr> row;
+      do {
+        UNIQOPT_ASSIGN_OR_RETURN(AstExprPtr value, ParseDmlScalar());
+        row.push_back(std::move(value));
+      } while (ConsumeSymbol(","));
+      UNIQOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->table_name,
+                             ExpectIdentifier("table name"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("SET"));
+    do {
+      UNIQOPT_ASSIGN_OR_RETURN(std::string column,
+                               ExpectIdentifier("column name"));
+      UNIQOPT_RETURN_NOT_OK(ExpectSymbol("="));
+      UNIQOPT_ASSIGN_OR_RETURN(AstExprPtr value, ParseDmlScalar());
+      stmt->assignments.emplace_back(std::move(column), std::move(value));
+    } while (ConsumeSymbol(","));
+    if (ConsumeKeyword("WHERE")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->table_name,
+                             ExpectIdentifier("table name"));
+    if (ConsumeKeyword("WHERE")) {
+      UNIQOPT_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // -- CREATE UNIQUE INDEX --------------------------------------------------
+  Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndex() {
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    if (PeekKeyword("INDEX")) {
+      return ErrorHere(
+          "only CREATE UNIQUE INDEX is supported (a non-unique index "
+          "declares nothing the optimizer can exploit)");
+    }
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("UNIQUE"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("INDEX"));
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->index_name,
+                             ExpectIdentifier("index name"));
+    UNIQOPT_RETURN_NOT_OK(ExpectKeyword("ON"));
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->table_name,
+                             ExpectIdentifier("table name"));
+    UNIQOPT_ASSIGN_OR_RETURN(stmt->columns, ParseColumnNameList());
+    return stmt;
   }
 
   // -- DROP TABLE -----------------------------------------------------------

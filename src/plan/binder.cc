@@ -639,4 +639,14 @@ Status ExecuteCreateTable(std::string_view sql, Catalog* catalog) {
   return catalog->AddTable(std::move(def));
 }
 
+Result<ExprPtr> BindTableScalar(const Catalog* catalog, const TableDef& table,
+                                const AstExpr& expr,
+                                std::vector<HostVariable>* host_vars) {
+  // DML clauses may name columns bare or qualified by the table name,
+  // so bind against the schema under the table's own qualifier.
+  Schema scope = table.schema().WithQualifier(table.name());
+  Binder::Impl impl(catalog, host_vars);
+  return impl.BindScalar(expr, scope, /*inner_start=*/0);
+}
+
 }  // namespace uniqopt

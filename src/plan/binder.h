@@ -60,6 +60,15 @@ Result<TableDef> BuildTableDef(const CreateTableStmt& stmt);
 /// Parses `CREATE TABLE ...` SQL and registers it in `catalog`.
 Status ExecuteCreateTable(std::string_view sql, Catalog* catalog);
 
+/// Binds a scalar expression against a single table's schema (qualified
+/// by the table name), for DML WHERE and SET clauses. Subqueries and
+/// aggregates are rejected; host variables accumulate into *host_vars
+/// (which may arrive non-empty — slots are shared across one
+/// statement's clauses).
+Result<ExprPtr> BindTableScalar(const Catalog* catalog, const TableDef& table,
+                                const AstExpr& expr,
+                                std::vector<HostVariable>* host_vars);
+
 }  // namespace uniqopt
 
 #endif  // UNIQOPT_PLAN_BINDER_H_

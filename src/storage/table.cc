@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "common/string_util.h"
+#include "obs/advisor.h"
+#include "parser/ast.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 
 namespace uniqopt {
+
+std::shared_ptr<TableVersion> Table::NewVersion(const TableDef* def) {
+  auto version = std::make_shared<TableVersion>();
+  version->indexes.reserve(def->keys().size());
+  for (const KeyConstraint& key : def->keys()) {
+    version->indexes.emplace_back(key.columns);
+  }
+  return version;
+}
+
+TableSnapshot Table::Snapshot() const {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  return version_;
+}
+
+void Table::CommitVersion(std::shared_ptr<TableVersion> next) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  version_ = std::move(next);
+}
 
 Status Table::Validate(const Row& row) const {
   const Schema& schema = def_->schema();
@@ -48,8 +70,9 @@ Status Table::Validate(const Row& row) const {
 }
 
 bool Table::ContainsKeyValue(size_t key_index, const Row& key_row) const {
-  if (key_index >= key_sets_.size()) return false;
-  return key_sets_[key_index].count(key_row) > 0;
+  TableSnapshot snap = Snapshot();
+  if (key_index >= snap->indexes.size()) return false;
+  return snap->indexes[key_index].Contains(key_row);
 }
 
 Status Table::ValidateForeignKeys(const Row& row) const {
@@ -101,33 +124,41 @@ Status Table::ValidateForeignKeys(const Row& row) const {
 }
 
 Status Table::Insert(Row row) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   UNIQOPT_RETURN_NOT_OK(Validate(row));
   UNIQOPT_RETURN_NOT_OK(ValidateForeignKeys(row));
-  if (key_sets_.size() != def_->keys().size()) {
-    key_sets_.resize(def_->keys().size());
-  }
-  // Probe all key sets before mutating any.
-  std::vector<Row> key_rows;
-  key_rows.reserve(def_->keys().size());
-  for (size_t k = 0; k < def_->keys().size(); ++k) {
-    Row key_row = row.Project(def_->keys()[k].columns);
-    if (key_sets_[k].count(key_row) > 0) {
+  std::lock_guard<std::mutex> vlock(version_mu_);
+  // Probe every index before touching any — a multi-key violation must
+  // leave the version untouched.
+  for (size_t k = 0; k < version_->indexes.size(); ++k) {
+    Row key_row = row.Project(version_->indexes[k].key_columns());
+    if (version_->indexes[k].Contains(key_row)) {
       return Status::ConstraintViolation(
           "duplicate key " + key_row.ToString() + " for " +
           def_->keys()[k].name + " on " + def_->name());
     }
-    key_rows.push_back(std::move(key_row));
   }
-  for (size_t k = 0; k < key_rows.size(); ++k) {
-    key_sets_[k].insert(std::move(key_rows[k]));
+  // use_count()==1 means nobody holds a pinned snapshot (new pins are
+  // blocked while we hold version_mu_), so bulk loads append in place;
+  // otherwise copy-on-write keeps every pinned reader consistent.
+  std::shared_ptr<TableVersion> target = version_;
+  if (version_.use_count() > 2) {  // version_ + target
+    target = std::make_shared<TableVersion>(*version_);
   }
-  rows_.push_back(std::move(row));
+  const size_t ordinal = target->rows.size();
+  for (size_t k = 0; k < target->indexes.size(); ++k) {
+    UNIQOPT_RETURN_NOT_OK(target->indexes[k].Insert(
+        row, ordinal, def_->keys()[k].name, def_->name()));
+  }
+  target->rows.push_back(std::move(row));
+  version_ = std::move(target);
   return Status::OK();
 }
 
 void Table::Clear() {
-  rows_.clear();
-  for (auto& ks : key_sets_) ks.clear();
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::lock_guard<std::mutex> vlock(version_mu_);
+  version_ = NewVersion(def_);
 }
 
 Status Database::CreateTable(TableDef def) {
@@ -156,7 +187,39 @@ Status Database::DropTable(const std::string& name) {
   if (!found && st.ok()) {
     return Status::Internal("table instance missing for " + name);
   }
+  if (st.ok()) {
+    // Stale suggestions for a dropped table would otherwise survive and
+    // `\advisor replay`/`adopt` would reference a missing table.
+    obs::AdvisorStore::Global().PurgeTable(key);
+  }
   return st;
+}
+
+Result<size_t> Database::CreateUniqueIndex(
+    const std::string& table_name, const std::string& index_name,
+    const std::vector<std::string>& columns) {
+  UNIQOPT_ASSIGN_OR_RETURN(Table* table, GetTable(table_name));
+  std::lock_guard<std::mutex> writer(table->writer_mutex());
+  UNIQOPT_ASSIGN_OR_RETURN(TableDef* def,
+                           catalog_.GetTableMutable(table_name));
+  std::vector<size_t> ordinals;
+  for (const std::string& cn : columns) {
+    UNIQOPT_ASSIGN_OR_RETURN(size_t ord, def->ColumnOrdinal(cn));
+    ordinals.push_back(ord);
+  }
+  // Validate existing rows before declaring anything: a duplicate under
+  // `=!` means the data cannot support the key, and the statement must
+  // leave both catalog and table untouched.
+  TableSnapshot snap = table->Snapshot();
+  UNIQOPT_ASSIGN_OR_RETURN(
+      UniqueIndex index,
+      UniqueIndex::Build(snap->rows, ordinals, index_name, def->name()));
+  UNIQOPT_RETURN_NOT_OK(def->AddNamedUniqueKey(index_name, columns));
+  auto next = std::make_shared<TableVersion>(*snap);
+  next->indexes.push_back(std::move(index));
+  table->CommitVersion(std::move(next));
+  catalog_.BumpVersion();
+  return snap->rows.size();
 }
 
 Status Database::ExecuteDdl(std::string_view sql) {
@@ -169,8 +232,15 @@ Status Database::ExecuteDdl(std::string_view sql) {
   if (stmt->drop_table != nullptr) {
     return DropTable(stmt->drop_table->table_name);
   }
+  if (stmt->create_index != nullptr) {
+    return CreateUniqueIndex(stmt->create_index->table_name,
+                             stmt->create_index->index_name,
+                             stmt->create_index->columns)
+        .status();
+  }
   return Status::InvalidArgument(
-      "expected a CREATE TABLE or DROP TABLE statement");
+      "expected a CREATE TABLE, DROP TABLE, or CREATE UNIQUE INDEX "
+      "statement");
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {

@@ -2,40 +2,83 @@
 #define UNIQOPT_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/table_def.h"
 #include "common/result.h"
+#include "index/unique_index.h"
 #include "types/row.h"
 
 namespace uniqopt {
 
-/// An in-memory base table. Inserts enforce, in order: arity and column
-/// types, NOT NULL, CHECK constraints (true-interpreted: a row is
-/// rejected only when a CHECK evaluates to FALSE — SQL2 semantics), and
-/// key uniqueness.
+/// One immutable, committed state of a table: the rows plus one unique
+/// hash index per declared key (`indexes[k]` serves `def().keys()[k]`).
+/// Versions are published whole — rows and indexes always agree — and
+/// shared out as `shared_ptr<const TableVersion>`, so a reader that
+/// pins a snapshot keeps reading exactly the state it opened against
+/// no matter how many statements commit after it.
+struct TableVersion {
+  std::vector<Row> rows;
+  std::vector<UniqueIndex> indexes;
+};
+
+using TableSnapshot = std::shared_ptr<const TableVersion>;
+
+/// An in-memory base table over copy-on-write versions. Inserts
+/// enforce, in order: arity and column types, NOT NULL, CHECK
+/// constraints (true-interpreted: a row is rejected only when a CHECK
+/// evaluates to FALSE — SQL2 semantics), FOREIGN KEYs, and key
+/// uniqueness.
 ///
 /// Key uniqueness follows the paper's reading of SQL2 UNIQUE (§2.1):
 /// NULL is treated as one special value under the null-equality operator
 /// `=!`, so at most one row may carry NULL in a single-column candidate
 /// key. This is what makes declared UNIQUE constraints usable as key
 /// dependencies in Theorem 1.
+///
+/// Concurrency contract: any number of readers pin immutable snapshots
+/// via Snapshot(); at most one writer per table mutates at a time
+/// (serialize statements with writer_mutex()), builds the next version
+/// off the current one, and publishes it with CommitVersion() only
+/// after every constraint has been checked — a failed statement
+/// publishes nothing, which is the atomic-rollback guarantee. rows()
+/// remains for single-threaded callers (fixtures, analysis passes) and
+/// is NOT safe against a concurrent writer; concurrent readers must go
+/// through Snapshot().
 class Database;
 
 class Table {
  public:
-  explicit Table(const TableDef* def) : def_(def) {}
+  explicit Table(const TableDef* def)
+      : def_(def), version_(NewVersion(def)) {}
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
-  Table(Table&&) = default;
 
   const TableDef& def() const { return *def_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  size_t size() const { return rows_.size(); }
+
+  /// Rows of the current version. Single-threaded use only; the
+  /// reference is invalidated by the next committed write.
+  const std::vector<Row>& rows() const { return version_->rows; }
+
+  /// Row count of the current version (safe to call concurrently with
+  /// writers — reads through a pinned snapshot).
+  size_t size() const { return Snapshot()->rows.size(); }
+
+  /// Pins the current committed version.
+  TableSnapshot Snapshot() const;
+
+  /// Serializes writers: DML statements and index DDL hold this for
+  /// their whole read-modify-publish cycle.
+  std::mutex& writer_mutex() const { return writer_mu_; }
+
+  /// Publishes `next` as the current version. The caller must hold
+  /// writer_mutex() and must have validated every constraint already —
+  /// publication is the commit point.
+  void CommitVersion(std::shared_ptr<TableVersion> next);
 
   Status Insert(Row row);
 
@@ -50,21 +93,34 @@ class Table {
   /// Attaches the owning database; enables FOREIGN KEY enforcement on
   /// insert (set automatically by Database::CreateTable).
   void SetDatabase(const Database* db) { database_ = db; }
+  const Database* database() const { return database_; }
 
   /// True when a row with this key value (projected in the key's column
-  /// order) exists. `key_index` indexes def().keys().
+  /// order) exists. `key_index` indexes def().keys(). Backed by the
+  /// current version's unique index, so the answer tracks every
+  /// committed write (the old one-shot key_sets_ went stale under DML).
   bool ContainsKeyValue(size_t key_index, const Row& key_row) const;
 
- private:
+  /// Row/type/NOT NULL/CHECK validation for a candidate row. Public so
+  /// the DML executor can run the same checks against its pending
+  /// version before committing.
   Status Validate(const Row& row) const;
+
+  /// FOREIGN KEY validation for a candidate row against the committed
+  /// snapshots of the parent tables.
   Status ValidateForeignKeys(const Row& row) const;
+
+ private:
+  static std::shared_ptr<TableVersion> NewVersion(const TableDef* def);
 
   const TableDef* def_;
   const Database* database_ = nullptr;
-  std::vector<Row> rows_;
-  /// One uniqueness set per declared key, holding projected key rows.
-  std::vector<std::unordered_set<Row, RowHash, RowNullSafeEqual>> key_sets_;
+  mutable std::mutex version_mu_;  // guards version_ pointer load/store
+  mutable std::mutex writer_mu_;   // single writer per table
+  std::shared_ptr<TableVersion> version_;
 };
+
+struct CreateIndexStmt;
 
 /// A catalog plus its table instances — the "database" the executor and
 /// examples run against.
@@ -80,10 +136,21 @@ class Database {
   /// Registers a definition and creates an empty instance.
   Status CreateTable(TableDef def);
   /// Drops the table, its rows and its constraints; bumps the catalog
-  /// version (invalidating cached plans that referenced it).
+  /// version (invalidating cached plans that referenced it) and purges
+  /// the advisor store of suggestions that referenced the table.
   Status DropTable(const std::string& name);
-  /// Parses and runs `CREATE TABLE ...` or `DROP TABLE ...`.
+  /// Parses and runs `CREATE TABLE ...`, `DROP TABLE ...`, or
+  /// `CREATE UNIQUE INDEX ...`.
   Status ExecuteDdl(std::string_view sql);
+
+  /// Declares a UNIQUE key named `index_name` over `columns`, validating
+  /// every existing row first: a duplicate under `=!` fails with
+  /// ConstraintViolation and declares nothing. On success the catalog
+  /// version bumps and the new version carries the populated index.
+  /// Returns the number of rows validated.
+  Result<size_t> CreateUniqueIndex(const std::string& table_name,
+                                   const std::string& index_name,
+                                   const std::vector<std::string>& columns);
 
   Result<Table*> GetTable(const std::string& name);
   Result<const Table*> GetTable(const std::string& name) const;

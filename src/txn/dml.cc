@@ -1,0 +1,163 @@
+#include "txn/dml.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+
+namespace uniqopt {
+namespace txn {
+
+namespace {
+
+/// INSERT values must be evaluable without an input row: literals and
+/// host variables, possibly wrapped in parse-level sugar. Column refs
+/// would silently evaluate to NULL (there is no row yet), so reject
+/// them up front with a targeted message.
+Status CheckInsertValue(const AstExpr& e) {
+  switch (e.kind) {
+    case AstExprKind::kLiteral:
+    case AstExprKind::kHostVar:
+      return Status::OK();
+    case AstExprKind::kColumnRef:
+      return Status::BindError(
+          "INSERT values must be literals or host variables, not column "
+          "references (got " +
+          e.ToString() + ")");
+    default:
+      return Status::BindError(
+          "INSERT values must be literals or host variables (got " +
+          e.ToString() + ")");
+  }
+}
+
+}  // namespace
+
+const char* DmlKindName(DmlKind kind) {
+  switch (kind) {
+    case DmlKind::kInsert:
+      return "INSERT";
+    case DmlKind::kUpdate:
+      return "UPDATE";
+    case DmlKind::kDelete:
+      return "DELETE";
+    case DmlKind::kCreateIndex:
+      return "CREATE UNIQUE INDEX";
+  }
+  return "?";
+}
+
+Result<BoundDml> BindDml(Database* db, const Statement& stmt) {
+  BoundDml out;
+  if (stmt.insert_stmt != nullptr) {
+    const InsertStmt& ins = *stmt.insert_stmt;
+    out.kind = DmlKind::kInsert;
+    auto bound = std::make_unique<BoundInsert>();
+    UNIQOPT_ASSIGN_OR_RETURN(bound->table, db->GetTable(ins.table_name));
+    const TableDef& def = bound->table->def();
+    if (ins.columns.empty()) {
+      for (size_t i = 0; i < def.schema().num_columns(); ++i) {
+        bound->target_ordinals.push_back(i);
+      }
+    } else {
+      for (const std::string& cn : ins.columns) {
+        UNIQOPT_ASSIGN_OR_RETURN(size_t ord, def.ColumnOrdinal(cn));
+        for (size_t existing : bound->target_ordinals) {
+          if (existing == ord) {
+            return Status::BindError("duplicate INSERT column: " + cn);
+          }
+        }
+        bound->target_ordinals.push_back(ord);
+      }
+    }
+    for (const std::vector<AstExprPtr>& row : ins.rows) {
+      if (row.size() != bound->target_ordinals.size()) {
+        return Status::BindError(
+            "INSERT row has " + std::to_string(row.size()) +
+            " values for " + std::to_string(bound->target_ordinals.size()) +
+            " columns");
+      }
+      std::vector<ExprPtr> bound_row;
+      for (const AstExprPtr& value : row) {
+        UNIQOPT_RETURN_NOT_OK(CheckInsertValue(*value));
+        UNIQOPT_ASSIGN_OR_RETURN(
+            ExprPtr e, BindTableScalar(&db->catalog(), def, *value,
+                                       &out.host_vars));
+        bound_row.push_back(std::move(e));
+      }
+      bound->rows.push_back(std::move(bound_row));
+    }
+    out.insert = std::move(bound);
+    return out;
+  }
+  if (stmt.update_stmt != nullptr) {
+    const UpdateStmt& upd = *stmt.update_stmt;
+    out.kind = DmlKind::kUpdate;
+    auto bound = std::make_unique<BoundUpdate>();
+    UNIQOPT_ASSIGN_OR_RETURN(bound->table, db->GetTable(upd.table_name));
+    const TableDef& def = bound->table->def();
+    for (const auto& [column, value] : upd.assignments) {
+      UNIQOPT_ASSIGN_OR_RETURN(size_t ord, def.ColumnOrdinal(column));
+      for (const auto& [existing, unused] : bound->assignments) {
+        if (existing == ord) {
+          return Status::BindError("duplicate SET column: " + column);
+        }
+      }
+      UNIQOPT_ASSIGN_OR_RETURN(
+          ExprPtr e,
+          BindTableScalar(&db->catalog(), def, *value, &out.host_vars));
+      bound->assignments.emplace_back(ord, std::move(e));
+    }
+    if (upd.where != nullptr) {
+      UNIQOPT_ASSIGN_OR_RETURN(
+          bound->where,
+          BindTableScalar(&db->catalog(), def, *upd.where, &out.host_vars));
+    }
+    out.update = std::move(bound);
+    return out;
+  }
+  if (stmt.delete_stmt != nullptr) {
+    const DeleteStmt& del = *stmt.delete_stmt;
+    out.kind = DmlKind::kDelete;
+    auto bound = std::make_unique<BoundDelete>();
+    UNIQOPT_ASSIGN_OR_RETURN(bound->table, db->GetTable(del.table_name));
+    if (del.where != nullptr) {
+      UNIQOPT_ASSIGN_OR_RETURN(
+          bound->where,
+          BindTableScalar(&db->catalog(), bound->table->def(), *del.where,
+                          &out.host_vars));
+    }
+    out.del = std::move(bound);
+    return out;
+  }
+  if (stmt.create_index != nullptr) {
+    out.kind = DmlKind::kCreateIndex;
+    auto bound = std::make_unique<BoundCreateIndex>();
+    bound->table_name = stmt.create_index->table_name;
+    bound->index_name = stmt.create_index->index_name;
+    bound->columns = stmt.create_index->columns;
+    out.create_index = std::move(bound);
+    return out;
+  }
+  return Status::InvalidArgument(
+      "expected an INSERT, UPDATE, DELETE, or CREATE UNIQUE INDEX "
+      "statement");
+}
+
+Result<BoundDml> BindDmlSql(Database* db, std::string_view sql) {
+  UNIQOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  return BindDml(db, *stmt);
+}
+
+bool IsDmlSql(std::string_view sql) {
+  std::string_view s = StripAsciiWhitespace(sql);
+  size_t end = 0;
+  while (end < s.size() && !std::isspace(static_cast<unsigned char>(s[end]))) {
+    ++end;
+  }
+  std::string word = ToUpperAscii(s.substr(0, end));
+  return word == "INSERT" || word == "UPDATE" || word == "DELETE";
+}
+
+}  // namespace txn
+}  // namespace uniqopt

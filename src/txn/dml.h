@@ -1,0 +1,87 @@
+#ifndef UNIQOPT_TXN_DML_H_
+#define UNIQOPT_TXN_DML_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "parser/ast.h"
+#include "plan/binder.h"
+#include "storage/table.h"
+
+namespace uniqopt {
+namespace txn {
+
+/// Statement kinds the DML plane executes.
+enum class DmlKind { kInsert, kUpdate, kDelete, kCreateIndex };
+
+const char* DmlKindName(DmlKind kind);
+
+/// A bound INSERT: per-row value expressions (literals and host
+/// variables only) aligned with `target_ordinals`; unlisted columns
+/// receive NULL.
+struct BoundInsert {
+  Table* table = nullptr;
+  std::vector<size_t> target_ordinals;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+/// A bound UPDATE: assignment targets by ordinal, sources evaluated
+/// against the OLD row (standard SQL read-before-write semantics), and
+/// an optional WHERE predicate over the table's own columns.
+struct BoundUpdate {
+  Table* table = nullptr;
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  ExprPtr where;  ///< null: all rows
+};
+
+/// A bound DELETE.
+struct BoundDelete {
+  Table* table = nullptr;
+  ExprPtr where;  ///< null: all rows
+};
+
+/// CREATE UNIQUE INDEX needs no binding beyond name resolution, which
+/// Database::CreateUniqueIndex performs under the writer lock.
+struct BoundCreateIndex {
+  std::string table_name;
+  std::string index_name;
+  std::vector<std::string> columns;
+};
+
+/// One bound DML statement plus its host-variable signature (slot i of
+/// the executor's parameter vector supplies host_vars[i], exactly like
+/// a prepared query).
+struct BoundDml {
+  DmlKind kind = DmlKind::kInsert;
+  std::unique_ptr<BoundInsert> insert;
+  std::unique_ptr<BoundUpdate> update;
+  std::unique_ptr<BoundDelete> del;
+  std::unique_ptr<BoundCreateIndex> create_index;
+  std::vector<HostVariable> host_vars;
+};
+
+/// Binds a parsed DML statement against `db`. The statement must be one
+/// of insert/update/delete/create_index; queries and table DDL are
+/// rejected. WHERE and SET expressions bind against the target table's
+/// schema via the shared query binder (so they get the same coercion
+/// and tri-valued-logic treatment as query predicates); subqueries and
+/// aggregates are rejected there, and INSERT values are restricted to
+/// literals and host variables.
+Result<BoundDml> BindDml(Database* db, const Statement& stmt);
+
+/// Parses and binds in one step.
+Result<BoundDml> BindDmlSql(Database* db, std::string_view sql);
+
+/// True when `sql` starts with an INSERT / UPDATE / DELETE keyword
+/// (shell dispatch helper; CREATE UNIQUE INDEX routes through
+/// ExecuteDdl with the rest of the CREATE family).
+bool IsDmlSql(std::string_view sql);
+
+}  // namespace txn
+}  // namespace uniqopt
+
+#endif  // UNIQOPT_TXN_DML_H_

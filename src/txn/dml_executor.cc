@@ -1,0 +1,368 @@
+#include "txn/dml_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+
+namespace uniqopt {
+namespace txn {
+
+namespace {
+
+using KeyRowSet = std::unordered_set<Row, RowHash, RowNullSafeEqual>;
+
+/// Aligns an evaluated value with a column: bare NULLs adopt the column
+/// type and integer literals widen to DOUBLE columns, so key
+/// projections hash identically no matter how the value was spelled.
+Value CoerceToColumn(const Value& v, const Column& col) {
+  if (v.is_null()) return Value::Null(col.type);
+  if (col.type == TypeId::kDouble && v.type() == TypeId::kInteger) {
+    return Value::Double(static_cast<double>(v.AsInteger()));
+  }
+  return v;
+}
+
+/// Enforces FOREIGN KEY ... RESTRICT against referencing children:
+/// if any child row still references a key value this statement would
+/// remove, the statement aborts. `removed_per_key[k]` holds the key
+/// rows (projected in key-column order) leaving def().keys()[k].
+/// `pending` carries the parent's uncommitted next version so a
+/// self-referencing table is checked against the state the statement
+/// would actually commit.
+Status CheckNoChildReferences(
+    Database* db, const Table* parent,
+    const std::vector<KeyRowSet>& removed_per_key,
+    const TableVersion& pending) {
+  bool any_removed = false;
+  for (const KeyRowSet& s : removed_per_key) any_removed |= !s.empty();
+  if (!any_removed) return Status::OK();
+
+  const std::string& parent_name = parent->def().name();
+  for (const std::string& child_name : db->catalog().TableNames()) {
+    UNIQOPT_ASSIGN_OR_RETURN(const Table* child, db->GetTable(child_name));
+    for (const ForeignKeyConstraint& fk : child->def().foreign_keys()) {
+      if (fk.ref_table != parent_name) continue;
+      // Locate the referenced candidate key and the mapping from its
+      // column order to the child's referencing columns.
+      std::vector<size_t> ref_ordinals;
+      for (const std::string& rc : fk.ref_columns) {
+        UNIQOPT_ASSIGN_OR_RETURN(size_t ord,
+                                 parent->def().ColumnOrdinal(rc));
+        ref_ordinals.push_back(ord);
+      }
+      std::optional<size_t> key_index;
+      const std::vector<KeyConstraint>& parent_keys = parent->def().keys();
+      for (size_t k = 0; k < parent_keys.size(); ++k) {
+        std::vector<size_t> a = parent_keys[k].columns;
+        std::vector<size_t> b = ref_ordinals;
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        if (a == b) {
+          key_index = k;
+          break;
+        }
+      }
+      if (!key_index.has_value()) {
+        return Status::Internal("foreign key " + fk.name +
+                                " does not match a key of " + fk.ref_table);
+      }
+      if (removed_per_key[*key_index].empty()) continue;
+      // Child column positions in the parent key's column order.
+      std::vector<size_t> child_cols;
+      for (size_t parent_col : parent_keys[*key_index].columns) {
+        size_t j = 0;
+        while (ref_ordinals[j] != parent_col) ++j;
+        child_cols.push_back(fk.columns[j]);
+      }
+      const bool self_reference = child_name == parent_name;
+      TableSnapshot child_snap;
+      const std::vector<Row>* child_rows;
+      if (self_reference) {
+        child_rows = &pending.rows;
+      } else {
+        child_snap = child->Snapshot();
+        child_rows = &child_snap->rows;
+      }
+      for (const Row& row : *child_rows) {
+        // MATCH SIMPLE: any NULL exempts the row.
+        bool any_null = false;
+        for (size_t c : child_cols) any_null = any_null || row[c].is_null();
+        if (any_null) continue;
+        Row probe = row.Project(child_cols);
+        if (removed_per_key[*key_index].count(probe) > 0) {
+          return Status::ConstraintViolation(
+              "key " + probe.ToString() + " of " + parent_name +
+              " is still referenced by " + fk.name + " on " + child_name);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Rebuilds every unique index of `def` over `rows`; the first
+/// `=!`-duplicate aborts (which is how UPDATE enforces key uniqueness).
+Status RebuildIndexes(const TableDef& def, TableVersion* version) {
+  version->indexes.clear();
+  version->indexes.reserve(def.keys().size());
+  for (const KeyConstraint& key : def.keys()) {
+    UNIQOPT_ASSIGN_OR_RETURN(
+        UniqueIndex index,
+        UniqueIndex::Build(version->rows, key.columns, key.name,
+                           def.name()));
+    version->indexes.push_back(std::move(index));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Value>> MapNamedParams(
+    const BoundDml& stmt,
+    const std::vector<std::pair<std::string, Value>>& named_params) {
+  std::vector<Value> params;
+  params.reserve(stmt.host_vars.size());
+  for (const HostVariable& hv : stmt.host_vars) {
+    const Value* found = nullptr;
+    for (const auto& [name, value] : named_params) {
+      if (EqualsIgnoreCase(name, hv.name)) {
+        found = &value;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::InvalidArgument("no value supplied for host variable :" +
+                                     hv.name);
+    }
+    params.push_back(*found);
+  }
+  return params;
+}
+
+}  // namespace
+
+std::string DmlResult::ToString() const {
+  std::string out = DmlKindName(kind);
+  if (kind == DmlKind::kCreateIndex) {
+    out += " (" + std::to_string(rows_affected) + " rows validated)";
+  } else {
+    out += " " + std::to_string(rows_affected);
+  }
+  return out;
+}
+
+Result<DmlResult> DmlExecutor::Execute(const BoundDml& stmt,
+                                       const std::vector<Value>& params) {
+  if (params.size() != stmt.host_vars.size()) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(stmt.host_vars.size()) +
+        " parameters, got " + std::to_string(params.size()));
+  }
+  switch (stmt.kind) {
+    case DmlKind::kInsert:
+      return ExecuteInsert(*stmt.insert, params);
+    case DmlKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, params);
+    case DmlKind::kDelete:
+      return ExecuteDelete(*stmt.del, params);
+    case DmlKind::kCreateIndex: {
+      UNIQOPT_ASSIGN_OR_RETURN(
+          size_t validated,
+          db_->CreateUniqueIndex(stmt.create_index->table_name,
+                                 stmt.create_index->index_name,
+                                 stmt.create_index->columns));
+      DmlResult result;
+      result.kind = DmlKind::kCreateIndex;
+      result.rows_affected = validated;
+      result.catalog_version = db_->catalog().version();
+      return result;
+    }
+  }
+  return Status::Internal("unreachable DML kind");
+}
+
+Result<DmlResult> DmlExecutor::ExecuteSql(
+    std::string_view sql,
+    const std::vector<std::pair<std::string, Value>>& named_params) {
+  UNIQOPT_ASSIGN_OR_RETURN(BoundDml stmt, BindDmlSql(db_, sql));
+  UNIQOPT_ASSIGN_OR_RETURN(std::vector<Value> params,
+                           MapNamedParams(stmt, named_params));
+  return Execute(stmt, params);
+}
+
+Result<DmlResult> DmlExecutor::ExecuteInsert(const BoundInsert& stmt,
+                                             const std::vector<Value>& params) {
+  Table* table = stmt.table;
+  const TableDef& def = table->def();
+  const Schema& schema = def.schema();
+
+  // Materialize the new rows first (expression evaluation needs no
+  // locks: INSERT values are literals and host variables).
+  static const Row kEmptyRow;
+  std::vector<Row> new_rows;
+  new_rows.reserve(stmt.rows.size());
+  for (const std::vector<ExprPtr>& bound_row : stmt.rows) {
+    std::vector<Value> values;
+    values.reserve(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      values.push_back(Value::Null(schema.column(i).type));
+    }
+    for (size_t i = 0; i < bound_row.size(); ++i) {
+      size_t ord = stmt.target_ordinals[i];
+      values[ord] = CoerceToColumn(bound_row[i]->Evaluate(kEmptyRow, params),
+                                   schema.column(ord));
+    }
+    new_rows.emplace_back(std::move(values));
+  }
+
+  // Single-writer commit path: validate everything against the pending
+  // version, publish only on full success.
+  std::lock_guard<std::mutex> writer(table->writer_mutex());
+  TableSnapshot snap = table->Snapshot();
+  auto next = std::make_shared<TableVersion>(*snap);
+  for (Row& row : new_rows) {
+    UNIQOPT_RETURN_NOT_OK(table->Validate(row));
+    UNIQOPT_RETURN_NOT_OK(table->ValidateForeignKeys(row));
+    const size_t ordinal = next->rows.size();
+    for (size_t k = 0; k < next->indexes.size(); ++k) {
+      // Incremental maintenance doubles as uniqueness enforcement: a
+      // duplicate against committed rows OR an earlier row of this same
+      // statement aborts before anything is published.
+      UNIQOPT_RETURN_NOT_OK(next->indexes[k].Insert(
+          row, ordinal, def.keys()[k].name, def.name()));
+    }
+    next->rows.push_back(std::move(row));
+  }
+  table->CommitVersion(std::move(next));
+  db_->catalog().BumpVersion();
+
+  DmlResult result;
+  result.kind = DmlKind::kInsert;
+  result.rows_affected = new_rows.size();
+  result.catalog_version = db_->catalog().version();
+  return result;
+}
+
+Result<DmlResult> DmlExecutor::ExecuteUpdate(const BoundUpdate& stmt,
+                                             const std::vector<Value>& params) {
+  Table* table = stmt.table;
+  const TableDef& def = table->def();
+  const Schema& schema = def.schema();
+
+  std::lock_guard<std::mutex> writer(table->writer_mutex());
+  TableSnapshot snap = table->Snapshot();
+  auto next = std::make_shared<TableVersion>();
+  next->rows.reserve(snap->rows.size());
+
+  size_t updated = 0;
+  std::vector<bool> changed(snap->rows.size(), false);
+  for (size_t i = 0; i < snap->rows.size(); ++i) {
+    const Row& old_row = snap->rows[i];
+    bool matches = stmt.where == nullptr ||
+                   stmt.where->EvaluatePredicate(old_row, params) ==
+                       Tribool::kTrue;
+    if (!matches) {
+      next->rows.push_back(old_row);
+      continue;
+    }
+    // All sources evaluate against the OLD row before any assignment
+    // lands (SQL read-before-write: SET A = B, B = A swaps).
+    std::vector<Value> values = old_row.values();
+    for (const auto& [ord, source] : stmt.assignments) {
+      values[ord] = CoerceToColumn(source->Evaluate(old_row, params),
+                                   schema.column(ord));
+    }
+    Row new_row(std::move(values));
+    UNIQOPT_RETURN_NOT_OK(table->Validate(new_row));
+    UNIQOPT_RETURN_NOT_OK(table->ValidateForeignKeys(new_row));
+    next->rows.push_back(std::move(new_row));
+    changed[i] = true;
+    ++updated;
+  }
+  if (updated == 0) {
+    DmlResult result;
+    result.kind = DmlKind::kUpdate;
+    result.catalog_version = db_->catalog().version();
+    return result;  // no-op: nothing published, no version bump
+  }
+
+  // Key uniqueness over the whole pending state.
+  UNIQOPT_RETURN_NOT_OK(RebuildIndexes(def, next.get()));
+
+  // RESTRICT: key values this update removes must not be referenced.
+  std::vector<KeyRowSet> removed_per_key(def.keys().size());
+  for (size_t k = 0; k < def.keys().size(); ++k) {
+    const std::vector<size_t>& key_cols = def.keys()[k].columns;
+    for (size_t i = 0; i < snap->rows.size(); ++i) {
+      if (!changed[i]) continue;
+      Row old_key = snap->rows[i].Project(key_cols);
+      if (!next->indexes[k].Contains(old_key)) {
+        removed_per_key[k].insert(std::move(old_key));
+      }
+    }
+  }
+  UNIQOPT_RETURN_NOT_OK(
+      CheckNoChildReferences(db_, table, removed_per_key, *next));
+
+  table->CommitVersion(std::move(next));
+  db_->catalog().BumpVersion();
+
+  DmlResult result;
+  result.kind = DmlKind::kUpdate;
+  result.rows_affected = updated;
+  result.catalog_version = db_->catalog().version();
+  return result;
+}
+
+Result<DmlResult> DmlExecutor::ExecuteDelete(const BoundDelete& stmt,
+                                             const std::vector<Value>& params) {
+  Table* table = stmt.table;
+  const TableDef& def = table->def();
+
+  std::lock_guard<std::mutex> writer(table->writer_mutex());
+  TableSnapshot snap = table->Snapshot();
+  auto next = std::make_shared<TableVersion>();
+  next->rows.reserve(snap->rows.size());
+
+  std::vector<KeyRowSet> removed_per_key(def.keys().size());
+  size_t deleted = 0;
+  for (const Row& row : snap->rows) {
+    bool matches = stmt.where == nullptr ||
+                   stmt.where->EvaluatePredicate(row, params) ==
+                       Tribool::kTrue;
+    if (!matches) {
+      next->rows.push_back(row);
+      continue;
+    }
+    // A deleted key row cannot survive elsewhere (keys are unique), so
+    // every projection of a deleted row leaves the table.
+    for (size_t k = 0; k < def.keys().size(); ++k) {
+      removed_per_key[k].insert(row.Project(def.keys()[k].columns));
+    }
+    ++deleted;
+  }
+  if (deleted == 0) {
+    DmlResult result;
+    result.kind = DmlKind::kDelete;
+    result.catalog_version = db_->catalog().version();
+    return result;
+  }
+
+  UNIQOPT_RETURN_NOT_OK(RebuildIndexes(def, next.get()));
+  UNIQOPT_RETURN_NOT_OK(
+      CheckNoChildReferences(db_, table, removed_per_key, *next));
+
+  table->CommitVersion(std::move(next));
+  db_->catalog().BumpVersion();
+
+  DmlResult result;
+  result.kind = DmlKind::kDelete;
+  result.rows_affected = deleted;
+  result.catalog_version = db_->catalog().version();
+  return result;
+}
+
+}  // namespace txn
+}  // namespace uniqopt

@@ -1,0 +1,315 @@
+// Transactional DML plane: INSERT/UPDATE/DELETE semantics, atomic
+// rollback on constraint violations (the failed statement leaves the
+// committed version byte-identical), CREATE UNIQUE INDEX validation of
+// existing rows, catalog-version bumps that invalidate the plan cache,
+// and the index-backed Table::ContainsKeyValue / advisor-purge
+// satellites.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/advisor.h"
+#include "txn/dml.h"
+#include "txn/dml_executor.h"
+#include "uniqopt/uniqopt.h"
+#include "workload/supplier_schema.h"
+
+#include "test_util.h"
+
+namespace uniqopt {
+namespace {
+
+std::vector<Row> SnapshotRows(const Database& db, const std::string& table) {
+  auto t = db.GetTable(table);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  TableSnapshot snap = (*t)->Snapshot();
+  return snap->rows;
+}
+
+bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].NullSafeEquals(b[i])) return false;
+  }
+  return true;
+}
+
+Result<txn::DmlResult> Dml(Database* db, const std::string& sql) {
+  txn::DmlExecutor executor(db);
+  return executor.ExecuteSql(sql);
+}
+
+TEST(DmlTest, IsDmlSqlClassifiesLeadingKeyword) {
+  EXPECT_TRUE(txn::IsDmlSql("INSERT INTO T VALUES (1)"));
+  EXPECT_TRUE(txn::IsDmlSql("  update t set a = 1"));
+  EXPECT_TRUE(txn::IsDmlSql("Delete FROM T"));
+  EXPECT_FALSE(txn::IsDmlSql("SELECT * FROM T"));
+  EXPECT_FALSE(txn::IsDmlSql("CREATE UNIQUE INDEX I ON T (A)"));
+}
+
+TEST(DmlTest, InsertAppendsRowAndBumpsCatalogVersion) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  uint64_t before = db.catalog().version();
+  size_t rows_before = SnapshotRows(db, "SUPPLIER").size();
+  ASSERT_OK_AND_ASSIGN(
+      txn::DmlResult r,
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (401, 'NEWCO', 'Toronto', 5.0, "
+          "'Active')"));
+  EXPECT_EQ(r.rows_affected, 1u);
+  EXPECT_EQ(SnapshotRows(db, "SUPPLIER").size(), rows_before + 1);
+  EXPECT_GT(db.catalog().version(), before);
+  // The fresh row is queryable and unique-index reachable.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> got,
+      RunSql(db, "SELECT SNAME FROM SUPPLIER WHERE SNO = 401"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0][0].AsString(), "NEWCO");
+}
+
+TEST(DmlTest, InsertWithExplicitColumnsFillsRestWithNull) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  ASSERT_OK(Dml(&db, "INSERT INTO SUPPLIER (SNO, SNAME) VALUES (402, 'P')")
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> got,
+      RunSql(db, "SELECT SNO, SNAME FROM SUPPLIER WHERE SNO = 402"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0][1].AsString(), "P");
+}
+
+TEST(DmlTest, MultiRowInsertRollsBackAtomicallyOnDuplicate) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  std::vector<Row> before = SnapshotRows(db, "SUPPLIER");
+  uint64_t version_before = db.catalog().version();
+  // Second row collides with the first INSIDE the same statement: the
+  // first row must not survive.
+  auto r = Dml(&db,
+               "INSERT INTO SUPPLIER VALUES "
+               "(410, 'A', 'Toronto', 1.0, 'Active'), "
+               "(410, 'B', 'Chicago', 2.0, 'Active')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation)
+      << r.status().ToString();
+  EXPECT_TRUE(SameRows(before, SnapshotRows(db, "SUPPLIER")));
+  EXPECT_EQ(db.catalog().version(), version_before);
+}
+
+TEST(DmlTest, InsertDuplicateOfCommittedKeyRollsBack) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  std::vector<Row> before = SnapshotRows(db, "SUPPLIER");
+  // SNO 1 is seeded.
+  auto r = Dml(
+      &db, "INSERT INTO SUPPLIER VALUES (1, 'X', 'Toronto', 1.0, 'Active')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(SameRows(before, SnapshotRows(db, "SUPPLIER")));
+}
+
+TEST(DmlTest, InsertEnforcesNotNullAndCheckConstraints) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  std::vector<Row> before = SnapshotRows(db, "SUPPLIER");
+  // SNO is NOT NULL.
+  EXPECT_FALSE(
+      Dml(&db,
+          "INSERT INTO SUPPLIER (SNAME) VALUES ('GHOST')")
+          .ok());
+  // CHECK (SNO BETWEEN 1 AND 499).
+  EXPECT_FALSE(
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (1000, 'X', 'Toronto', 1.0, "
+          "'Active')")
+          .ok());
+  EXPECT_TRUE(SameRows(before, SnapshotRows(db, "SUPPLIER")));
+}
+
+TEST(DmlTest, InsertEnforcesForeignKey) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  // Supplier 400 does not exist (100 seeded).
+  auto r = Dml(&db,
+               "INSERT INTO PARTS VALUES (400, 1, 'WIDGET', 7777, 'RED')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  // After inserting the parent, the same child row commits.
+  ASSERT_OK(
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (400, 'P', 'Toronto', 1.0, 'Active')")
+          .status());
+  EXPECT_OK(
+      Dml(&db, "INSERT INTO PARTS VALUES (400, 1, 'WIDGET', 7777, 'RED')")
+          .status());
+}
+
+TEST(DmlTest, UpdateEvaluatesSourcesAgainstOldRow) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  ASSERT_OK(
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (420, 'OLD', 'Toronto', 1.0, "
+          "'Active')")
+          .status());
+  ASSERT_OK_AND_ASSIGN(
+      txn::DmlResult r,
+      Dml(&db, "UPDATE SUPPLIER SET SNAME = SCITY, SCITY = 'Chicago' "
+               "WHERE SNO = 420"));
+  EXPECT_EQ(r.rows_affected, 1u);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> got,
+      RunSql(db, "SELECT SNAME, SCITY FROM SUPPLIER WHERE SNO = 420"));
+  ASSERT_EQ(got.size(), 1u);
+  // SNAME took the OLD SCITY, not the simultaneously-assigned one.
+  EXPECT_EQ(got[0][0].AsString(), "Toronto");
+  EXPECT_EQ(got[0][1].AsString(), "Chicago");
+}
+
+TEST(DmlTest, UpdateIntoDuplicateKeyRollsBackByteIdentical) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  std::vector<Row> before = SnapshotRows(db, "SUPPLIER");
+  uint64_t version_before = db.catalog().version();
+  auto r = Dml(&db, "UPDATE SUPPLIER SET SNO = 1 WHERE SNO = 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(SameRows(before, SnapshotRows(db, "SUPPLIER")));
+  EXPECT_EQ(db.catalog().version(), version_before);
+}
+
+TEST(DmlTest, ZeroRowUpdateAndDeleteDoNotBumpCatalog) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  uint64_t before = db.catalog().version();
+  ASSERT_OK_AND_ASSIGN(
+      txn::DmlResult u,
+      Dml(&db, "UPDATE SUPPLIER SET SNAME = 'Z' WHERE SNO = 499"));
+  EXPECT_EQ(u.rows_affected, 0u);
+  ASSERT_OK_AND_ASSIGN(txn::DmlResult d,
+                       Dml(&db, "DELETE FROM SUPPLIER WHERE SNO = 499"));
+  EXPECT_EQ(d.rows_affected, 0u);
+  EXPECT_EQ(db.catalog().version(), before);
+}
+
+TEST(DmlTest, DeleteOfReferencedParentIsRestricted) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  std::vector<Row> before = SnapshotRows(db, "SUPPLIER");
+  auto r = Dml(&db, "DELETE FROM SUPPLIER WHERE SNO = 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_TRUE(SameRows(before, SnapshotRows(db, "SUPPLIER")));
+  // Removing the children first unblocks the parent delete.
+  ASSERT_OK(Dml(&db, "DELETE FROM PARTS WHERE SNO = 1").status());
+  ASSERT_OK(Dml(&db, "DELETE FROM AGENTS WHERE SNO = 1").status());
+  ASSERT_OK_AND_ASSIGN(txn::DmlResult d,
+                       Dml(&db, "DELETE FROM SUPPLIER WHERE SNO = 1"));
+  EXPECT_EQ(d.rows_affected, 1u);
+}
+
+TEST(DmlTest, CommitInvalidatesPlanCache) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  const std::string sql = "SELECT DISTINCT SNO FROM SUPPLIER";
+  ASSERT_OK_AND_ASSIGN(PreparedQuery cold, optimizer.Prepare(sql));
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_OK_AND_ASSIGN(PreparedQuery warm, optimizer.Prepare(sql));
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_OK(
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (430, 'C', 'Toronto', 1.0, 'Active')")
+          .status());
+  // The commit bumped Catalog::version(), which the cache key mixes in:
+  // the stale entry is unreachable.
+  ASSERT_OK_AND_ASSIGN(PreparedQuery after, optimizer.Prepare(sql));
+  EXPECT_FALSE(after.cache_hit);
+}
+
+TEST(DmlTest, CreateUniqueIndexValidatesExistingRows) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE T (A INTEGER NOT NULL, B INTEGER, PRIMARY KEY (A))"));
+  ASSERT_OK(Dml(&db, "INSERT INTO T VALUES (1, 10), (2, 10), (3, 30)")
+                .status());
+  // Existing duplicate in B: the index must refuse and declare nothing.
+  size_t keys_before = (*db.GetTable("T"))->def().keys().size();
+  Status st = db.ExecuteDdl("CREATE UNIQUE INDEX UB ON T (B)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation) << st.ToString();
+  EXPECT_EQ((*db.GetTable("T"))->def().keys().size(), keys_before);
+  // Deduplicate, retry: the key is declared and enforced from then on.
+  ASSERT_OK(Dml(&db, "UPDATE T SET B = 20 WHERE A = 2").status());
+  ASSERT_OK(db.ExecuteDdl("CREATE UNIQUE INDEX UB ON T (B)"));
+  EXPECT_EQ((*db.GetTable("T"))->def().keys().size(), keys_before + 1);
+  auto r = Dml(&db, "INSERT INTO T VALUES (4, 30)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  // Re-declaring the same name or column set is rejected.
+  EXPECT_FALSE(db.ExecuteDdl("CREATE UNIQUE INDEX UB ON T (B)").ok());
+  EXPECT_FALSE(db.ExecuteDdl("CREATE UNIQUE INDEX UB2 ON T (B)").ok());
+  // Bare CREATE INDEX is a parse error by design.
+  EXPECT_FALSE(db.ExecuteDdl("CREATE INDEX I ON T (B)").ok());
+}
+
+TEST(DmlTest, ContainsKeyValueTracksCommittedDml) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  ASSERT_OK_AND_ASSIGN(const Table* supplier, db.GetTable("SUPPLIER"));
+  Row key(std::vector<Value>{Value::Integer(440)});
+  EXPECT_FALSE(supplier->ContainsKeyValue(0, key));
+  ASSERT_OK(
+      Dml(&db,
+          "INSERT INTO SUPPLIER VALUES (440, 'K', 'Toronto', 1.0, 'Active')")
+          .status());
+  EXPECT_TRUE(supplier->ContainsKeyValue(0, key));
+  ASSERT_OK(Dml(&db, "DELETE FROM SUPPLIER WHERE SNO = 440").status());
+  EXPECT_FALSE(supplier->ContainsKeyValue(0, key));
+}
+
+TEST(DmlTest, DropTablePurgesAdvisorSuggestions) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE DOOMED (A INTEGER NOT NULL)"));
+  ASSERT_OK(db.ExecuteDdl("CREATE TABLE KEPT (A INTEGER NOT NULL)"));
+  obs::AdvisorStore& store = obs::AdvisorStore::Global();
+  store.Clear();
+  obs::NearMiss miss;
+  miss.table = "DOOMED";
+  miss.kind = obs::MissingFactKind::kUniqueKey;
+  miss.replay_key_columns = {"A"};
+  store.Record(miss, /*fingerprint=*/1, "SELECT DISTINCT A FROM DOOMED");
+  miss.table = "KEPT";
+  store.Record(miss, /*fingerprint=*/2, "SELECT DISTINCT A FROM KEPT");
+  ASSERT_EQ(store.size(), 2u);
+  ASSERT_OK(db.ExecuteDdl("DROP TABLE DOOMED"));
+  std::vector<obs::AdvisorSuggestion> left = store.Suggestions();
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].table, "KEPT");
+  store.Clear();
+}
+
+TEST(DmlTest, HostVariablesBindByName) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  txn::DmlExecutor executor(&db);
+  ASSERT_OK_AND_ASSIGN(
+      txn::DmlResult r,
+      executor.ExecuteSql(
+          "INSERT INTO SUPPLIER VALUES (:sno, :nm, 'Toronto', 1.0, "
+          "'Active')",
+          {{"SNO", Value::Integer(450)}, {"nm", Value::String("HV")}}));
+  EXPECT_EQ(r.rows_affected, 1u);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> got,
+      RunSql(db, "SELECT SNAME FROM SUPPLIER WHERE SNO = 450"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0][0].AsString(), "HV");
+}
+
+}  // namespace
+}  // namespace uniqopt

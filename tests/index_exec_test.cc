@@ -1,0 +1,251 @@
+// Index-backed execution: unique-index point lookups and build-free
+// unique-index joins must (a) be chosen exactly when a declared key is
+// covered, (b) produce the same rows as the scan-based lowering, and
+// (c) surface in EXPLAIN ANALYZE names, ExecStats::index_probes, and
+// the plan-cache salt.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/index_exec.h"
+#include "txn/dml_executor.h"
+#include "uniqopt/uniqopt.h"
+#include "workload/supplier_schema.h"
+
+#include "test_util.h"
+
+namespace uniqopt {
+namespace {
+
+PhysicalOptions NoIndexes() {
+  PhysicalOptions p;
+  p.use_indexes = false;
+  return p;
+}
+
+TEST(IndexExecTest, PointLookupProbesInsteadOfScanning) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  const std::string sql = "SELECT SNAME FROM SUPPLIER WHERE SNO = 7";
+  ExecStats with_index;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> fast,
+                       RunSql(db, sql, {}, {}, &with_index));
+  ExecStats without_index;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> slow,
+                       RunSql(db, sql, {}, NoIndexes(), &without_index));
+  EXPECT_TRUE(MultisetEquals(fast, slow));
+  EXPECT_EQ(with_index.index_probes, 1u);
+  EXPECT_EQ(with_index.rows_scanned, 0u);
+  EXPECT_EQ(without_index.index_probes, 0u);
+  EXPECT_GT(without_index.rows_scanned, 0u);
+}
+
+TEST(IndexExecTest, LookupHonorsResidualConjuncts) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  // SNO = 7 covers the key; the SCITY conjunct stays residual and can
+  // reject the single matched row.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> match,
+      RunSql(db,
+             "SELECT SNO FROM SUPPLIER WHERE SNO = 7 AND SCITY <> 'xx'"));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> reject,
+      RunSql(db,
+             "SELECT SNO FROM SUPPLIER WHERE SNO = 7 AND SNAME = 'no'"));
+  EXPECT_EQ(match.size(), 1u);
+  EXPECT_TRUE(reject.empty());
+}
+
+TEST(IndexExecTest, CompositeKeyNeedsEveryColumn) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  // PARTS PK is (SNO, PNO): both present → probe; one missing → scan.
+  ExecStats covered;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> one,
+      RunSql(db, "SELECT PNAME FROM PARTS WHERE PNO = 2 AND SNO = 3", {},
+             {}, &covered));
+  EXPECT_EQ(covered.index_probes, 1u);
+  EXPECT_EQ(one.size(), 1u);
+  ExecStats partial;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> many,
+      RunSql(db, "SELECT PNAME FROM PARTS WHERE SNO = 3", {}, {},
+             &partial));
+  EXPECT_EQ(partial.index_probes, 0u);
+  EXPECT_GT(partial.rows_scanned, 0u);
+  EXPECT_GT(many.size(), 1u);
+}
+
+TEST(IndexExecTest, HostVariableProbeResolvesPerExecution) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  const std::string sql = "SELECT SNAME FROM SUPPLIER WHERE SNO = :n";
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> a,
+      RunSql(db, sql, {{"n", Value::Integer(5)}}, {}, &stats));
+  EXPECT_EQ(stats.index_probes, 1u);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> b,
+                       RunSql(db, sql, {{"n", Value::Integer(6)}}));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_FALSE(a[0].NullSafeEquals(b[0]));
+  // NULL probe: SQL `=` matches nothing (no probe is even issued).
+  ExecStats null_stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> none,
+      RunSql(db, sql, {{"n", Value::Null(TypeId::kInteger)}}, {},
+             &null_stats));
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(null_stats.index_probes, 0u);
+}
+
+TEST(IndexExecTest, DoubleProbeCoercesAgainstIntegerKey) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> whole,
+      RunSql(db, "SELECT SNO FROM SUPPLIER WHERE SNO = :n",
+             {{"n", Value::Double(7.0)}}));
+  EXPECT_EQ(whole.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Row> frac,
+      RunSql(db, "SELECT SNO FROM SUPPLIER WHERE SNO = :n",
+             {{"n", Value::Double(7.5)}}));
+  EXPECT_TRUE(frac.empty());
+}
+
+TEST(IndexExecTest, UniqueIndexJoinSkipsBuildPhase) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  const std::string sql =
+      "SELECT P.PNAME, S.SNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO AND P.COLOR = 'RED'";
+  ExecStats with_index;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> fast,
+                       RunSql(db, sql, {}, {}, &with_index));
+  ExecStats without_index;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> slow,
+                       RunSql(db, sql, {}, NoIndexes(), &without_index));
+  EXPECT_TRUE(MultisetEquals(fast, slow));
+  EXPECT_FALSE(fast.empty());
+  EXPECT_GT(with_index.index_probes, 0u);
+  EXPECT_EQ(with_index.hash_build_rows, 0u);
+  EXPECT_GT(without_index.hash_build_rows, 0u);
+  EXPECT_EQ(without_index.index_probes, 0u);
+}
+
+TEST(IndexExecTest, JoinFallsBackWhenBuildKeysAreNotAKey) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  // Right side PARTS joined on SNO only — (SNO) is not a key of PARTS,
+  // so the classic hash build must be kept (one supplier has many
+  // parts; a unique probe would drop rows).
+  const std::string sql =
+      "SELECT S.SNAME, P.PNAME FROM SUPPLIER S, PARTS P "
+      "WHERE S.SNO = P.SNO";
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> rows,
+                       RunSql(db, sql, {}, {}, &stats));
+  EXPECT_EQ(stats.index_probes, 0u);
+  EXPECT_GT(stats.hash_build_rows, 0u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> baseline,
+                       RunSql(db, sql, {}, NoIndexes()));
+  EXPECT_TRUE(MultisetEquals(rows, baseline));
+}
+
+TEST(IndexExecTest, JoinNullKeysNeverMatch) {
+  Database db;
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE L (K INTEGER, V INTEGER NOT NULL, PRIMARY KEY (V))"));
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE R (K INTEGER NOT NULL, W INTEGER, PRIMARY KEY (K))"));
+  txn::DmlExecutor executor(&db);
+  ASSERT_OK(executor.ExecuteSql("INSERT INTO L VALUES (1, 1), (2, 2)")
+                .status());
+  ASSERT_OK(
+      executor.ExecuteSql("INSERT INTO L (V) VALUES (3)").status());
+  ASSERT_OK(executor.ExecuteSql("INSERT INTO R VALUES (1, 10), (2, 20)")
+                .status());
+  const std::string sql =
+      "SELECT L.V, R.W FROM L, R WHERE L.K = R.K";
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> rows,
+                       RunSql(db, sql, {}, {}, &stats));
+  EXPECT_EQ(rows.size(), 2u);  // the NULL-keyed L row joins nothing
+  EXPECT_EQ(stats.index_probes, 2u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> baseline,
+                       RunSql(db, sql, {}, NoIndexes()));
+  EXPECT_TRUE(MultisetEquals(rows, baseline));
+}
+
+TEST(IndexExecTest, MatchersRequireExactKeyCover) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  ASSERT_OK_AND_ASSIGN(const Table* parts, db.GetTable("PARTS"));
+  const TableDef& def = parts->def();
+  // Join on (SNO, PNO) — exactly the PK → match, key order normalized.
+  std::optional<IndexJoinMatch> hit =
+      MatchUniqueIndexJoin(def, /*left_keys=*/{5, 3},
+                           /*right_keys=*/{1, 0});  // PNO, SNO
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->left_keys, (std::vector<size_t>{3, 5}));  // SNO, PNO
+  // Subset of the key → no match.
+  EXPECT_FALSE(MatchUniqueIndexJoin(def, {3}, {0}).has_value());
+  // Duplicate right column → no match (two constraints on one column).
+  EXPECT_FALSE(MatchUniqueIndexJoin(def, {3, 5}, {0, 0}).has_value());
+  // Superset of every key → no match.
+  EXPECT_FALSE(
+      MatchUniqueIndexJoin(def, {3, 5, 6}, {0, 1, 2}).has_value());
+  // UNIQUE (OEM_PNO) is also probeable.
+  EXPECT_TRUE(MatchUniqueIndexJoin(def, {2}, {3}).has_value());
+}
+
+TEST(IndexExecTest, ExplainAnalyzeNamesTheIndexOperators) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  Optimizer optimizer(&db);
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery point,
+      optimizer.Prepare("SELECT SNAME FROM SUPPLIER WHERE SNO = 3"));
+  ASSERT_OK_AND_ASSIGN(std::string lookup_report,
+                       optimizer.ExplainAnalyze(point));
+  EXPECT_NE(lookup_report.find("IndexLookup("), std::string::npos)
+      << lookup_report;
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery join,
+      optimizer.Prepare("SELECT P.PNAME, S.SNAME FROM PARTS P, SUPPLIER S "
+                        "WHERE P.SNO = S.SNO"));
+  ASSERT_OK_AND_ASSIGN(std::string join_report,
+                       optimizer.ExplainAnalyze(join));
+  EXPECT_NE(join_report.find("UniqueIndexJoin("), std::string::npos)
+      << join_report;
+}
+
+TEST(IndexExecTest, CacheSaltSeparatesIndexModes) {
+  PhysicalOptions on;
+  PhysicalOptions off;
+  off.use_indexes = false;
+  EXPECT_NE(on.CacheSalt(), off.CacheSalt());
+}
+
+TEST(IndexExecTest, ParallelExecutionStaysCorrectWithIndexesEnabled) {
+  Database db;
+  ASSERT_OK(MakeTestSupplierDatabase(&db));
+  const std::string sql =
+      "SELECT P.PNAME, S.SNAME FROM PARTS P, SUPPLIER S "
+      "WHERE P.SNO = S.SNO";
+  PhysicalOptions parallel;
+  parallel.dop = 4;
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> par, RunSql(db, sql, {}, parallel));
+  ASSERT_OK_AND_ASSIGN(std::vector<Row> serial, RunSql(db, sql));
+  EXPECT_TRUE(MultisetEquals(par, serial));
+}
+
+}  // namespace
+}  // namespace uniqopt
